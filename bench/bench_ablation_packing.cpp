@@ -1,0 +1,132 @@
+// Ablation: packing layout choices (paper §III-B, Figure 2).
+//   1. row-major vs column-major tile packing: the kernels read tiles
+//      row by row, so column-major storage pays one tile transpose per
+//      access — this quantifies why the library stores bit-rows.
+//   2. nibble-packed B2SR-4 (two bit-rows per byte): halves tile bytes
+//      on extremely sparse matrices at the cost of unpack shifts.
+#include "core/bmv.hpp"
+#include "core/pack.hpp"
+#include "platform/timer.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/generators.hpp"
+
+#include <cstdio>
+
+namespace bitgb {
+namespace {
+
+// BMV over column-major-stored tiles: transposes each tile in registers
+// before the row-wise dot (what a column-major default would cost).
+void bmv_bbf_colmajor(const B2sr32& a_colmajor, const PackedVec32& x,
+                      std::vector<value_t>& y) {
+  y.assign(static_cast<std::size_t>(a_colmajor.nrows), 0.0f);
+  parallel_for(vidx_t{0}, a_colmajor.n_tile_rows(), [&](vidx_t tr) {
+    const auto lo = a_colmajor.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a_colmajor.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    if (lo == hi) return;
+    std::int32_t acc[32] = {};
+    std::uint32_t rows[32];
+    for (vidx_t t = lo; t < hi; ++t) {
+      const std::uint32_t xw = x.words[static_cast<std::size_t>(
+          a_colmajor.tile_colind[static_cast<std::size_t>(t)])];
+      if (xw == 0) continue;
+      transpose_tile<32>(
+          a_colmajor.bits.data() + static_cast<std::size_t>(t) * 32, rows);
+      for (int r = 0; r < 32; ++r) {
+        acc[r] += popcount<std::uint32_t>(rows[r] & xw);
+      }
+    }
+    const vidx_t r0 = tr * 32;
+    const vidx_t rend = std::min<vidx_t>(a_colmajor.nrows, r0 + 32);
+    for (vidx_t r = r0; r < rend; ++r) {
+      y[static_cast<std::size_t>(r)] = static_cast<value_t>(acc[r - r0]);
+    }
+  });
+}
+
+// BMV over nibble-packed B2SR-4 (bin-bin-full), unpacking nibbles on
+// the fly.
+void bmv_bbf_nibble(const NibbleB2sr4& a, const PackedVec4& x,
+                    std::vector<value_t>& y) {
+  y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    if (lo == hi) return;
+    std::int32_t acc[4] = {};
+    for (vidx_t t = lo; t < hi; ++t) {
+      const std::uint8_t xw = x.words[static_cast<std::size_t>(
+          a.tile_colind[static_cast<std::size_t>(t)])];
+      if (xw == 0) continue;
+      for (int r = 0; r < 4; ++r) {
+        acc[r] += popcount<std::uint8_t>(
+            static_cast<std::uint8_t>(a.row(t, r) & xw));
+      }
+    }
+    const vidx_t r0 = tr * 4;
+    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + 4);
+    for (vidx_t r = r0; r < rend; ++r) {
+      y[static_cast<std::size_t>(r)] = static_cast<value_t>(acc[r - r0]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace bitgb
+
+int main() {
+  using namespace bitgb;
+
+  // --- row-major vs column-major ---
+  const Csr m = coo_to_csr(gen_banded(8192, 24, 0.7, 1));
+  const B2sr32 row_major = pack_from_csr<32>(m);
+  // Column-major storage of the same tiles == row-major tiles of A^T's
+  // blocks transposed in place; build it by transposing each tile.
+  B2sr32 col_major = row_major;
+  for (vidx_t t = 0; t < row_major.nnz_tiles(); ++t) {
+    transpose_tile<32>(
+        row_major.bits.data() + static_cast<std::size_t>(t) * 32,
+        col_major.bits.data() + static_cast<std::size_t>(t) * 32);
+  }
+
+  PackedVec32 x(m.ncols);
+  for (vidx_t i = 0; i < m.ncols; i += 2) x.set(i);
+
+  std::vector<value_t> y_row;
+  std::vector<value_t> y_col;
+  const double t_row =
+      time_avg_ms([&] { bmv_bin_bin_full(row_major, x, y_row); });
+  const double t_col =
+      time_avg_ms([&] { bmv_bbf_colmajor(col_major, x, y_col); });
+  bool match = y_row == y_col;
+
+  std::printf("== ablation: tile packing layout (band 8192, B2SR-32) ==\n");
+  std::printf("row-major (shipped):      %8.3f ms\n", t_row);
+  std::printf("column-major + transpose: %8.3f ms  (%.2fx slower)\n", t_col,
+              t_col / t_row);
+  std::printf("results match: %s\n\n", match ? "yes" : "NO");
+  if (!match) return 1;
+
+  // --- nibble-packed B2SR-4 ---
+  const Csr sparse = coo_to_csr(gen_random(32768, 65536, 2));
+  const B2sr4 b4 = pack_from_csr<4>(sparse);
+  const NibbleB2sr4 n4 = to_nibble4(b4);
+  PackedVec4 x4(sparse.ncols);
+  for (vidx_t i = 0; i < sparse.ncols; i += 3) x4.set(i);
+
+  std::vector<value_t> y_b4;
+  std::vector<value_t> y_n4;
+  const double t_b4 = time_avg_ms([&] { bmv_bin_bin_full(b4, x4, y_b4); });
+  const double t_n4 = time_avg_ms([&] { bmv_bbf_nibble(n4, x4, y_n4); });
+  match = y_b4 == y_n4;
+
+  std::printf("== ablation: nibble-packed B2SR-4 (scatter 32768) ==\n");
+  std::printf("byte-per-row tiles:   %8.3f ms, %9zu tile bytes\n", t_b4,
+              b4.bits.size());
+  std::printf("nibble-packed tiles:  %8.3f ms, %9zu tile bytes (%.0f%%)\n",
+              t_n4, n4.bytes.size(),
+              100.0 * static_cast<double>(n4.bytes.size()) /
+                  static_cast<double>(b4.bits.size()));
+  std::printf("results match: %s\n", match ? "yes" : "NO");
+  return match ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Figure 5 reproduction: compression results over the 521-matrix
+// corpus.
+//   (a) histogram of compression ratios (B2SR bytes / float-CSR bytes)
+//       per tile size;
+//   (b) per tile size, how many matrices have it as their *optimal*
+//       (smallest) format and how many it *compresses* (<100%).
+// Paper reference points: optimal 162/291/26/12 for 4/8/16/32;
+// compressed 491/421/329/263.
+#include "benchlib/corpus.hpp"
+#include "core/stats.hpp"
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+int main() {
+  using namespace bitgb;
+  using namespace bitgb::bench;
+
+  const auto corpus = full_corpus(CorpusScale::kFull);
+
+  std::map<int, std::array<int, 11>> histogram;  // dim -> 10%-wide bins
+  std::map<int, int> optimal;
+  std::map<int, int> compressed;
+  for (const int dim : kTileDims) {
+    histogram[dim] = {};
+    optimal[dim] = 0;
+    compressed[dim] = 0;
+  }
+
+  for (const auto& e : corpus) {
+    if (e.matrix.nnz() == 0) continue;
+    const auto fps = all_footprints(e.matrix);
+    std::size_t best_bytes = SIZE_MAX;
+    int best_dim = 4;
+    for (const auto& fp : fps) {
+      const int bin =
+          std::min(10, static_cast<int>(fp.compression_pct / 10.0));
+      ++histogram[fp.dim][static_cast<std::size_t>(bin)];
+      if (fp.compression_pct < 100.0) ++compressed[fp.dim];
+      if (fp.b2sr_bytes < best_bytes) {
+        best_bytes = fp.b2sr_bytes;
+        best_dim = fp.dim;
+      }
+    }
+    ++optimal[best_dim];
+  }
+
+  std::printf("== Figure 5a: compression-ratio histogram "
+              "(count of matrices per 10%% bin) ==\n");
+  std::printf("%-8s", "ratio");
+  for (int b = 0; b < 11; ++b) {
+    if (b < 10) {
+      std::printf(" %3d-%3d", b * 10, b * 10 + 9);
+    } else {
+      std::printf("   >=100");
+    }
+  }
+  std::printf("\n");
+  for (const int dim : kTileDims) {
+    std::printf("%2dx%-5d", dim, dim);
+    for (int b = 0; b < 11; ++b) {
+      std::printf(" %7d", histogram[dim][static_cast<std::size_t>(b)]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== Figure 5b: optimal & compressed counts per tile size ==\n");
+  std::printf("%-8s %10s %12s %18s %20s\n", "tile", "optimal", "compressed",
+              "paper optimal", "paper compressed");
+  const std::map<int, std::pair<int, int>> paper = {
+      {4, {162, 491}}, {8, {291, 421}}, {16, {26, 329}}, {32, {12, 263}}};
+  for (const int dim : kTileDims) {
+    std::printf("%2dx%-5d %10d %12d %18d %20d\n", dim, dim, optimal[dim],
+                compressed[dim], paper.at(dim).first, paper.at(dim).second);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 6 reproduction: arithmetic-kernel speedups over the float-CSR
+// baseline on the pascal-analog device profile (the GTX 1080 stand-in:
+// minimum parallel width — see DESIGN.md's substitution table).
+// Panels: (a) bmv_bin_bin_bin, (b) bmv_bin_bin_full,
+// (c) bmv_bin_full_full, (d) bmm_bin_bin_sum; series per tile size;
+// x axis = nonzero density decade.  Raw points land in fig6_points.csv.
+#include "benchlib/kernel_sweep.hpp"
+#include "platform/device_profile.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace bitgb;
+  using namespace bitgb::bench;
+
+  const DeviceProfile profile = pascal_analog();
+  std::cout << "device profile: " << profile.name << " (stand-in for "
+            << profile.paper_gpu << ", " << profile.num_threads
+            << " thread)\n\n";
+
+  ProfileScope scope(profile);
+  const SweepResult r = run_kernel_sweep(SweepOptions{});
+  print_sweep(std::cout, "Figure 6", r);
+
+  write_sweep_csv("fig6a_points.csv", r.bmv_bin_bin_bin);
+  write_sweep_csv("fig6b_points.csv", r.bmv_bin_bin_full);
+  write_sweep_csv("fig6c_points.csv", r.bmv_bin_full_full);
+  write_sweep_csv("fig6d_points.csv", r.bmm_bin_bin_sum);
+  std::cout << "raw points written to fig6{a,b,c,d}_points.csv\n";
+  return 0;
+}

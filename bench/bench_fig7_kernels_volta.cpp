@@ -1,0 +1,32 @@
+// Figure 7 reproduction: the same arithmetic-kernel sweep as Figure 6,
+// on the volta-analog device profile (the Titan V stand-in: full
+// parallel width of the host).  Comparing against the Figure-6 output
+// shows how the B2SR-vs-CSR gap responds to more parallel resources —
+// the axis the paper's two-GPU comparison probes.  The Volta-specific
+// warp-synchronization overhead the paper discusses (§VI-E) has no host
+// analog and is out of scope (EXPERIMENTS.md).
+#include "benchlib/kernel_sweep.hpp"
+#include "platform/device_profile.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace bitgb;
+  using namespace bitgb::bench;
+
+  const DeviceProfile profile = volta_analog();
+  std::cout << "device profile: " << profile.name << " (stand-in for "
+            << profile.paper_gpu << ", " << profile.num_threads
+            << " threads)\n\n";
+
+  ProfileScope scope(profile);
+  const SweepResult r = run_kernel_sweep(SweepOptions{});
+  print_sweep(std::cout, "Figure 7", r);
+
+  write_sweep_csv("fig7a_points.csv", r.bmv_bin_bin_bin);
+  write_sweep_csv("fig7b_points.csv", r.bmv_bin_bin_full);
+  write_sweep_csv("fig7c_points.csv", r.bmv_bin_full_full);
+  write_sweep_csv("fig7d_points.csv", r.bmm_bin_bin_sum);
+  std::cout << "raw points written to fig7{a,b,c,d}_points.csv\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// google-benchmark microbenchmarks of the core kernels: per-call
+// latency of packing, each BMV scheme, the BMM sum, and the baseline
+// CSR ops on a fixed representative matrix, for regression tracking.
+#include "baseline/csrgemm.hpp"
+#include "baseline/csrmv.hpp"
+#include "core/bit_spgemm.hpp"
+#include "core/bmm.hpp"
+#include "core/bmv.hpp"
+#include "core/pack.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/generators.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace bitgb;
+
+const Csr& fixture_matrix() {
+  static const Csr m = coo_to_csr(gen_banded(4096, 16, 0.6, 42));
+  return m;
+}
+
+const Csr& fixture_unit() {
+  static const Csr m = [] {
+    Csr u = fixture_matrix();
+    u.val.assign(static_cast<std::size_t>(u.nnz()), 1.0f);
+    return u;
+  }();
+  return m;
+}
+
+template <int Dim>
+const B2srT<Dim>& fixture_packed() {
+  static const B2srT<Dim> b = pack_from_csr<Dim>(fixture_matrix());
+  return b;
+}
+
+std::vector<value_t> fixture_vector() {
+  std::vector<value_t> x(static_cast<std::size_t>(fixture_matrix().ncols));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = (i % 2 == 0) ? 1.5f : 0.0f;
+  }
+  return x;
+}
+
+template <int Dim>
+void BM_Pack(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack_from_csr<Dim>(fixture_matrix()));
+  }
+}
+BENCHMARK(BM_Pack<4>);
+BENCHMARK(BM_Pack<8>);
+BENCHMARK(BM_Pack<16>);
+BENCHMARK(BM_Pack<32>);
+
+void BM_BaselineCsrmv(benchmark::State& state) {
+  const auto x = fixture_vector();
+  std::vector<value_t> y;
+  for (auto _ : state) {
+    baseline::csrmv(fixture_unit(), x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BaselineCsrmv);
+
+template <int Dim>
+void BM_BmvBinBinBin(benchmark::State& state) {
+  const auto x = PackedVecT<Dim>::from_values(fixture_vector());
+  PackedVecT<Dim> y;
+  for (auto _ : state) {
+    bmv_bin_bin_bin(fixture_packed<Dim>(), x, y);
+    benchmark::DoNotOptimize(y.words.data());
+  }
+}
+BENCHMARK(BM_BmvBinBinBin<4>);
+BENCHMARK(BM_BmvBinBinBin<8>);
+BENCHMARK(BM_BmvBinBinBin<16>);
+BENCHMARK(BM_BmvBinBinBin<32>);
+
+template <int Dim>
+void BM_BmvBinBinFull(benchmark::State& state) {
+  const auto x = PackedVecT<Dim>::from_values(fixture_vector());
+  std::vector<value_t> y;
+  for (auto _ : state) {
+    bmv_bin_bin_full(fixture_packed<Dim>(), x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BmvBinBinFull<4>);
+BENCHMARK(BM_BmvBinBinFull<8>);
+BENCHMARK(BM_BmvBinBinFull<16>);
+BENCHMARK(BM_BmvBinBinFull<32>);
+
+template <int Dim>
+void BM_BmvBinFullFull(benchmark::State& state) {
+  const auto x = fixture_vector();
+  std::vector<value_t> y;
+  for (auto _ : state) {
+    bmv_bin_full_full<Dim, PlusTimesOp>(fixture_packed<Dim>(), x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BmvBinFullFull<4>);
+BENCHMARK(BM_BmvBinFullFull<8>);
+BENCHMARK(BM_BmvBinFullFull<16>);
+BENCHMARK(BM_BmvBinFullFull<32>);
+
+template <int Dim>
+void BM_BmmSum(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bmm_bin_bin_sum(fixture_packed<Dim>(), fixture_packed<Dim>()));
+  }
+}
+BENCHMARK(BM_BmmSum<8>);
+BENCHMARK(BM_BmmSum<32>);
+
+template <int Dim>
+void BM_BmmMaskedSum(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bmm_bin_bin_sum_masked(
+        fixture_packed<Dim>(), fixture_packed<Dim>(), fixture_packed<Dim>()));
+  }
+}
+BENCHMARK(BM_BmmMaskedSum<8>);
+BENCHMARK(BM_BmmMaskedSum<32>);
+
+template <int Dim>
+void BM_BitSpgemm(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bit_spgemm(fixture_packed<Dim>(), fixture_packed<Dim>()));
+  }
+}
+BENCHMARK(BM_BitSpgemm<8>);
+BENCHMARK(BM_BitSpgemm<32>);
+
+void BM_BaselineCsrgemm(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baseline::csrgemm(fixture_unit(), fixture_unit()));
+  }
+}
+BENCHMARK(BM_BaselineCsrgemm);
+
+template <int Dim>
+void BM_Transpose(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpose(fixture_packed<Dim>()));
+  }
+}
+BENCHMARK(BM_Transpose<8>);
+BENCHMARK(BM_Transpose<32>);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+// Table VII reproduction: SpMV-based graph algorithm performance
+// (BFS, SSSP, PR, CC) on the 16 named-matrix analogs, GraphBLAST-
+// substitute baseline vs Bit-GraphBLAS, pascal-analog device profile.
+// Each matrix gets an "algorithm" row (whole run) and a "kernel" row
+// (time inside mxv/vxm kernels only), averaged over 5 runs — the
+// paper's exact reporting format.
+#include "benchlib/algo_table.hpp"
+#include "platform/device_profile.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace bitgb;
+  using namespace bitgb::bench;
+
+  const DeviceProfile profile = pascal_analog();
+  std::cout << "device profile: " << profile.name << " (stand-in for "
+            << profile.paper_gpu << ")\n\n";
+  ProfileScope scope(profile);
+  print_spmv_algorithm_table(std::cout, "Table VII (pascal-analog)",
+                             table7_matrices());
+  return 0;
+}

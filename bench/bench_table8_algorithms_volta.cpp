@@ -1,0 +1,20 @@
+// Table VIII reproduction: the Table VII workload on the volta-analog
+// device profile (full host parallel width) — the paper's second-GPU
+// column of the algorithm evaluation.
+#include "benchlib/algo_table.hpp"
+#include "platform/device_profile.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace bitgb;
+  using namespace bitgb::bench;
+
+  const DeviceProfile profile = volta_analog();
+  std::cout << "device profile: " << profile.name << " (stand-in for "
+            << profile.paper_gpu << ")\n\n";
+  ProfileScope scope(profile);
+  print_spmv_algorithm_table(std::cout, "Table VIII (volta-analog)",
+                             table7_matrices());
+  return 0;
+}

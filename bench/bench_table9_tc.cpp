@@ -1,0 +1,22 @@
+// Table IX reproduction: triangle counting (one masked SpGEMM) on the
+// 16 named-matrix analogs, both device profiles — the paper prints
+// Pascal and Volta side by side in one table and so do we.
+#include "benchlib/algo_table.hpp"
+#include "platform/device_profile.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace bitgb;
+  using namespace bitgb::bench;
+
+  const auto mats = table9_matrices();
+  for (const DeviceProfile& profile : all_profiles()) {
+    std::cout << "device profile: " << profile.name << " (stand-in for "
+              << profile.paper_gpu << ")\n\n";
+    ProfileScope scope(profile);
+    print_algo_table(std::cout, "Table IX (" + profile.name + ")", "TC",
+                     run_algo_table(mats, TableAlgo::kTc));
+  }
+  return 0;
+}

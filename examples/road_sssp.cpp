@@ -1,0 +1,80 @@
+// Road-network shortest paths: SSSP and connectivity on a planar grid
+// with a few long-range shortcuts — the "road" pattern category of the
+// paper's Table V.
+//
+// Runs SSSP (min-plus semiring) and connected components on both
+// backends, checks agreement, and prints a distance histogram.
+#include "algorithms/cc.hpp"
+#include "algorithms/sssp.hpp"
+#include "graphblas/graph.hpp"
+#include "platform/timer.hpp"
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+int main() {
+  using namespace bitgb;
+
+  // 96x96 grid city, 2% of streets rewired as highways.
+  const Coo roads = gen_road(96, 96, /*rewire=*/0.02, /*seed=*/11);
+  const gb::Graph g = gb::Graph::from_coo(roads);
+  std::printf("road network: %d intersections, %lld road segments\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges()));
+
+  // Connectivity first: rewiring can strand intersections.
+  const auto cc = algo::connected_components(g, gb::Backend::kBit);
+  std::map<vidx_t, int> comp_sizes;
+  for (const vidx_t c : cc.component) ++comp_sizes[c];
+  std::printf("connected components: %zu (largest %d vertices)\n",
+              comp_sizes.size(),
+              std::max_element(comp_sizes.begin(), comp_sizes.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.second < b.second;
+                               })
+                  ->second);
+
+  // SSSP from the city centre on both backends.
+  const vidx_t centre = 96 * 48 + 48;
+  const auto t_ref = time_split_ms(
+      [&] { (void)algo::sssp(g, centre, gb::Backend::kReference); });
+  const auto t_bit =
+      time_split_ms([&] { (void)algo::sssp(g, centre, gb::Backend::kBit); });
+  const auto ref = algo::sssp(g, centre, gb::Backend::kReference);
+  const auto bit = algo::sssp(g, centre, gb::Backend::kBit);
+
+  for (std::size_t i = 0; i < ref.dist.size(); ++i) {
+    if (ref.dist[i] != bit.dist[i] &&
+        !(std::isinf(ref.dist[i]) && std::isinf(bit.dist[i]))) {
+      std::printf("MISMATCH at %zu: ref %f bit %f\n", i, ref.dist[i],
+                  bit.dist[i]);
+      return 1;
+    }
+  }
+  std::printf("backends agree on all %zu distances\n", ref.dist.size());
+  std::printf("reference-csr: %7.3f ms (kernel %7.3f ms), %d rounds\n",
+              t_ref.algorithm_ms, t_ref.kernel_ms, ref.iterations);
+  std::printf("bit-b2sr:      %7.3f ms (kernel %7.3f ms)\n",
+              t_bit.algorithm_ms, t_bit.kernel_ms);
+
+  // Histogram of hop distances in buckets of 8.
+  std::map<int, int> hist;
+  int unreachable = 0;
+  for (const value_t d : bit.dist) {
+    if (std::isinf(d)) {
+      ++unreachable;
+    } else {
+      ++hist[static_cast<int>(d) / 8];
+    }
+  }
+  std::printf("\nhop-distance histogram from centre (buckets of 8):\n");
+  for (const auto& [bucket, count] : hist) {
+    std::printf("  %3d-%3d: %5d %s\n", bucket * 8, bucket * 8 + 7, count,
+                std::string(static_cast<std::size_t>(count) / 64, '#').c_str());
+  }
+  if (unreachable > 0) std::printf("  unreachable: %d\n", unreachable);
+  return 0;
+}

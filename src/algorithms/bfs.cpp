@@ -1,0 +1,151 @@
+#include "algorithms/bfs.hpp"
+
+#include "graphblas/ops.hpp"
+
+#include <deque>
+
+namespace bitgb::algo {
+
+namespace {
+
+template <int Dim>
+BfsResult bfs_bit(const gb::Graph& g, vidx_t source) {
+  const auto& a = g.packed().as<Dim>();
+  const auto& at = g.packed_t().as<Dim>();
+  const vidx_t n = g.num_vertices();
+
+  BfsResult res;
+  res.levels.assign(static_cast<std::size_t>(n), kUnreached);
+  res.levels[static_cast<std::size_t>(source)] = 0;
+
+  PackedVecT<Dim> frontier(n);
+  PackedVecT<Dim> visited(n);
+  PackedVecT<Dim> next(n);
+  frontier.set(source);
+  visited.set(source);
+  eidx_t frontier_count = 1;
+  // Word indices where the frontier is non-zero: keeps a sparse level's
+  // cost proportional to the frontier, not the matrix.
+  std::vector<vidx_t> active = {source / Dim};
+  std::vector<vidx_t> touched;
+
+  std::int32_t level = 0;
+  while (frontier_count > 0) {
+    ++level;
+    // Direction optimization, as in GraphBLAST: push (frontier-
+    // proportional, active-list) while the frontier is sparse, pull
+    // (full masked mxv over A^T) once it densifies.  Both apply the
+    // visited mask at the output store (§V).
+    // `next` is all-zero here: the scatter loop below clears every word
+    // it reads, and the pull kernel rewrites the whole vector.
+    const bool push = frontier_count < n / gb::kPushPullDenominator;
+    touched.clear();
+    if (push) {
+      KernelTimerScope timer;
+      bmv_bin_bin_bin_push_masked(a, frontier, active, visited,
+                                  /*complement=*/true, next, touched);
+    } else {
+      gb::bit_vxm_bool_masked<Dim>(at, frontier, visited, next);
+      for (std::size_t w = 0; w < next.words.size(); ++w) {
+        if (next.words[w] != 0) touched.push_back(static_cast<vidx_t>(w));
+      }
+    }
+    // Scatter levels, fold the new frontier into visited, and reset the
+    // old frontier's words (only its active words are dirty).
+    for (const vidx_t w : active) {
+      frontier.words[static_cast<std::size_t>(w)] = 0;
+    }
+    frontier_count = 0;
+    for (const vidx_t wi : touched) {
+      const auto w = static_cast<std::size_t>(wi);
+      const auto word = next.words[w];
+      next.words[w] = 0;
+      frontier.words[w] = word;
+      frontier_count += popcount(word);
+      visited.words[w] = static_cast<typename TileTraits<Dim>::word_t>(
+          visited.words[w] | word);
+      for_each_set_bit(word, [&](int j) {
+        const auto v = w * Dim + static_cast<std::size_t>(j);
+        res.levels[v] = level;
+      });
+    }
+    std::swap(active, touched);
+    if (frontier_count > 0) res.iterations = level;
+  }
+  return res;
+}
+
+BfsResult bfs_ref(const gb::Graph& g, vidx_t source) {
+  const Csr& a = g.adjacency();
+  const Csr& at = g.adjacency_t();
+  const vidx_t n = g.num_vertices();
+
+  BfsResult res;
+  res.levels.assign(static_cast<std::size_t>(n), kUnreached);
+  res.levels[static_cast<std::size_t>(source)] = 0;
+
+  std::vector<std::uint8_t> visited(static_cast<std::size_t>(n), 0);
+  visited[static_cast<std::size_t>(source)] = 1;
+  std::vector<vidx_t> frontier = {source};
+
+  std::int32_t level = 0;
+  std::vector<std::uint8_t> frontier_dense;
+  std::vector<std::uint8_t> next_dense;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<vidx_t> next;
+    if (static_cast<vidx_t>(frontier.size()) <
+        n / gb::kPushPullDenominator) {
+      // Push: sparse frontier through A's rows.
+      next = gb::ref_vxm_bool_push(a, frontier, visited);
+    } else {
+      // Pull: dense scan of A^T rows with early exit.
+      frontier_dense.assign(static_cast<std::size_t>(n), 0);
+      for (const vidx_t u : frontier) {
+        frontier_dense[static_cast<std::size_t>(u)] = 1;
+      }
+      gb::ref_vxm_bool_pull(at, frontier_dense, visited, next_dense);
+      for (vidx_t v = 0; v < n; ++v) {
+        if (next_dense[static_cast<std::size_t>(v)]) next.push_back(v);
+      }
+    }
+    if (next.empty()) break;
+    for (const vidx_t v : next) {
+      visited[static_cast<std::size_t>(v)] = 1;
+      res.levels[static_cast<std::size_t>(v)] = level;
+    }
+    frontier = std::move(next);
+    res.iterations = level;
+  }
+  return res;
+}
+
+}  // namespace
+
+BfsResult bfs(const gb::Graph& g, vidx_t source, gb::Backend backend) {
+  if (backend == gb::Backend::kReference) return bfs_ref(g, source);
+  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+    return bfs_bit<Dim>(g, source);
+  });
+}
+
+std::vector<std::int32_t> bfs_gold(const Csr& a, vidx_t source) {
+  std::vector<std::int32_t> levels(static_cast<std::size_t>(a.nrows),
+                                   kUnreached);
+  levels[static_cast<std::size_t>(source)] = 0;
+  std::deque<vidx_t> q = {source};
+  while (!q.empty()) {
+    const vidx_t u = q.front();
+    q.pop_front();
+    for (const vidx_t v : a.row_cols(u)) {
+      if (levels[static_cast<std::size_t>(v)] == kUnreached) {
+        levels[static_cast<std::size_t>(v)] =
+            levels[static_cast<std::size_t>(u)] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return levels;
+}
+
+}  // namespace bitgb::algo

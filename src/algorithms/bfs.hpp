@@ -1,0 +1,34 @@
+// Breadth-First Search — Boolean semiring (paper §V).
+//
+// Per iteration, vxm() expands the frontier one hop; the visited mask is
+// applied to drop already-seen vertices.  The bit backend uses
+// bmv_bin_bin_bin_masked with the mask AND-ed at the output store (no
+// early exit — §V explains early exit would diverge the warp that owns
+// a tile-row).  The reference backend is the GraphBLAST-style
+// direction-optimized push/pull with early exit.
+//
+// Output: BFS level per vertex (0 for the source), kUnreached if never
+// visited.
+#pragma once
+
+#include "graphblas/graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bitgb::algo {
+
+inline constexpr std::int32_t kUnreached = -1;
+
+struct BfsResult {
+  std::vector<std::int32_t> levels;
+  int iterations = 0;
+};
+
+[[nodiscard]] BfsResult bfs(const gb::Graph& g, vidx_t source,
+                            gb::Backend backend);
+
+/// Serial gold reference (queue BFS) for validation.
+[[nodiscard]] std::vector<std::int32_t> bfs_gold(const Csr& a, vidx_t source);
+
+}  // namespace bitgb::algo

@@ -1,0 +1,121 @@
+#include "algorithms/cc.hpp"
+
+#include "graphblas/ops.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace bitgb::algo {
+
+namespace {
+
+template <typename MxvFn>
+CcResult fastsv_loop(vidx_t n, MxvFn&& min_mxv) {
+  assert(n < (vidx_t{1} << 24));  // float carries ids exactly
+  CcResult res;
+
+  std::vector<value_t> f(static_cast<std::size_t>(n));
+  std::iota(f.begin(), f.end(), 0.0f);
+  std::vector<value_t> gf = f;  // grandparents (f[f] with f = identity)
+  std::vector<value_t> mngf;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++res.iterations;
+
+    // 1. minimum neighbour grandparent.
+    min_mxv(gf, mngf);
+
+    // 2&3. hooking.  mngf[u] == identity(+inf) for isolated vertices.
+    for (vidx_t u = 0; u < n; ++u) {
+      const value_t m = mngf[static_cast<std::size_t>(u)];
+      if (!(m < static_cast<value_t>(n))) continue;  // +inf: no neighbour
+      // stochastic hooking: hook u's parent to m.
+      const auto fu = static_cast<std::size_t>(f[static_cast<std::size_t>(u)]);
+      if (m < f[fu]) {
+        f[fu] = m;
+        changed = true;
+      }
+      // aggressive hooking: hook u itself.
+      if (m < f[static_cast<std::size_t>(u)]) {
+        f[static_cast<std::size_t>(u)] = m;
+        changed = true;
+      }
+    }
+
+    // 4. shortcutting.
+    for (vidx_t u = 0; u < n; ++u) {
+      const auto fu = static_cast<std::size_t>(f[static_cast<std::size_t>(u)]);
+      if (f[fu] < f[static_cast<std::size_t>(u)]) {
+        f[static_cast<std::size_t>(u)] = f[fu];
+        changed = true;
+      }
+    }
+
+    // 5. recompute grandparents.
+    for (vidx_t u = 0; u < n; ++u) {
+      const auto fu = static_cast<std::size_t>(f[static_cast<std::size_t>(u)]);
+      gf[static_cast<std::size_t>(u)] = f[fu];
+    }
+  }
+
+  res.component.resize(static_cast<std::size_t>(n));
+  for (vidx_t u = 0; u < n; ++u) {
+    res.component[static_cast<std::size_t>(u)] =
+        static_cast<vidx_t>(f[static_cast<std::size_t>(u)]);
+  }
+  return res;
+}
+
+}  // namespace
+
+CcResult connected_components(const gb::Graph& g, gb::Backend backend) {
+  const vidx_t n = g.num_vertices();
+  if (backend == gb::Backend::kReference) {
+    const Csr& a = g.adjacency();
+    return fastsv_loop(n, [&](const std::vector<value_t>& x,
+                              std::vector<value_t>& y) {
+      gb::ref_mxv<MinIdentityOp>(a, x, y);
+    });
+  }
+  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+    const auto& a = g.packed().as<Dim>();
+    return fastsv_loop(n, [&](const std::vector<value_t>& x,
+                              std::vector<value_t>& y) {
+      gb::bit_mxv<Dim, MinIdentityOp>(a, x, y);
+    });
+  });
+}
+
+std::vector<vidx_t> cc_gold(const Csr& a) {
+  std::vector<vidx_t> parent(static_cast<std::size_t>(a.nrows));
+  std::iota(parent.begin(), parent.end(), vidx_t{0});
+
+  const auto find = [&](vidx_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  for (vidx_t u = 0; u < a.nrows; ++u) {
+    for (const vidx_t v : a.row_cols(u)) {
+      const vidx_t ru = find(u);
+      const vidx_t rv = find(v);
+      if (ru != rv) parent[static_cast<std::size_t>(std::max(ru, rv))] =
+          std::min(ru, rv);
+    }
+  }
+  // Normalize to the minimum vertex id of each component.
+  std::vector<vidx_t> comp(static_cast<std::size_t>(a.nrows));
+  for (vidx_t u = 0; u < a.nrows; ++u) {
+    comp[static_cast<std::size_t>(u)] = find(u);
+  }
+  return comp;
+}
+
+}  // namespace bitgb::algo

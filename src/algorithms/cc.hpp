@@ -1,0 +1,34 @@
+// Connected Components — FastSV over the tropical min semiring
+// (paper §V, following GraphBLAST's adoption of the FastSV
+// linear-algebraic CC algorithm of Zhang, Azad & Buluc).
+//
+// Each vertex carries a parent label f; per round:
+//   1. mngf[u]  = min over neighbours v of gf[v]      (mxv, min)
+//   2. stochastic hooking:  f[f[u]] <- min(f[f[u]], mngf[u])
+//   3. aggressive hooking:  f[u]    <- min(f[u], mngf[u])
+//   4. shortcutting:        f[u]    <- min(f[u], f[f[u]])
+//   5. gf = f[f];  repeat until f stops changing.
+//
+// Labels are carried in the float vector the mxv operates on; float
+// holds vertex ids exactly up to 2^24, far above the corpus sizes
+// (enforced by an assert).
+#pragma once
+
+#include "graphblas/graph.hpp"
+
+#include <vector>
+
+namespace bitgb::algo {
+
+struct CcResult {
+  std::vector<vidx_t> component;  ///< min vertex id of each component
+  int iterations = 0;
+};
+
+[[nodiscard]] CcResult connected_components(const gb::Graph& g,
+                                            gb::Backend backend);
+
+/// Union-find gold reference.
+[[nodiscard]] std::vector<vidx_t> cc_gold(const Csr& a);
+
+}  // namespace bitgb::algo

@@ -1,0 +1,124 @@
+#include "algorithms/coloring.hpp"
+
+#include "graphblas/ops.hpp"
+
+#include <algorithm>
+
+namespace bitgb::algo {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Smallest color not used by v's already-colored neighbours — the
+// greedy rule that keeps the palette within max-degree + 1.
+std::int32_t smallest_free_color(const Csr& a,
+                                 const std::vector<std::int32_t>& color,
+                                 vidx_t v, std::vector<std::uint8_t>& used) {
+  const auto cols = a.row_cols(v);
+  if (used.size() < cols.size() + 1) used.resize(cols.size() + 1);
+  std::fill(used.begin(),
+            used.begin() + static_cast<std::ptrdiff_t>(cols.size() + 1), 0);
+  for (const vidx_t u : cols) {
+    const auto cu = color[static_cast<std::size_t>(u)];
+    if (cu >= 0 && cu <= static_cast<std::int32_t>(cols.size())) {
+      used[static_cast<std::size_t>(cu)] = 1;
+    }
+  }
+  std::int32_t c = 0;
+  while (used[static_cast<std::size_t>(c)]) ++c;
+  return c;
+}
+
+template <typename MaxMxvFn>
+ColoringResult jp_loop(const gb::Graph& g, std::uint64_t seed,
+                       MaxMxvFn&& max_mxv) {
+  const vidx_t n = g.num_vertices();
+  ColoringResult res;
+  res.color.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<value_t> prio(static_cast<std::size_t>(n));
+  std::vector<value_t> nbr_max;
+  std::vector<std::uint8_t> used;
+  vidx_t uncolored = n;
+  int round = 0;
+
+  while (uncolored > 0) {
+    ++round;
+    // Uncolored vertices draw fresh priorities; colored ones are -inf.
+    for (vidx_t v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      prio[vi] =
+          res.color[vi] < 0
+              ? static_cast<value_t>(
+                    (mix(seed ^ (static_cast<std::uint64_t>(v) +
+                                 static_cast<std::uint64_t>(round) *
+                                     0x10001ull)) >>
+                     40) +
+                    1)
+              : MaxTimesOp::identity;
+    }
+    max_mxv(prio, nbr_max);
+    // Local maxima of the uncolored subgraph win this round.  A vertex
+    // compares only against *uncolored* neighbours, which is exactly
+    // what the -inf priorities of colored vertices arrange.  Winners of
+    // one round form an independent set (strict comparison; hash ties
+    // resolved by the ascending id order of the assignment loop below,
+    // since an already-assigned smaller neighbour's color is visible to
+    // the larger one), so the greedy rule keeps colors <= maxdeg + 1.
+    for (vidx_t v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (res.color[vi] >= 0) continue;
+      if (prio[vi] > nbr_max[vi] || nbr_max[vi] == MaxTimesOp::identity) {
+        const std::int32_t c =
+            smallest_free_color(g.adjacency(), res.color, v, used);
+        res.color[vi] = c;
+        res.num_colors = std::max(res.num_colors, c + 1);
+        --uncolored;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+ColoringResult greedy_coloring(const gb::Graph& g, gb::Backend backend,
+                               std::uint64_t seed) {
+  if (backend == gb::Backend::kReference) {
+    const Csr& a = g.adjacency();
+    return jp_loop(g, seed,
+                   [&](const std::vector<value_t>& x,
+                       std::vector<value_t>& y) {
+                     gb::ref_mxv<MaxTimesOp>(a, x, y);
+                   });
+  }
+  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+    const auto& a = g.packed().as<Dim>();
+    return jp_loop(g, seed,
+                   [&](const std::vector<value_t>& x,
+                       std::vector<value_t>& y) {
+                     gb::bit_mxv<Dim, MaxTimesOp>(a, x, y);
+                   });
+  });
+}
+
+bool is_valid_coloring(const Csr& a, const std::vector<std::int32_t>& color) {
+  for (vidx_t v = 0; v < a.nrows; ++v) {
+    if (color[static_cast<std::size_t>(v)] < 0) return false;
+    for (const vidx_t u : a.row_cols(v)) {
+      if (color[static_cast<std::size_t>(u)] ==
+          color[static_cast<std::size_t>(v)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace bitgb::algo

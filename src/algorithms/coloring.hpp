@@ -1,0 +1,32 @@
+// Greedy graph coloring via independent-set peeling (paper Table IV's
+// "GC" row: Boolean / max-times semiring domain).
+//
+// Jones–Plassmann style: repeatedly extract a maximal independent set
+// of the still-uncolored subgraph and give it the next color.  Each
+// round reuses the MIS machinery (max-times mxv); uncolored-subgraph
+// restriction is expressed through the candidate mask rather than
+// rebuilding the matrix.
+#pragma once
+
+#include "graphblas/graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bitgb::algo {
+
+struct ColoringResult {
+  std::vector<std::int32_t> color;  ///< 0-based color per vertex
+  int num_colors = 0;
+};
+
+[[nodiscard]] ColoringResult greedy_coloring(const gb::Graph& g,
+                                             gb::Backend backend,
+                                             std::uint64_t seed = 0);
+
+/// True iff no edge connects two vertices of the same color and every
+/// vertex is colored.
+[[nodiscard]] bool is_valid_coloring(const Csr& a,
+                                     const std::vector<std::int32_t>& color);
+
+}  // namespace bitgb::algo

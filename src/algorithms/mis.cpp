@@ -1,0 +1,125 @@
+#include "algorithms/mis.hpp"
+
+#include "graphblas/ops.hpp"
+
+#include <limits>
+
+namespace bitgb::algo {
+
+namespace {
+
+// splitmix64: deterministic per-vertex priority for Luby rounds.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+template <typename MaxMxvFn>
+MisResult luby_loop(const gb::Graph& g, std::uint64_t seed,
+                    MaxMxvFn&& max_mxv) {
+  const vidx_t n = g.num_vertices();
+  MisResult res;
+  res.in_set.assign(static_cast<std::size_t>(n), 0);
+
+  std::vector<std::uint8_t> candidate(static_cast<std::size_t>(n), 1);
+  std::vector<value_t> prio(static_cast<std::size_t>(n));
+  std::vector<value_t> nbr_max;
+  vidx_t remaining = n;
+
+  while (remaining > 0) {
+    ++res.rounds;
+    // Candidates draw priorities; settled vertices are -inf so they
+    // cannot dominate anyone (max-times identity).
+    for (vidx_t v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      prio[vi] = candidate[vi]
+                     ? static_cast<value_t>(
+                           (mix(seed ^ (static_cast<std::uint64_t>(v) +
+                                        res.rounds * 0x10001ull)) >>
+                            40) +
+                           1)
+                     : MaxTimesOp::identity;
+    }
+    // nbr_max[v] = max over neighbours of prio (max-times semiring).
+    max_mxv(prio, nbr_max);
+
+    // Winners: candidates whose priority beats the whole neighbourhood.
+    for (vidx_t v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (!candidate[vi]) continue;
+      if (prio[vi] > nbr_max[vi] ||
+          nbr_max[vi] == MaxTimesOp::identity) {
+        res.in_set[vi] = 1;
+      }
+    }
+    // Adjacent winners can only arise from a priority-hash tie (the
+    // comparison above is strict); resolve deterministically by vertex
+    // id — the ascending scan demotes the larger endpoint, so the kept
+    // winners form an independent set and demoted vertices stay
+    // candidates for later rounds.
+    for (vidx_t v = 0; v < n; ++v) {
+      if (!res.in_set[static_cast<std::size_t>(v)]) continue;
+      for (const vidx_t u : g.adjacency().row_cols(v)) {
+        if (u > v) res.in_set[static_cast<std::size_t>(u)] = 0;
+      }
+    }
+    // Winners and their neighbourhoods leave the candidate pool.
+    for (vidx_t v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (!res.in_set[vi]) continue;
+      if (candidate[vi]) {
+        candidate[vi] = 0;
+        --remaining;
+      }
+      for (const vidx_t u : g.adjacency().row_cols(v)) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (candidate[ui]) {
+          candidate[ui] = 0;
+          --remaining;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+MisResult maximal_independent_set(const gb::Graph& g, gb::Backend backend,
+                                  std::uint64_t seed) {
+  if (backend == gb::Backend::kReference) {
+    const Csr& a = g.adjacency();
+    return luby_loop(g, seed,
+                     [&](const std::vector<value_t>& x,
+                         std::vector<value_t>& y) {
+                       gb::ref_mxv<MaxTimesOp>(a, x, y);
+                     });
+  }
+  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+    const auto& a = g.packed().as<Dim>();
+    return luby_loop(g, seed,
+                     [&](const std::vector<value_t>& x,
+                         std::vector<value_t>& y) {
+                       gb::bit_mxv<Dim, MaxTimesOp>(a, x, y);
+                     });
+  });
+}
+
+bool is_valid_mis(const Csr& a, const std::vector<std::uint8_t>& in_set) {
+  for (vidx_t v = 0; v < a.nrows; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    bool has_set_neighbour = false;
+    for (const vidx_t u : a.row_cols(v)) {
+      if (in_set[static_cast<std::size_t>(u)]) {
+        if (in_set[vi]) return false;  // edge inside the set
+        has_set_neighbour = true;
+      }
+    }
+    if (!in_set[vi] && !has_set_neighbour) return false;  // not maximal
+  }
+  return true;
+}
+
+}  // namespace bitgb::algo

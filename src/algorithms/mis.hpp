@@ -1,0 +1,35 @@
+// Maximal Independent Set — tropical max-times semiring (paper
+// Table IV lists MIS and graph coloring as the max-times / Boolean
+// semiring algorithms Bit-GraphBLAS supports).
+//
+// Luby's algorithm in GraphBLAS form: every candidate vertex draws a
+// deterministic pseudo-random priority; one mxv over the max-times
+// semiring gives each vertex its neighbourhood's maximum priority; a
+// vertex whose own priority beats every neighbour's joins the set, and
+// its neighbourhood (one Boolean mxv) leaves the candidate pool.
+// Expected O(log n) rounds.
+#pragma once
+
+#include "graphblas/graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bitgb::algo {
+
+struct MisResult {
+  std::vector<std::uint8_t> in_set;  ///< 1 if the vertex is in the MIS
+  int rounds = 0;
+};
+
+[[nodiscard]] MisResult maximal_independent_set(const gb::Graph& g,
+                                                gb::Backend backend,
+                                                std::uint64_t seed = 0);
+
+/// Validity check: returns true iff `in_set` is independent (no edge
+/// inside the set) and maximal (every outside vertex has a neighbour
+/// inside).  Used by tests and by the coloring algorithm.
+[[nodiscard]] bool is_valid_mis(const Csr& a,
+                                const std::vector<std::uint8_t>& in_set);
+
+}  // namespace bitgb::algo

@@ -1,0 +1,37 @@
+// PageRank — arithmetic semiring (paper §V).
+//
+// Per iteration the rank vector is multiplied by the column-stochastic
+// adjacency matrix.  The paper keeps the matrix binary and divides each
+// contribution by the source vertex's out-degree through an auxiliary
+// v_out_degree vector; this implementation folds the divide into a
+// pre-scaled vector (x[j] = pr[j] / outdeg[j]) before the mxv — the
+// same arithmetic, one pass earlier.  Dangling vertices redistribute
+// their mass uniformly.  Paper parameters (§VI-A): max 10 iterations,
+// alpha = 0.85, epsilon = 1e-9.
+#pragma once
+
+#include "graphblas/graph.hpp"
+
+#include <vector>
+
+namespace bitgb::algo {
+
+struct PageRankOptions {
+  int max_iterations = 10;   ///< paper §VI-A
+  value_t alpha = 0.85f;     ///< paper §VI-A
+  double epsilon = 1e-9;     ///< paper §VI-A ("pdfilon")
+};
+
+struct PageRankResult {
+  std::vector<value_t> rank;
+  int iterations = 0;
+};
+
+[[nodiscard]] PageRankResult pagerank(const gb::Graph& g, gb::Backend backend,
+                                      const PageRankOptions& opts = {});
+
+/// Serial gold reference: identical formula, no framework machinery.
+[[nodiscard]] std::vector<value_t> pagerank_gold(
+    const Csr& a, const PageRankOptions& opts = {});
+
+}  // namespace bitgb::algo

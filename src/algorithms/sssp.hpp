@@ -1,0 +1,27 @@
+// Single-Source Shortest Path — tropical min-plus semiring (paper §V).
+//
+// GraphBLAS Bellman-Ford: per iteration the distance vector is relaxed
+// through bmv_bin_full_full<MinPlus> — 0s of the adjacency matrix act
+// as +infinity (unreachable), set bits contribute dist[j] + 1 (unit
+// weights: the homogeneous graphs the paper targets carry no weights).
+// Iteration stops when no distance improves (at most |V|-1 rounds).
+#pragma once
+
+#include "graphblas/graph.hpp"
+
+#include <vector>
+
+namespace bitgb::algo {
+
+struct SsspResult {
+  std::vector<value_t> dist;  ///< +inf where unreachable
+  int iterations = 0;
+};
+
+[[nodiscard]] SsspResult sssp(const gb::Graph& g, vidx_t source,
+                              gb::Backend backend);
+
+/// Serial Bellman-Ford gold reference over unit weights.
+[[nodiscard]] std::vector<value_t> sssp_gold(const Csr& a, vidx_t source);
+
+}  // namespace bitgb::algo

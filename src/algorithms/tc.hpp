@@ -1,0 +1,24 @@
+// Triangle Counting — arithmetic semiring, masked SpGEMM (paper §V,
+// following Azad–Buluc and Wolf: count = sum((L * L^T) .* L) with L the
+// strict lower triangle of the adjacency matrix).
+//
+// The bit backend fuses the reduction into the masked BMM
+// (bmm_bin_bin_sum_masked — "we fuse the reduction sum kernel with
+// mxm() and directly perform atomicAdd to [the] global sum", §V); the
+// reference backend is the GraphBLAST-style masked dot-product SpGEMM
+// over float CSR.
+#pragma once
+
+#include "graphblas/graph.hpp"
+
+#include <cstdint>
+
+namespace bitgb::algo {
+
+[[nodiscard]] std::int64_t triangle_count(const gb::Graph& g,
+                                          gb::Backend backend);
+
+/// Sorted-adjacency-intersection gold reference.
+[[nodiscard]] std::int64_t tc_gold(const Csr& a);
+
+}  // namespace bitgb::algo

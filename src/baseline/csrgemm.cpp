@@ -1,0 +1,135 @@
+#include "baseline/csrgemm.hpp"
+
+#include "platform/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace bitgb::baseline {
+
+namespace {
+
+// Per-thread sparse accumulator (Gustavson SPA) with a generation marker
+// so it is cleared in O(touched) instead of O(ncols) per row.
+struct Spa {
+  std::vector<value_t> acc;
+  std::vector<int> mark;
+  std::vector<vidx_t> touched;
+  int gen = 0;
+
+  void ensure(vidx_t ncols) {
+    if (acc.size() < static_cast<std::size_t>(ncols)) {
+      acc.assign(static_cast<std::size_t>(ncols), 0.0f);
+      mark.assign(static_cast<std::size_t>(ncols), -1);
+    }
+  }
+};
+
+thread_local Spa tls_spa;
+
+}  // namespace
+
+Csr csrgemm(const Csr& a, const Csr& b) {
+  assert(a.ncols == b.nrows);
+  const bool aw = !a.val.empty();
+  const bool bw = !b.val.empty();
+
+  std::vector<std::vector<std::pair<vidx_t, value_t>>> rows(
+      static_cast<std::size_t>(a.nrows));
+
+  parallel_for(vidx_t{0}, a.nrows, [&](vidx_t r) {
+    Spa& spa = tls_spa;
+    spa.ensure(b.ncols);
+    const int g = ++spa.gen;
+    spa.touched.clear();
+
+    const auto alo = a.rowptr[static_cast<std::size_t>(r)];
+    const auto ahi = a.rowptr[static_cast<std::size_t>(r) + 1];
+    for (vidx_t ka = alo; ka < ahi; ++ka) {
+      const auto ia = static_cast<std::size_t>(ka);
+      const vidx_t j = a.colind[ia];
+      const value_t av = aw ? a.val[ia] : 1.0f;
+      const auto blo = b.rowptr[static_cast<std::size_t>(j)];
+      const auto bhi = b.rowptr[static_cast<std::size_t>(j) + 1];
+      for (vidx_t kb = blo; kb < bhi; ++kb) {
+        const auto ib = static_cast<std::size_t>(kb);
+        const vidx_t c = b.colind[ib];
+        const value_t bv = bw ? b.val[ib] : 1.0f;
+        const auto ci = static_cast<std::size_t>(c);
+        if (spa.mark[ci] != g) {
+          spa.mark[ci] = g;
+          spa.acc[ci] = 0.0f;
+          spa.touched.push_back(c);
+        }
+        spa.acc[ci] += av * bv;
+      }
+    }
+    std::sort(spa.touched.begin(), spa.touched.end());
+    auto& out = rows[static_cast<std::size_t>(r)];
+    out.reserve(spa.touched.size());
+    for (const vidx_t c : spa.touched) {
+      out.emplace_back(c, spa.acc[static_cast<std::size_t>(c)]);
+    }
+  });
+
+  Csr c;
+  c.nrows = a.nrows;
+  c.ncols = b.ncols;
+  c.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  c.colind.reserve(total);
+  c.val.reserve(total);
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    for (const auto& [col, v] : rows[static_cast<std::size_t>(r)]) {
+      c.colind.push_back(col);
+      c.val.push_back(v);
+    }
+    c.rowptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<vidx_t>(c.colind.size());
+  }
+  return c;
+}
+
+double csrgemm_masked_sum(const Csr& a, const Csr& b, const Csr& mask) {
+  assert(a.ncols == b.ncols);  // dot formulation: C(i,j) = A(i,:) . B(j,:)
+  assert(mask.nrows == a.nrows && mask.ncols == b.nrows);
+  const bool aw = !a.val.empty();
+  const bool bw = !b.val.empty();
+
+  std::vector<double> partial(static_cast<std::size_t>(a.nrows), 0.0);
+  parallel_for(vidx_t{0}, mask.nrows, [&](vidx_t i) {
+    double s = 0.0;
+    const auto mcols = mask.row_cols(i);
+    const auto acols = a.row_cols(i);
+    const auto avals = a.row_vals(i);
+    for (const vidx_t j : mcols) {
+      const auto bcols = b.row_cols(j);
+      const auto bvals = b.row_vals(j);
+      // Sorted-merge dot product of row i of A with row j of B.
+      std::size_t p = 0;
+      std::size_t q = 0;
+      while (p < acols.size() && q < bcols.size()) {
+        if (acols[p] < bcols[q]) {
+          ++p;
+        } else if (bcols[q] < acols[p]) {
+          ++q;
+        } else {
+          const value_t av = aw ? avals[p] : 1.0f;
+          const value_t bv = bw ? bvals[q] : 1.0f;
+          s += static_cast<double>(av) * static_cast<double>(bv);
+          ++p;
+          ++q;
+        }
+      }
+    }
+    partial[static_cast<std::size_t>(i)] = s;
+  });
+  double sum = 0.0;
+  for (const double s : partial) sum += s;
+  return sum;
+}
+
+}  // namespace bitgb::baseline

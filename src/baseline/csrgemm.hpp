@@ -1,0 +1,22 @@
+// Full-precision CSR SpGEMM — the cusparseScsrgemm() substitute.
+//
+// C = A * B with float values (binary inputs treated as all-ones),
+// computed row-by-row with Gustavson's algorithm and a sparse
+// accumulator, parallelized over rows.  This is the baseline for the
+// Figure 6d/7d BMM comparison and for the GraphBLAST-style TC baseline.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace bitgb::baseline {
+
+/// C = A * B (plus-times).  Requires a.ncols == b.nrows.
+[[nodiscard]] Csr csrgemm(const Csr& a, const Csr& b);
+
+/// Masked sum: sum over entries (i,j) in mask of (A*B)(i,j) — the
+/// GraphBLAST-style triangle-counting reduction sum(L .* (L*L^T)).
+/// `b` is accessed row-wise; pass B = L^T for the TC use.
+[[nodiscard]] double csrgemm_masked_sum(const Csr& a, const Csr& b,
+                                        const Csr& mask);
+
+}  // namespace bitgb::baseline

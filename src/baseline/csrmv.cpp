@@ -1,0 +1,46 @@
+#include "baseline/csrmv.hpp"
+
+#include "platform/parallel.hpp"
+
+#include <cassert>
+
+namespace bitgb::baseline {
+
+void csrmv(const Csr& a, const std::vector<value_t>& x,
+           std::vector<value_t>& y) {
+  assert(static_cast<vidx_t>(x.size()) == a.ncols);
+  y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
+  const bool weighted = !a.val.empty();
+  parallel_for(vidx_t{0}, a.nrows, [&](vidx_t r) {
+    const auto lo = a.rowptr[static_cast<std::size_t>(r)];
+    const auto hi = a.rowptr[static_cast<std::size_t>(r) + 1];
+    value_t acc = 0.0f;
+    for (vidx_t k = lo; k < hi; ++k) {
+      const auto i = static_cast<std::size_t>(k);
+      const value_t av = weighted ? a.val[i] : 1.0f;
+      acc += av * x[static_cast<std::size_t>(a.colind[i])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  });
+}
+
+void csrmv_axpby(const Csr& a, value_t alpha, const std::vector<value_t>& x,
+                 value_t beta, std::vector<value_t>& y) {
+  assert(static_cast<vidx_t>(x.size()) == a.ncols);
+  assert(static_cast<vidx_t>(y.size()) == a.nrows);
+  const bool weighted = !a.val.empty();
+  parallel_for(vidx_t{0}, a.nrows, [&](vidx_t r) {
+    const auto lo = a.rowptr[static_cast<std::size_t>(r)];
+    const auto hi = a.rowptr[static_cast<std::size_t>(r) + 1];
+    value_t acc = 0.0f;
+    for (vidx_t k = lo; k < hi; ++k) {
+      const auto i = static_cast<std::size_t>(k);
+      const value_t av = weighted ? a.val[i] : 1.0f;
+      acc += av * x[static_cast<std::size_t>(a.colind[i])];
+    }
+    auto& dst = y[static_cast<std::size_t>(r)];
+    dst = alpha * acc + beta * dst;
+  });
+}
+
+}  // namespace bitgb::baseline

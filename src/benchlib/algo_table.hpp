@@ -1,0 +1,32 @@
+// Algorithm-table driver — Tables VII, VIII (BFS/SSSP/PR/CC) and IX
+// (TC): per named-matrix analog, the algorithm and in-kernel latency of
+// the GraphBLAST-substitute baseline vs the B2SR bit backend, averaged
+// over the paper's 5-run protocol.
+#pragma once
+
+#include "benchlib/corpus.hpp"
+#include "benchlib/reporting.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bitgb::bench {
+
+enum class TableAlgo { kBfs, kSssp, kPr, kCc, kTc };
+
+[[nodiscard]] const char* algo_name(TableAlgo a);
+
+/// Measure one algorithm over the given matrices under the currently
+/// active device profile.  Format conversion / transposes are warmed
+/// outside the timed region (the paper amortizes the one-time
+/// conversion, §III-B, and its tables report algorithm time only).
+[[nodiscard]] std::vector<AlgoRow> run_algo_table(
+    const std::vector<CorpusEntry>& matrices, TableAlgo algo);
+
+/// Run & print the full SpMV-algorithm table (BFS, SSSP, PR, CC) —
+/// one block per algorithm, the paper's Table VII/VIII content.
+void print_spmv_algorithm_table(std::ostream& os, const std::string& title,
+                                const std::vector<CorpusEntry>& matrices);
+
+}  // namespace bitgb::bench

@@ -1,0 +1,232 @@
+#include "benchlib/corpus.hpp"
+
+#include "sparse/convert.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace bitgb::bench {
+
+namespace {
+
+// Table V percentages, normalized (they overlap in the paper because
+// hybrids count toward several categories; the normalized mix keeps the
+// same relative weights).
+struct CategoryShare {
+  Pattern p;
+  double share;
+};
+constexpr CategoryShare kShares[] = {
+    {Pattern::kDot, 36.66},   {Pattern::kDiagonal, 45.87},
+    {Pattern::kBlock, 24.95}, {Pattern::kStripe, 13.05},
+    {Pattern::kRoad, 5.18},   {Pattern::kHybrid, 25.72},
+};
+
+double total_share() {
+  double t = 0.0;
+  for (const auto& s : kShares) t += s.share;
+  return t;
+}
+
+struct ScaleParams {
+  int count;
+  vidx_t min_n;
+  vidx_t max_n;
+};
+
+ScaleParams scale_params(CorpusScale scale) {
+  switch (scale) {
+    case CorpusScale::kSmoke: return {24, 32, 256};
+    case CorpusScale::kTimed: return {64, 256, 4096};
+    case CorpusScale::kFull: return {521, 64, 8192};
+  }
+  return {24, 32, 256};
+}
+
+CorpusEntry make_named(std::string name, Pattern cat, Coo edges) {
+  CorpusEntry e;
+  e.name = std::move(name);
+  e.category = cat;
+  e.matrix = coo_to_csr(pattern_of(edges));
+  return e;
+}
+
+}  // namespace
+
+int corpus_size(CorpusScale scale) { return scale_params(scale).count; }
+
+std::vector<CorpusEntry> full_corpus(CorpusScale scale) {
+  const ScaleParams sp = scale_params(scale);
+  std::vector<CorpusEntry> out;
+  out.reserve(static_cast<std::size_t>(sp.count));
+
+  const double norm = total_share();
+  std::mt19937_64 rng(0xC0FFEE);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+
+  int made = 0;
+  for (std::size_t ci = 0; ci < std::size(kShares); ++ci) {
+    const auto& cs = kShares[ci];
+    int quota = static_cast<int>(
+        std::lround(cs.share / norm * static_cast<double>(sp.count)));
+    if (ci + 1 == std::size(kShares)) quota = sp.count - made;  // exact total
+    for (int i = 0; i < quota; ++i) {
+      // Log-uniform size and density, the axes the paper sweeps.
+      const double ln = std::log(static_cast<double>(sp.min_n)) +
+                        u(rng) * (std::log(static_cast<double>(sp.max_n)) -
+                                  std::log(static_cast<double>(sp.min_n)));
+      const auto n = static_cast<vidx_t>(std::lround(std::exp(ln)));
+      const double log_density = -4.5 + u(rng) * 3.5;  // 1e-4.5 .. 1e-1
+      const double density = std::pow(10.0, log_density);
+
+      CorpusEntry e;
+      e.category = cs.p;
+      e.name = std::string(pattern_name(cs.p)) + "_" + std::to_string(made);
+      e.matrix = coo_to_csr(
+          gen_pattern(cs.p, n, density, 0x9E3779B9u + static_cast<std::uint64_t>(made)));
+      out.push_back(std::move(e));
+      ++made;
+    }
+  }
+  return out;
+}
+
+CorpusEntry named_matrix(const std::string& name) {
+  // Structural families, sizes scaled to laptop class where the
+  // original is large; EXPERIMENTS.md records original -> analog.
+  // Categories are the paper's §VI-E assignment: delaunay_n14/se/debr
+  // stripe; Erdos02/mycielskian*/EX3/net25 block; the rest diagonal.
+  if (name == "delaunay_n14") {
+    return make_named(name, Pattern::kStripe, gen_stripe(4096, 3, 0.75, 1));
+  }
+  if (name == "se") {
+    return make_named(name, Pattern::kStripe, gen_stripe(2048, 2, 0.8, 2));
+  }
+  if (name == "debr") {
+    return make_named(name, Pattern::kStripe, gen_stripe(4096, 6, 0.7, 3));
+  }
+  if (name == "ash292") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(292, 12, 0.35, 4));
+  }
+  if (name == "netz4504_dual") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(1174, 6, 0.5, 5));
+  }
+  if (name == "minnesota") {
+    return make_named(name, Pattern::kDiagonal, gen_road(51, 52, 0.01, 6));
+  }
+  if (name == "jagmesh6") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(1377, 8, 0.45, 7));
+  }
+  if (name == "uk") {
+    return make_named(name, Pattern::kDiagonal,
+                      gen_chain_of_cliques(512, 8, 8));
+  }
+  if (name == "whitaker3_dual") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(8192, 6, 0.5, 9));
+  }
+  if (name == "rajat07") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(4770, 4, 0.6, 10));
+  }
+  if (name == "3dtube") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(4096, 48, 0.5, 11));
+  }
+  if (name == "Erdos02") {
+    return make_named(name, Pattern::kBlock, gen_rmat(13, 50000, 12));
+  }
+  if (name == "mycielskian9") {
+    return make_named(name, Pattern::kBlock, gen_mycielskian(9));
+  }
+  if (name == "mycielskian10") {
+    return make_named(name, Pattern::kBlock, gen_mycielskian(10));
+  }
+  if (name == "mycielskian12") {
+    return make_named(name, Pattern::kBlock, gen_mycielskian(12));
+  }
+  if (name == "mycielskian13") {
+    return make_named(name, Pattern::kBlock, gen_mycielskian(13));
+  }
+  if (name == "EX3") {
+    return make_named(name, Pattern::kBlock,
+                      gen_block(1821, 64, 24, 0.4, 13, true));
+  }
+  if (name == "net25") {
+    return make_named(name, Pattern::kBlock,
+                      gen_block(4096, 96, 20, 0.35, 14, true));
+  }
+  if (name == "sstmodel") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(3345, 10, 0.4, 15));
+  }
+  if (name == "jagmesh2") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(1009, 8, 0.45, 16));
+  }
+  if (name == "lock2232") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(2232, 14, 0.4, 17));
+  }
+  if (name == "ramage02") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(1476, 60, 0.5, 18));
+  }
+  if (name == "s4dkt3m2") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(4096, 18, 0.45, 19));
+  }
+  if (name == "opt1") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(3846, 40, 0.4, 20));
+  }
+  if (name == "trdheim") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(4096, 30, 0.5, 21));
+  }
+  if (name == "vsp_c-60_data_cti_cs4") {
+    return make_named(name, Pattern::kHybrid, gen_hybrid(6000, 22));
+  }
+  // Figure 3's five curves.
+  if (name == "G47") {
+    return make_named(name, Pattern::kDot,
+                      gen_random(1000, 20000, 23));
+  }
+  if (name == "sphere3") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(258, 10, 0.6, 24));
+  }
+  if (name == "cage") {
+    return make_named(name, Pattern::kDiagonal, gen_banded(366, 5, 0.7, 25));
+  }
+  if (name == "will199") {
+    return make_named(name, Pattern::kStripe, gen_stripe(199, 3, 0.7, 26));
+  }
+  if (name == "email-Eu-core") {
+    return make_named(name, Pattern::kDot, gen_rmat(10, 25000, 27));
+  }
+  throw std::out_of_range("unknown named matrix: " + name);
+}
+
+std::vector<CorpusEntry> table7_matrices() {
+  std::vector<CorpusEntry> out;
+  for (const char* name :
+       {"delaunay_n14", "se", "debr", "ash292", "netz4504_dual", "minnesota",
+        "jagmesh6", "uk", "whitaker3_dual", "rajat07", "3dtube", "Erdos02",
+        "mycielskian9", "EX3", "net25", "mycielskian10"}) {
+    out.push_back(named_matrix(name));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> table9_matrices() {
+  std::vector<CorpusEntry> out;
+  for (const char* name :
+       {"delaunay_n14", "se", "debr", "sstmodel", "jagmesh2", "lock2232",
+        "ramage02", "s4dkt3m2", "opt1", "trdheim", "3dtube", "mycielskian12",
+        "Erdos02", "mycielskian9", "mycielskian13", "vsp_c-60_data_cti_cs4"}) {
+    out.push_back(named_matrix(name));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> figure3_matrices() {
+  std::vector<CorpusEntry> out;
+  for (const char* name :
+       {"G47", "sphere3", "cage", "will199", "email-Eu-core"}) {
+    out.push_back(named_matrix(name));
+  }
+  return out;
+}
+
+}  // namespace bitgb::bench

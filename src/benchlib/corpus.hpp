@@ -1,0 +1,62 @@
+// Evaluation corpus — the SuiteSparse-dataset substitute.
+//
+// Two corpora back the reproduction:
+//
+// 1. full_corpus(): 521 synthetic binary square matrices distributed
+//    across the paper's six Table-V pattern categories in the paper's
+//    own proportions (normalized from Table V's overlapping percentages:
+//    dot 36.66, diagonal 45.87, block 24.95, stripe 13.05, road 5.18,
+//    hybrid 25.72), with log-uniform sizes and densities.  This stands
+//    in for "all 521 binary square matrices in the SuiteSparse Matrix
+//    Collection" (§VI-A) in Figure 5 and the Figure 6/7 sweeps.
+//
+// 2. named_corpus(): structural analogs of every matrix named in
+//    Tables VII, VIII and IX, built from the same structural family the
+//    real matrix belongs to (mycielskianN by the actual Mycielski
+//    construction; meshes as bands; road networks as grids; power-law
+//    graphs as RMAT), each tagged with the paper's pattern category for
+//    that matrix.  Sizes are scaled to laptop class; EXPERIMENTS.md
+//    records the mapping.
+//
+// Corpus generation is deterministic (fixed seeds).
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bitgb::bench {
+
+struct CorpusEntry {
+  std::string name;
+  Pattern category = Pattern::kDot;
+  Csr matrix;  ///< binary square
+};
+
+/// How large a corpus to build.  kSmoke keeps unit tests fast; kFull is
+/// the 521-matrix evaluation corpus; kTimed is the subsample used for
+/// the kernel-timing sweeps (Figures 6/7), sized to finish in seconds.
+enum class CorpusScale { kSmoke, kTimed, kFull };
+
+/// Number of matrices per scale (kFull == 521, as the paper).
+[[nodiscard]] int corpus_size(CorpusScale scale);
+
+/// The synthetic pattern corpus.
+[[nodiscard]] std::vector<CorpusEntry> full_corpus(CorpusScale scale);
+
+/// Named analogs of the matrices in Tables VII/VIII (SpMV algorithms).
+[[nodiscard]] std::vector<CorpusEntry> table7_matrices();
+
+/// Named analogs of the matrices in Table IX (triangle counting).
+[[nodiscard]] std::vector<CorpusEntry> table9_matrices();
+
+/// The five matrices of Figure 3 (tile-size trend curves).
+[[nodiscard]] std::vector<CorpusEntry> figure3_matrices();
+
+/// One named analog by name (throws std::out_of_range if unknown);
+/// names are the paper's (e.g. "mycielskian9", "ash292").
+[[nodiscard]] CorpusEntry named_matrix(const std::string& name);
+
+}  // namespace bitgb::bench

@@ -1,0 +1,117 @@
+#include "benchlib/reporting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+namespace bitgb::bench {
+
+int density_bucket(double density) {
+  if (density <= 0.0) return -7;
+  const int b = static_cast<int>(std::floor(std::log10(density)));
+  return std::clamp(b, -7, -1);
+}
+
+std::string bucket_label(int bucket) {
+  return "E" + std::to_string(bucket);
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+void print_sweep_figure(std::ostream& os, const std::string& title,
+                        const std::vector<SweepPoint>& points) {
+  os << "== " << title << " ==\n";
+  os << "geomean speedup over baseline, by nnz-density decade\n";
+  os << std::left << std::setw(10) << "tile";
+  for (int b = -7; b <= -1; ++b) {
+    os << std::right << std::setw(9) << bucket_label(b);
+  }
+  os << std::right << std::setw(9) << "avg" << std::setw(10) << "max"
+     << "  max@matrix\n";
+
+  for (const int dim : {4, 8, 16, 32}) {
+    std::map<int, std::vector<double>> buckets;
+    std::vector<double> all;
+    double max_speedup = 0.0;
+    std::string max_matrix;
+    for (const auto& p : points) {
+      if (p.tile_dim != dim || p.speedup <= 0.0) continue;
+      buckets[density_bucket(p.density)].push_back(p.speedup);
+      all.push_back(p.speedup);
+      if (p.speedup > max_speedup) {
+        max_speedup = p.speedup;
+        max_matrix = p.matrix;
+      }
+    }
+    os << std::left << std::setw(10)
+       << (std::to_string(dim) + "x" + std::to_string(dim));
+    for (int b = -7; b <= -1; ++b) {
+      const auto it = buckets.find(b);
+      if (it == buckets.end()) {
+        os << std::right << std::setw(9) << "-";
+      } else {
+        os << std::right << std::setw(9) << std::fixed
+           << std::setprecision(2) << geomean(it->second);
+      }
+    }
+    os << std::right << std::setw(9) << std::fixed << std::setprecision(2)
+       << geomean(all) << std::setw(9) << std::setprecision(1)
+       << max_speedup << "x  " << max_matrix << "\n";
+  }
+  os << "\n";
+}
+
+void write_sweep_csv(const std::string& path,
+                     const std::vector<SweepPoint>& points) {
+  std::ofstream f(path);
+  if (!f) return;  // CSV is best-effort; the printed figure is canonical
+  f << "matrix,density,tile_dim,speedup\n";
+  for (const auto& p : points) {
+    f << p.matrix << ',' << p.density << ',' << p.tile_dim << ','
+      << p.speedup << '\n';
+  }
+}
+
+std::string speedup_str(double baseline, double ours) {
+  if (ours <= 0.0) return "-";
+  const double s = baseline / ours;
+  std::ostringstream ss;
+  if (s >= 10.0) {
+    ss << static_cast<long long>(std::llround(s)) << "x";
+  } else {
+    ss << std::fixed << std::setprecision(1) << s << "x";
+  }
+  return ss.str();
+}
+
+void print_algo_table(std::ostream& os, const std::string& title,
+                      const std::string& algo_name,
+                      const std::vector<AlgoRow>& rows) {
+  os << "== " << title << " : " << algo_name << " ==\n";
+  os << std::left << std::setw(24) << "matrix" << std::setw(10) << "level"
+     << std::right << std::setw(12) << "GBlst(ms)" << std::setw(12)
+     << "Ours(ms)" << std::setw(10) << "Speedup" << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(24) << r.matrix << std::setw(10)
+       << "algorithm" << std::right << std::setw(12) << std::fixed
+       << std::setprecision(3) << r.baseline_algo_ms << std::setw(12)
+       << r.ours_algo_ms << std::setw(10)
+       << speedup_str(r.baseline_algo_ms, r.ours_algo_ms) << "\n";
+    os << std::left << std::setw(24) << "" << std::setw(10) << "kernel"
+       << std::right << std::setw(12) << std::fixed << std::setprecision(3)
+       << r.baseline_kernel_ms << std::setw(12) << r.ours_kernel_ms
+       << std::setw(10)
+       << speedup_str(r.baseline_kernel_ms, r.ours_kernel_ms) << "\n";
+  }
+  os << "\n";
+}
+
+}  // namespace bitgb::bench

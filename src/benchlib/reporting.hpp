@@ -1,0 +1,61 @@
+// Table / figure rendering for the benchmark binaries.
+//
+// Figures are printed as density-bucketed geometric-mean speedup series
+// (the same series the paper's log-log scatter plots show) plus an
+// optional CSV dump for external plotting; tables are printed with
+// aligned columns in the paper's row layout.
+#pragma once
+
+#include "sparse/types.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bitgb::bench {
+
+/// One measured point of a kernel sweep (Figures 6/7).
+struct SweepPoint {
+  std::string matrix;
+  double density = 0.0;   ///< nnz / n^2 (the x axis)
+  int tile_dim = 0;       ///< 4/8/16/32 (the series)
+  double speedup = 0.0;   ///< ours vs baseline (the y axis)
+};
+
+/// Density decade buckets E-07 .. E-01 as in the figures' x axis.
+[[nodiscard]] int density_bucket(double density);
+[[nodiscard]] std::string bucket_label(int bucket);
+
+/// Print one figure panel: per tile-dim series of geomean speedup per
+/// density bucket, plus overall average and max speedup per dim (the
+/// numbers quoted in §VI-D).
+void print_sweep_figure(std::ostream& os, const std::string& title,
+                        const std::vector<SweepPoint>& points);
+
+/// Write the raw points as CSV (matrix,density,tile_dim,speedup).
+void write_sweep_csv(const std::string& path,
+                     const std::vector<SweepPoint>& points);
+
+/// Geometric mean (returns 0 for empty input).
+[[nodiscard]] double geomean(const std::vector<double>& xs);
+
+/// One row of the algorithm tables (VII/VIII): baseline & ours, ms.
+struct AlgoRow {
+  std::string matrix;
+  double baseline_algo_ms = 0.0;
+  double ours_algo_ms = 0.0;
+  double baseline_kernel_ms = 0.0;
+  double ours_kernel_ms = 0.0;
+};
+
+/// Print an algorithm table block: for each matrix, the
+/// algorithm/kernel latency pair and the speedup column, in the paper's
+/// "GBlst | Ours | Speedup" layout.
+void print_algo_table(std::ostream& os, const std::string& title,
+                      const std::string& algo_name,
+                      const std::vector<AlgoRow>& rows);
+
+/// Format "12.3x" style speedup.
+[[nodiscard]] std::string speedup_str(double baseline, double ours);
+
+}  // namespace bitgb::bench

@@ -1,0 +1,136 @@
+#include "core/bit_spgemm.hpp"
+
+#include "platform/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace bitgb {
+
+namespace {
+
+// Per-thread tile accumulator (SPA over tile columns) with generation
+// marking, mirroring the float SpGEMM baseline's accumulator.
+template <int Dim>
+struct TileSpa {
+  using word_t = typename TileTraits<Dim>::word_t;
+  std::vector<word_t> acc;      // n_tile_cols * Dim words
+  std::vector<int> mark;        // generation per tile col
+  std::vector<vidx_t> touched;  // tile cols hit this row
+  int gen = 0;
+
+  void ensure(vidx_t ntc) {
+    if (mark.size() < static_cast<std::size_t>(ntc)) {
+      mark.assign(static_cast<std::size_t>(ntc), -1);
+      acc.assign(static_cast<std::size_t>(ntc) * Dim, word_t{0});
+    }
+  }
+};
+
+template <int Dim>
+TileSpa<Dim>& tls_tile_spa() {
+  thread_local TileSpa<Dim> spa;
+  return spa;
+}
+
+}  // namespace
+
+template <int Dim>
+B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  assert(a.ncols == b.nrows);
+
+  const vidx_t ntr = a.n_tile_rows();
+  const vidx_t ntc = b.n_tile_cols();
+
+  struct RowResult {
+    std::vector<vidx_t> cols;
+    std::vector<word_t> words;  // cols.size() * Dim
+  };
+  std::vector<RowResult> rows(static_cast<std::size_t>(ntr));
+
+  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+    auto& spa = tls_tile_spa<Dim>();
+    spa.ensure(ntc);
+    const int g = ++spa.gen;
+    spa.touched.clear();
+
+    const auto alo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto ahi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    for (vidx_t ta = alo; ta < ahi; ++ta) {
+      const vidx_t k = a.tile_colind[static_cast<std::size_t>(ta)];
+      const auto awords = a.tile(ta);
+      const auto blo = b.tile_rowptr[static_cast<std::size_t>(k)];
+      const auto bhi = b.tile_rowptr[static_cast<std::size_t>(k) + 1];
+      for (vidx_t tb = blo; tb < bhi; ++tb) {
+        const vidx_t j = b.tile_colind[static_cast<std::size_t>(tb)];
+        const auto bwords = b.tile(tb);
+        const auto ji = static_cast<std::size_t>(j);
+        if (spa.mark[ji] != g) {
+          spa.mark[ji] = g;
+          std::fill_n(spa.acc.begin() + static_cast<std::ptrdiff_t>(ji) * Dim,
+                      Dim, word_t{0});
+          spa.touched.push_back(j);
+        }
+        word_t* cacc = spa.acc.data() + ji * Dim;
+        for (int r = 0; r < Dim; ++r) {
+          const word_t arow = awords[static_cast<std::size_t>(r)];
+          if (arow == 0) continue;
+          word_t crow = cacc[r];
+          for_each_set_bit(arow, [&](int t) {
+            crow = static_cast<word_t>(crow |
+                                       bwords[static_cast<std::size_t>(t)]);
+          });
+          cacc[r] = crow;
+        }
+      }
+    }
+
+    std::sort(spa.touched.begin(), spa.touched.end());
+    auto& out = rows[static_cast<std::size_t>(tr)];
+    for (const vidx_t j : spa.touched) {
+      const word_t* cacc = spa.acc.data() + static_cast<std::size_t>(j) * Dim;
+      bool any = false;
+      for (int r = 0; r < Dim; ++r) any = any || (cacc[r] != 0);
+      if (!any) continue;  // all products annihilated
+      out.cols.push_back(j);
+      out.words.insert(out.words.end(), cacc, cacc + Dim);
+    }
+  });
+
+  B2srT<Dim> c;
+  c.nrows = a.nrows;
+  c.ncols = b.ncols;
+  c.tile_rowptr.assign(static_cast<std::size_t>(ntr) + 1, 0);
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.cols.size();
+  c.tile_colind.reserve(total);
+  c.bits.reserve(total * Dim);
+  for (vidx_t tr = 0; tr < ntr; ++tr) {
+    const auto& row = rows[static_cast<std::size_t>(tr)];
+    c.tile_colind.insert(c.tile_colind.end(), row.cols.begin(),
+                         row.cols.end());
+    c.bits.insert(c.bits.end(), row.words.begin(), row.words.end());
+    c.tile_rowptr[static_cast<std::size_t>(tr) + 1] =
+        static_cast<vidx_t>(c.tile_colind.size());
+  }
+  return c;
+}
+
+B2srAny bit_spgemm_any(const B2srAny& a, const B2srAny& b) {
+  if (a.tile_dim() != b.tile_dim()) {
+    throw std::invalid_argument("bit_spgemm_any: mismatched tile dims");
+  }
+  return dispatch_tile_dim(a.tile_dim(), [&]<int Dim>() {
+    return B2srAny(bit_spgemm(a.as<Dim>(), b.as<Dim>()));
+  });
+}
+
+template B2srT<4> bit_spgemm<4>(const B2srT<4>&, const B2srT<4>&);
+template B2srT<8> bit_spgemm<8>(const B2srT<8>&, const B2srT<8>&);
+template B2srT<16> bit_spgemm<16>(const B2srT<16>&, const B2srT<16>&);
+template B2srT<32> bit_spgemm<32>(const B2srT<32>&, const B2srT<32>&);
+
+}  // namespace bitgb

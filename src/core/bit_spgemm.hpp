@@ -1,0 +1,22 @@
+// General bit SpGEMM: C = A (.) B over the Boolean semiring, with the
+// result materialized in B2SR.
+//
+// This extends the paper's sum-only BMM (§IV) to a full matrix product,
+// which multi-hop reachability / transitive-closure style algorithms
+// need.  The tile-level inner step is the Boolean bit-matrix product
+//   Crow_r |= OR_{t set in Arow_r} Brow_t
+// computed entirely with word ops; the upper level is Gustavson's
+// row-merge over the tile index, parallel over tile rows.
+#pragma once
+
+#include "core/b2sr.hpp"
+
+namespace bitgb {
+
+template <int Dim>
+[[nodiscard]] B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b);
+
+/// Runtime-dim dispatch (both operands must hold the same tile dim).
+[[nodiscard]] B2srAny bit_spgemm_any(const B2srAny& a, const B2srAny& b);
+
+}  // namespace bitgb

@@ -1,0 +1,88 @@
+#include "core/bitplane.hpp"
+
+#include "core/bmv.hpp"
+#include "core/pack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bitgb {
+
+namespace {
+
+// Round a float weight to the clamped integer the decomposition stores.
+std::uint32_t quantize(value_t v, int bit_width) {
+  const auto max_w = (std::uint32_t{1} << bit_width) - 1;
+  const auto r = static_cast<std::int64_t>(std::lround(v));
+  if (r <= 0) return 0;
+  return std::min<std::uint32_t>(static_cast<std::uint32_t>(r), max_w);
+}
+
+}  // namespace
+
+int required_bit_width(const Csr& a) {
+  std::int64_t max_w = 1;
+  for (const value_t v : a.val) {
+    max_w = std::max<std::int64_t>(max_w, std::lround(v));
+  }
+  int w = 1;
+  while ((std::int64_t{1} << w) <= max_w) ++w;
+  return w;
+}
+
+template <int Dim>
+BitPlaneMatrix<Dim> decompose_bitplanes(const Csr& a, int bit_width) {
+  BitPlaneMatrix<Dim> out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.bit_width = bit_width;
+
+  for (int p = 0; p < bit_width; ++p) {
+    // Build plane p's pattern: edges whose quantized weight has bit p.
+    Csr plane;
+    plane.nrows = a.nrows;
+    plane.ncols = a.ncols;
+    plane.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+    for (vidx_t r = 0; r < a.nrows; ++r) {
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_vals(r);
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        const value_t v = vals.empty() ? 1.0f : vals[i];
+        const std::uint32_t q = quantize(v, bit_width);
+        if ((q >> p) & 1u) plane.colind.push_back(cols[i]);
+      }
+      plane.rowptr[static_cast<std::size_t>(r) + 1] =
+          static_cast<vidx_t>(plane.colind.size());
+    }
+    out.planes.push_back(pack_from_csr<Dim>(plane));
+  }
+  return out;
+}
+
+template <int Dim>
+void bitplane_spmv(const BitPlaneMatrix<Dim>& a,
+                   const std::vector<value_t>& x, std::vector<value_t>& y) {
+  y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
+  std::vector<value_t> plane_y;
+  for (int p = 0; p < a.bit_width; ++p) {
+    bmv_bin_full_full<Dim, PlusTimesOp>(a.planes[static_cast<std::size_t>(p)],
+                                        x, plane_y);
+    const auto scale = static_cast<value_t>(1u << p);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += scale * plane_y[i];
+  }
+}
+
+#define BITGB_INSTANTIATE_BITPLANE(Dim)                                  \
+  template BitPlaneMatrix<Dim> decompose_bitplanes<Dim>(const Csr&, int); \
+  template void bitplane_spmv<Dim>(const BitPlaneMatrix<Dim>&,           \
+                                   const std::vector<value_t>&,          \
+                                   std::vector<value_t>&)
+
+BITGB_INSTANTIATE_BITPLANE(4);
+BITGB_INSTANTIATE_BITPLANE(8);
+BITGB_INSTANTIATE_BITPLANE(16);
+BITGB_INSTANTIATE_BITPLANE(32);
+
+#undef BITGB_INSTANTIATE_BITPLANE
+
+}  // namespace bitgb

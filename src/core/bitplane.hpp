@@ -1,0 +1,54 @@
+// Bit-plane decomposition for short integer weights — the paper's §VII
+// future-work item, implemented as an extension.
+//
+// "As the weights for many heterogeneous graphs can be expressed by
+// integers or fixed-points, ... Bit-GraphBLAS can also be extended to
+// support heterogeneous graphs with short bit-width" — the recipe
+// (borrowed from the quantized-NN decomposition the paper cites) is to
+// split a matrix with b-bit integer weights into b binary matrices
+// (one per bit plane), each stored in B2SR, and compute
+//   A * x = sum_p 2^p * (plane_p * x)
+// with the already-optimized binary kernels.
+#pragma once
+
+#include "core/b2sr.hpp"
+#include "core/packed_vector.hpp"
+#include "sparse/csr.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bitgb {
+
+/// A weighted matrix stored as bit planes of its integer weights.
+template <int Dim>
+struct BitPlaneMatrix {
+  vidx_t nrows = 0;
+  vidx_t ncols = 0;
+  int bit_width = 0;                  ///< planes stored (weights < 2^w)
+  std::vector<B2srT<Dim>> planes;     ///< plane p holds weight bit p
+
+  [[nodiscard]] std::size_t storage_bytes() const {
+    std::size_t s = 0;
+    for (const auto& p : planes) s += p.storage_bytes();
+    return s;
+  }
+};
+
+/// Decompose a CSR with integer weights in [0, 2^bit_width) into planes.
+/// Weights outside the range are clamped; zero weights drop the edge
+/// (consistent with "0 means no edge" of the homogeneous case).
+template <int Dim>
+[[nodiscard]] BitPlaneMatrix<Dim> decompose_bitplanes(const Csr& a,
+                                                      int bit_width);
+
+/// y = A * x over arithmetic (+, x) using the plane decomposition:
+/// bmv_bin_full_full per plane, scaled by 2^p and summed.
+template <int Dim>
+void bitplane_spmv(const BitPlaneMatrix<Dim>& a,
+                   const std::vector<value_t>& x, std::vector<value_t>& y);
+
+/// Smallest bit width that represents every (rounded) weight of `a`.
+[[nodiscard]] int required_bit_width(const Csr& a);
+
+}  // namespace bitgb

@@ -1,0 +1,69 @@
+#include "core/bmm_sim.hpp"
+
+#include "core/pack.hpp"
+#include "platform/warp_sim.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace bitgb::sim {
+
+std::int64_t bmm_bin_bin_sum_sim(const B2sr32& a, const B2sr32& b) {
+  assert(a.ncols == b.nrows);
+  std::int64_t C = 0;  // the single full-precision destination
+
+  std::uint32_t bcol[32];  // column-major view of one B tile
+
+  for (vidx_t bx = 0; bx < a.n_tile_rows(); ++bx) {
+    const vidx_t A_row_start = a.tile_rowptr[static_cast<std::size_t>(bx)];
+    const vidx_t A_row_end = a.tile_rowptr[static_cast<std::size_t>(bx) + 1];
+    if (A_row_start == A_row_end) continue;
+
+    Warp warp;
+    // register int Cm[32] per lane.
+    std::int64_t Cm[kWarpSize][kWarpSize] = {};
+
+    const std::uint32_t* Asub =
+        a.bits.data() + static_cast<std::size_t>(A_row_start) * 32;
+
+    for (vidx_t i = A_row_start; i < A_row_end; ++i) {
+      const vidx_t A_col = a.tile_colind[static_cast<std::size_t>(i)];
+      const vidx_t B_row_start =
+          b.tile_rowptr[static_cast<std::size_t>(A_col)];
+      const vidx_t B_row_end =
+          b.tile_rowptr[static_cast<std::size_t>(A_col) + 1];
+
+      for (vidx_t j = B_row_start; j < B_row_end; ++j) {
+        // The artifact packed B column-major; reconstruct those words.
+        transpose_tile<32>(
+            b.bits.data() + static_cast<std::size_t>(j) * 32, bcol);
+
+        // r1 = Bsub[(j-B_row_start)*32 + laneid] (a bit-column per lane),
+        // then r2 = __shfl_sync(0xFFFFFFFF, r1, k) broadcasts column k.
+        const auto r1 = warp.gather([&](int laneid) {
+          return bcol[static_cast<std::size_t>(laneid)];
+        });
+
+        warp.for_each_lane([&](int laneid) {
+          const std::uint32_t r0 =
+              Asub[static_cast<std::size_t>(i - A_row_start) * 32 +
+                   static_cast<std::size_t>(laneid)];
+          for (int k = 0; k < kWarpSize; ++k) {  // #pragma unroll
+            const std::uint32_t r2 = r1[static_cast<std::size_t>(k)];
+            Cm[laneid][k] += popcount<std::uint32_t>(r0 & r2);
+          }
+        });
+      }
+    }
+
+    // Registers summed, then atomicAdd to the global destination.
+    std::int64_t sum = 0;
+    warp.for_each_lane([&](int laneid) {
+      for (int k = 0; k < kWarpSize; ++k) sum += Cm[laneid][k];
+    });
+    C += sum;
+  }
+  return C;
+}
+
+}  // namespace bitgb::sim

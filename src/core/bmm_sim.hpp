@@ -1,0 +1,29 @@
+// Warp-simulated BMM — paper Listing 2, transcribed.
+//
+// One warp per tile-row of A; the outer loop walks A's tiles (i,k), the
+// inner loop walks B's tile-row k; __shfl_sync broadcasts B's packed
+// words across the lanes so every lane can dot its A bit-row against
+// all 32 of them; the 32 per-lane registers Cm[0..31] avoid the race the
+// paper mentions; their grand total is atomically added to the scalar C.
+//
+// In the artifact, B's tiles are packed column-major (the paper's
+// default packing, Figure 2), so Bsub[j*32 + laneid] is a bit-*column*
+// and popc(r0 & shfl(r1, k)) is a genuine row-by-column product term.
+// This library stores tiles row-major, so the sim loads B's tile through
+// an on-the-fly tile transpose — the same words the artifact would have
+// fetched.  The result equals the counting sum over A*B and the tests
+// assert bit-exact agreement with the portable bmm_bin_bin_sum.
+#pragma once
+
+#include "core/b2sr.hpp"
+
+#include <cstdint>
+
+namespace bitgb::sim {
+
+/// Listing 2: sum over the counting product A*B, warp program per
+/// tile-row (B2SR-32).
+[[nodiscard]] std::int64_t bmm_bin_bin_sum_sim(const B2sr32& a,
+                                               const B2sr32& b);
+
+}  // namespace bitgb::sim

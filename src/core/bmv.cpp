@@ -1,0 +1,245 @@
+#include "core/bmv.hpp"
+
+namespace bitgb {
+
+template <int Dim>
+void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
+                     PackedVecT<Dim>& y) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  assert(x.n == a.ncols);
+  y.resize(a.nrows);
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    if (lo == hi) return;
+    word_t out = 0;
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw =
+          x.words[static_cast<std::size_t>(a.tile_colind[static_cast<std::size_t>(t)])];
+      if (xw == 0) continue;
+      const auto words = a.tile(t);
+      for (int r = 0; r < Dim; ++r) {
+        if ((words[static_cast<std::size_t>(r)] & xw) != 0) {
+          out = set_bit(out, r);
+        }
+      }
+    }
+    y.words[static_cast<std::size_t>(tr)] = out;
+  });
+}
+
+template <int Dim>
+void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
+                            const PackedVecT<Dim>& mask, bool complement,
+                            PackedVecT<Dim>& y) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  assert(x.n == a.ncols);
+  assert(mask.n == a.nrows);
+  y.resize(a.nrows);
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    if (lo == hi) return;
+    word_t out = 0;
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw =
+          x.words[static_cast<std::size_t>(a.tile_colind[static_cast<std::size_t>(t)])];
+      if (xw == 0) continue;
+      const auto words = a.tile(t);
+      for (int r = 0; r < Dim; ++r) {
+        if ((words[static_cast<std::size_t>(r)] & xw) != 0) {
+          out = set_bit(out, r);
+        }
+      }
+    }
+    // Paper §V: no early exit (it would diverge the warp); instead the
+    // bitmask is AND-ed right before the output store.
+    word_t mword = mask.words[static_cast<std::size_t>(tr)];
+    if (complement) mword = static_cast<word_t>(~mword);
+    y.words[static_cast<std::size_t>(tr)] = static_cast<word_t>(out & mword);
+  });
+  // Clamp tail bits beyond nrows (complemented masks set them).
+  if (a.nrows % Dim != 0 && !y.words.empty()) {
+    using W = typename TileTraits<Dim>::word_t;
+    y.words.back() =
+        static_cast<W>(y.words.back() & low_mask<W>(a.nrows % Dim));
+  }
+}
+
+template <int Dim>
+void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
+                                 const PackedVecT<Dim>& x,
+                                 const PackedVecT<Dim>& mask, bool complement,
+                                 PackedVecT<Dim>& y) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  assert(x.n == a.nrows);  // vxm: x selects rows of A
+  assert(mask.n == a.ncols);
+  y.resize(a.ncols);
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+    const word_t fw = x.words[static_cast<std::size_t>(tr)];
+    if (fw == 0) return;  // no frontier vertex in this tile-row
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    for (vidx_t t = lo; t < hi; ++t) {
+      const auto words = a.tile(t);
+      word_t out = 0;
+      for_each_set_bit(fw, [&](int r) {
+        out = static_cast<word_t>(out | words[static_cast<std::size_t>(r)]);
+      });
+      if (out == 0) continue;
+      const auto j = static_cast<std::size_t>(
+          a.tile_colind[static_cast<std::size_t>(t)]);
+      word_t mword = mask.words[j];
+      if (complement) mword = static_cast<word_t>(~mword);
+      out = static_cast<word_t>(out & mword);
+      if (out != 0) atomic_or_word(&y.words[j], out);
+    }
+  });
+  // Clamp tail bits beyond ncols (complemented masks set them).
+  if (a.ncols % Dim != 0 && !y.words.empty()) {
+    y.words.back() =
+        static_cast<word_t>(y.words.back() & low_mask<word_t>(a.ncols % Dim));
+  }
+}
+
+template <int Dim>
+void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
+                                 const PackedVecT<Dim>& x,
+                                 const std::vector<vidx_t>& active,
+                                 const PackedVecT<Dim>& mask, bool complement,
+                                 PackedVecT<Dim>& y,
+                                 std::vector<vidx_t>& touched) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  assert(x.n == a.nrows);
+  assert(mask.n == a.ncols);
+  assert(static_cast<vidx_t>(y.words.size()) == (a.ncols + Dim - 1) / Dim);
+  // Serial over the active tile-rows: the work is frontier-proportional
+  // by construction (the GPU analog maps each active tile-row to one
+  // warp; the host analog of a sparse frontier doesn't amortize a
+  // parallel region).
+  const word_t tail_mask =
+      (a.ncols % Dim != 0) ? low_mask<word_t>(a.ncols % Dim)
+                           : static_cast<word_t>(~word_t{0});
+  const auto last_word = y.words.size() - 1;
+  for (const vidx_t tr : active) {
+    const word_t fw = x.words[static_cast<std::size_t>(tr)];
+    if (fw == 0) continue;
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    for (vidx_t t = lo; t < hi; ++t) {
+      const auto words = a.tile(t);
+      word_t out = 0;
+      for_each_set_bit(fw, [&](int r) {
+        out = static_cast<word_t>(out | words[static_cast<std::size_t>(r)]);
+      });
+      if (out == 0) continue;
+      const auto j = static_cast<std::size_t>(
+          a.tile_colind[static_cast<std::size_t>(t)]);
+      word_t mword = mask.words[j];
+      if (complement) mword = static_cast<word_t>(~mword);
+      if (j == last_word) mword = static_cast<word_t>(mword & tail_mask);
+      out = static_cast<word_t>(out & mword);
+      if (out == 0) continue;
+      const word_t prev = y.words[j];
+      y.words[j] = static_cast<word_t>(prev | out);
+      if (prev == 0 && y.words[j] != 0) {
+        touched.push_back(static_cast<vidx_t>(j));
+      }
+    }
+  }
+}
+
+template <int Dim>
+void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
+                      std::vector<value_t>& y) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  assert(x.n == a.ncols);
+  y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    if (lo == hi) return;
+    std::int32_t acc[Dim] = {};
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw =
+          x.words[static_cast<std::size_t>(a.tile_colind[static_cast<std::size_t>(t)])];
+      if (xw == 0) continue;
+      const auto words = a.tile(t);
+      for (int r = 0; r < Dim; ++r) {
+        // The paper's core identity: c_i = __popc(A_i & b).
+        acc[r] += popcount(
+            static_cast<word_t>(words[static_cast<std::size_t>(r)] & xw));
+      }
+    }
+    const vidx_t r0 = tr * Dim;
+    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    for (vidx_t r = r0; r < rend; ++r) {
+      y[static_cast<std::size_t>(r)] = static_cast<value_t>(acc[r - r0]);
+    }
+  });
+}
+
+template <int Dim>
+void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
+                             const PackedVecT<Dim>& mask, bool complement,
+                             std::vector<value_t>& y) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  assert(x.n == a.ncols);
+  assert(mask.n == a.nrows);
+  assert(static_cast<vidx_t>(y.size()) == a.nrows);
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    if (lo == hi) return;
+    std::int32_t acc[Dim] = {};
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw =
+          x.words[static_cast<std::size_t>(a.tile_colind[static_cast<std::size_t>(t)])];
+      if (xw == 0) continue;
+      const auto words = a.tile(t);
+      for (int r = 0; r < Dim; ++r) {
+        acc[r] += popcount(
+            static_cast<word_t>(words[static_cast<std::size_t>(r)] & xw));
+      }
+    }
+    word_t mword = mask.words[static_cast<std::size_t>(tr)];
+    if (complement) mword = static_cast<word_t>(~mword);
+    const vidx_t r0 = tr * Dim;
+    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    for (vidx_t r = r0; r < rend; ++r) {
+      if (get_bit(mword, static_cast<int>(r - r0)) != 0) {
+        y[static_cast<std::size_t>(r)] = static_cast<value_t>(acc[r - r0]);
+      }
+    }
+  });
+}
+
+#define BITGB_INSTANTIATE_BMV(Dim)                                          \
+  template void bmv_bin_bin_bin<Dim>(const B2srT<Dim>&,                     \
+                                     const PackedVecT<Dim>&,                \
+                                     PackedVecT<Dim>&);                     \
+  template void bmv_bin_bin_bin_masked<Dim>(                                \
+      const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
+      bool, PackedVecT<Dim>&);                                              \
+  template void bmv_bin_bin_bin_push_masked<Dim>(                           \
+      const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
+      bool, PackedVecT<Dim>&);                                              \
+  template void bmv_bin_bin_bin_push_masked<Dim>(                           \
+      const B2srT<Dim>&, const PackedVecT<Dim>&, const std::vector<vidx_t>&,\
+      const PackedVecT<Dim>&, bool, PackedVecT<Dim>&,                       \
+      std::vector<vidx_t>&);                                                \
+  template void bmv_bin_bin_full<Dim>(const B2srT<Dim>&,                    \
+                                      const PackedVecT<Dim>&,               \
+                                      std::vector<value_t>&);               \
+  template void bmv_bin_bin_full_masked<Dim>(                               \
+      const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
+      bool, std::vector<value_t>&)
+
+BITGB_INSTANTIATE_BMV(4);
+BITGB_INSTANTIATE_BMV(8);
+BITGB_INSTANTIATE_BMV(16);
+BITGB_INSTANTIATE_BMV(32);
+
+#undef BITGB_INSTANTIATE_BMV
+
+}  // namespace bitgb

@@ -1,0 +1,191 @@
+// Binarized sparse Matrix-Vector kernels (BMV) — paper Table II.
+//
+// Six schemes over B2SR, named as in the paper:
+//
+//   bmv_bin_bin_bin          1-bit A, 1-bit x, 1-bit y     (Boolean OR-AND)
+//   bmv_bin_bin_full         1-bit A, 1-bit x, 32-bit y    (popcount sums)
+//   bmv_bin_full_full<Op>    1-bit A, 32-bit x, 32-bit y   (semiring Op)
+//   *_masked                 same, with a bit-mask applied at the output
+//                            store (the paper's masking design: "the
+//                            bitmask is applied right before the output
+//                            store, having bit-wise AND with the negation
+//                            of [the] visited vertex vector", §V) —
+//                            masked-off positions keep their prior value.
+//
+// Parallelization: one tile-row per task (the paper's one-warp-per-
+// tile-row mapping, §IV "warp-consolidation model"); output rows of
+// distinct tile-rows are disjoint, so no atomics are needed on y.
+// Within a tile, bit-row r of word w and the packed vector chunk b give
+//   y[r] (+)= popc(w & b)          — the paper's core identity
+//   A_ij x b_j = c_i = __popc(A_ij & b_j).
+//
+// The masked variants take the mask as a PackedVec of the same tile dim
+// plus `complement` (GraphBLAS structural complement: BFS masks with the
+// *negation* of visited).
+#pragma once
+
+#include "core/b2sr.hpp"
+#include "core/packed_vector.hpp"
+#include "core/semiring_ops.hpp"
+#include "platform/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace bitgb {
+
+// --- bin x bin -> bin (Boolean semiring; BFS frontier expansion) ---
+
+template <int Dim>
+void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
+                     PackedVecT<Dim>& y);
+
+/// Masked: y_bits &= (complement ? ~mask : mask) at store time.
+template <int Dim>
+void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
+                            const PackedVecT<Dim>& mask, bool complement,
+                            PackedVecT<Dim>& y);
+
+/// Push-direction boolean vxm: y = x^T (.) A == OR of A's bit-rows
+/// selected by x, visiting only tile-rows whose frontier word is
+/// non-zero.  This is the sparse-frontier dual of bmv_bin_bin_bin (the
+/// same vxm() traversal the paper's BFS performs, §V) and costs work
+/// proportional to the frontier's tiles rather than the whole matrix —
+/// the direction-optimized BFS uses it while the frontier is sparse.
+/// The mask is applied at the output store exactly as in the pull form.
+template <int Dim>
+void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
+                                 const PackedVecT<Dim>& x,
+                                 const PackedVecT<Dim>& mask, bool complement,
+                                 PackedVecT<Dim>& y);
+
+/// Active-list push: like bmv_bin_bin_bin_push_masked, but the caller
+/// supplies the indices of x's non-zero words (`active`), and the
+/// kernel appends to `touched` the indices of y's words it turned
+/// non-zero — so a BFS level costs O(frontier tiles), independent of
+/// the matrix size.  `y` must arrive all-zero and correctly sized;
+/// duplicate-free `touched` is guaranteed.
+template <int Dim>
+void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
+                                 const PackedVecT<Dim>& x,
+                                 const std::vector<vidx_t>& active,
+                                 const PackedVecT<Dim>& mask, bool complement,
+                                 PackedVecT<Dim>& y,
+                                 std::vector<vidx_t>& touched);
+
+// --- bin x bin -> full (counting; y[i] = |adj(i) ∩ x|) ---
+
+template <int Dim>
+void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
+                      std::vector<value_t>& y);
+
+template <int Dim>
+void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
+                             const PackedVecT<Dim>& mask, bool complement,
+                             std::vector<value_t>& y);
+
+// --- bin x full -> full (general semiring Op; SSSP/PR/CC) ---
+
+/// Fold one bit-row's contributions into `acc`.  Two paths:
+///   * a *full* word (all Dim bits set — the common case inside dense
+///     regions of well-packed matrices) maps every x element
+///     unconditionally and tree-reduces: branch-free, vectorizable, no
+///     loop-carried dependency — the host analog of the GPU's lanes
+///     processing a bit-row in lock-step;
+///   * any other word walks its set bits with ctz.
+/// Tail tiles must pass allow_dense = false (the full-word path reads
+/// xp[0..Dim) unconditionally).
+template <int Dim, typename Op>
+inline void fold_bit_row(typename TileTraits<Dim>::word_t w,
+                         const value_t* xp, bool allow_dense, value_t& acc) {
+  if (w == 0) return;
+  if (allow_dense && w == low_mask<typename TileTraits<Dim>::word_t>(Dim)) {
+    value_t cand[Dim];
+    for (int j = 0; j < Dim; ++j) cand[j] = Op::map(xp[j]);
+    for (int s = Dim / 2; s > 0; s /= 2) {
+      for (int j = 0; j < s; ++j) cand[j] = Op::reduce(cand[j], cand[j + s]);
+    }
+    acc = Op::reduce(acc, cand[0]);
+  } else {
+    for_each_set_bit(w, [&](int j) { acc = Op::reduce(acc, Op::map(xp[j])); });
+  }
+}
+
+template <int Dim, typename Op>
+void bmv_bin_full_full(const B2srT<Dim>& a, const std::vector<value_t>& x,
+                       std::vector<value_t>& y, Op = Op{}) {
+  assert(static_cast<vidx_t>(x.size()) == a.ncols);
+  y.assign(static_cast<std::size_t>(a.nrows), Op::identity);
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    if (lo == hi) return;
+    value_t acc[Dim];
+    for (int r = 0; r < Dim; ++r) acc[r] = Op::identity;
+    // The rightmost tile column may extend past ncols; it must take the
+    // bit-walking path (its words' tail bits are zero, but the dense
+    // path loads all Dim x elements unconditionally).
+    const vidx_t full_cols = a.ncols / Dim;
+    for (vidx_t t = lo; t < hi; ++t) {
+      const vidx_t tc = a.tile_colind[static_cast<std::size_t>(t)];
+      const value_t* xp = x.data() + static_cast<std::size_t>(tc) * Dim;
+      const bool allow_dense = tc < full_cols;
+      const auto words = a.tile(t);
+      for (int r = 0; r < Dim; ++r) {
+        fold_bit_row<Dim, Op>(words[static_cast<std::size_t>(r)], xp,
+                              allow_dense, acc[r]);
+      }
+    }
+    const vidx_t r0 = tr * Dim;
+    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    for (vidx_t r = r0; r < rend; ++r) {
+      y[static_cast<std::size_t>(r)] = acc[r - r0];
+    }
+  });
+}
+
+/// Masked semiring BMV: positions whose mask test fails keep their
+/// previous y value (y must be pre-sized to nrows by the caller).
+template <int Dim, typename Op>
+void bmv_bin_full_full_masked(const B2srT<Dim>& a,
+                              const std::vector<value_t>& x,
+                              const PackedVecT<Dim>& mask, bool complement,
+                              std::vector<value_t>& y, Op = Op{}) {
+  assert(static_cast<vidx_t>(x.size()) == a.ncols);
+  assert(static_cast<vidx_t>(y.size()) == a.nrows);
+  assert(mask.n == a.nrows);
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    if (lo == hi) return;
+    value_t acc[Dim];
+    for (int r = 0; r < Dim; ++r) acc[r] = Op::identity;
+    const vidx_t full_cols = a.ncols / Dim;
+    for (vidx_t t = lo; t < hi; ++t) {
+      const vidx_t tc = a.tile_colind[static_cast<std::size_t>(t)];
+      const value_t* xp = x.data() + static_cast<std::size_t>(tc) * Dim;
+      const bool allow_dense = tc < full_cols;
+      const auto words = a.tile(t);
+      for (int r = 0; r < Dim; ++r) {
+        fold_bit_row<Dim, Op>(words[static_cast<std::size_t>(r)], xp,
+                              allow_dense, acc[r]);
+      }
+    }
+    using word_t = typename TileTraits<Dim>::word_t;
+    word_t mword = mask.words[static_cast<std::size_t>(tr)];
+    if (complement) mword = static_cast<word_t>(~mword);
+    const vidx_t r0 = tr * Dim;
+    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    for (vidx_t r = r0; r < rend; ++r) {
+      if (get_bit(mword, static_cast<int>(r - r0)) != 0) {
+        y[static_cast<std::size_t>(r)] = acc[r - r0];
+      }
+    }
+  });
+}
+
+// Declarations of the non-template-parameterized kernels are explicit
+// per dim; definitions live in bmv.cpp with explicit instantiation.
+
+}  // namespace bitgb

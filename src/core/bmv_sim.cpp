@@ -1,0 +1,107 @@
+#include "core/bmv_sim.hpp"
+
+#include "platform/warp_sim.hpp"
+
+#include <cassert>
+
+namespace bitgb::sim {
+
+void bmv_bin_bin_full_sim(const B2sr32& a, const PackedVec32& x,
+                          std::vector<value_t>& y) {
+  assert(x.n == a.ncols);
+  y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
+
+  // One thread block (= one warp, warp-consolidation model) per tile
+  // row `bx`; transcription of Listing 1.
+  for (vidx_t bx = 0; bx < a.n_tile_rows(); ++bx) {
+    const vidx_t row_start = a.tile_rowptr[static_cast<std::size_t>(bx)];
+    const vidx_t row_end = a.tile_rowptr[static_cast<std::size_t>(bx) + 1];
+    if (row_start == row_end) continue;
+
+    const std::uint32_t* Asub =
+        a.bits.data() + static_cast<std::size_t>(row_start) * 32;
+    const std::uint32_t* Bsub = x.words.data();
+
+    Warp warp;
+    std::uint32_t Cm[kWarpSize] = {};  // register Cm[1] per lane
+    for (vidx_t i = row_start; i < row_end; ++i) {
+      warp.for_each_lane([&](int laneid) {
+        const std::uint32_t r0 =
+            Asub[static_cast<std::size_t>(i - row_start) * 32 +
+                 static_cast<std::size_t>(laneid)];
+        const std::uint32_t r1 =
+            Bsub[static_cast<std::size_t>(
+                a.tile_colind[static_cast<std::size_t>(i)])];
+        Cm[laneid] += static_cast<std::uint32_t>(
+            popcount<std::uint32_t>(r0 & r1));
+      });
+    }
+    // Csub[laneid] += Cm[0];
+    const vidx_t r0 = bx * 32;
+    warp.for_each_lane([&](int laneid) {
+      const vidx_t r = r0 + laneid;
+      if (r < a.nrows) {
+        y[static_cast<std::size_t>(r)] += static_cast<value_t>(Cm[laneid]);
+      }
+    });
+  }
+}
+
+void bmv_bin_bin_bin_sim(const B2sr32& a, const PackedVec32& x,
+                         PackedVec32& y) {
+  assert(x.n == a.ncols);
+  y.resize(a.nrows);
+
+  for (vidx_t bx = 0; bx < a.n_tile_rows(); ++bx) {
+    const vidx_t row_start = a.tile_rowptr[static_cast<std::size_t>(bx)];
+    const vidx_t row_end = a.tile_rowptr[static_cast<std::size_t>(bx) + 1];
+    if (row_start == row_end) continue;
+
+    const std::uint32_t* Asub =
+        a.bits.data() + static_cast<std::size_t>(row_start) * 32;
+
+    Warp warp;
+    bool reached[kWarpSize] = {};
+    for (vidx_t i = row_start; i < row_end; ++i) {
+      const std::uint32_t r1 =
+          x.words[static_cast<std::size_t>(
+              a.tile_colind[static_cast<std::size_t>(i)])];
+      warp.for_each_lane([&](int laneid) {
+        const std::uint32_t r0 =
+            Asub[static_cast<std::size_t>(i - row_start) * 32 +
+                 static_cast<std::size_t>(laneid)];
+        reached[laneid] = reached[laneid] || ((r0 & r1) != 0);
+      });
+    }
+    // The boolean output word is produced with __ballot_sync — one bit
+    // per lane, exactly the frontier-word store of the bit backend.
+    const std::uint32_t word =
+        warp.ballot([&](int laneid) { return reached[laneid]; });
+    y.words[static_cast<std::size_t>(bx)] = word;
+  }
+}
+
+BallotPacked pack_vector_ballot(const std::vector<value_t>& f) {
+  BallotPacked out;
+  const auto n = static_cast<vidx_t>(f.size());
+  out.normalized.resize(n);
+  const vidx_t nwords = (n + 31) / 32;
+  out.raw_brev.resize(static_cast<std::size_t>(nwords));
+
+  Warp warp;
+  for (vidx_t wi = 0; wi < nwords; ++wi) {
+    // BVal[i] = __brev(__ballot_sync(0xFFFFFFFF, f[i] > 0)): ballot
+    // puts lane L's predicate at bit L (LSB first); __brev flips it to
+    // the paper's MSB-first convention.
+    const std::uint32_t ballot = warp.ballot([&](int lane) {
+      const vidx_t idx = wi * 32 + lane;
+      return idx < n && f[static_cast<std::size_t>(idx)] > 0.0f;
+    });
+    out.raw_brev[static_cast<std::size_t>(wi)] = brev(ballot);
+    // Library convention is LSB-first == the raw ballot word.
+    out.normalized.words[static_cast<std::size_t>(wi)] = ballot;
+  }
+  return out;
+}
+
+}  // namespace bitgb::sim

@@ -1,0 +1,44 @@
+// Warp-simulated BMV — paper Listing 1, transcribed.
+//
+// These kernels run the paper's exact CUDA algorithm on the host warp
+// model (platform/warp_sim.hpp): one warp per 32x32 tile-row, lane r
+// owning bit-row r, the bit-dot computed as popc(r0 & r1) per tile, and
+// the per-lane register accumulator stored to C at the end.  They exist
+// to validate the algorithm (tests assert bit-identical results against
+// the portable kernels in bmv.hpp); the portable kernels are the ones
+// benchmarked.
+//
+// Only the 32x32 variant is transcribed — the listing in the paper is
+// for B2SR-32; the other dims differ only in the thread mapping
+// (Figure 4), which the portable kernels cover.
+#pragma once
+
+#include "core/b2sr.hpp"
+#include "core/packed_vector.hpp"
+
+#include <vector>
+
+namespace bitgb::sim {
+
+/// Listing 1: bmv_bin_bin_full for B2SR-32.  C[r] += popc(A_r & B_tile).
+void bmv_bin_bin_full_sim(const B2sr32& a, const PackedVec32& x,
+                          std::vector<value_t>& y);
+
+/// Boolean variant of the same warp program (bit store via ballot).
+void bmv_bin_bin_bin_sim(const B2sr32& a, const PackedVec32& x,
+                         PackedVec32& y);
+
+/// Column-major bit packing of a full-precision vector with the paper's
+/// exact intrinsic sequence (Figure 2):
+///   BVal[i] = __brev(__ballot_sync(0xFFFFFFFF, f[i] > 0))
+/// followed by normalization to the library's LSB-first convention.
+/// Returns the packed vector plus the raw (MSB-first) ballot words so
+/// tests can check the __brev relationship the paper describes.
+struct BallotPacked {
+  PackedVec32 normalized;                ///< library bit order (LSB first)
+  std::vector<std::uint32_t> raw_brev;   ///< the paper's BVal words
+};
+
+[[nodiscard]] BallotPacked pack_vector_ballot(const std::vector<value_t>& f);
+
+}  // namespace bitgb::sim

@@ -1,0 +1,249 @@
+#include "core/pack.hpp"
+
+#include "platform/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bitgb {
+
+namespace {
+
+// Per tile-row, the set of non-empty tile columns and, for packing, the
+// scatter of nonzeros into tile words.  Both passes walk the CSR rows of
+// one tile-row; tile-rows are independent, so both parallelize over
+// tile-rows exactly as the paper parallelizes "each tile-row's encoding
+// procedure" (§III-B).
+template <int Dim>
+void collect_tile_cols(const Csr& a, vidx_t tr, std::vector<vidx_t>& out) {
+  out.clear();
+  const vidx_t r_lo = tr * Dim;
+  const vidx_t r_hi = std::min<vidx_t>(a.nrows, r_lo + Dim);
+  for (vidx_t r = r_lo; r < r_hi; ++r) {
+    for (const vidx_t c : a.row_cols(r)) {
+      out.push_back(c / Dim);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace
+
+vidx_t count_nonempty_tiles(const Csr& a, int dim) {
+  return dispatch_tile_dim(dim, [&]<int Dim>() {
+    const vidx_t ntr = (a.nrows + Dim - 1) / Dim;
+    std::vector<vidx_t> per_row(static_cast<std::size_t>(ntr), 0);
+    parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+      thread_local std::vector<vidx_t> cols;
+      collect_tile_cols<Dim>(a, tr, cols);
+      per_row[static_cast<std::size_t>(tr)] = static_cast<vidx_t>(cols.size());
+    });
+    vidx_t total = 0;
+    for (const vidx_t c : per_row) total += c;
+    return total;
+  });
+}
+
+template <int Dim>
+B2srT<Dim> pack_from_csr(const Csr& a) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  B2srT<Dim> b;
+  b.nrows = a.nrows;
+  b.ncols = a.ncols;
+  const vidx_t ntr = b.n_tile_rows();
+  b.tile_rowptr.assign(static_cast<std::size_t>(ntr) + 1, 0);
+
+  // Pass 1: non-empty tile columns per tile-row (csr2bsrNnz analog).
+  std::vector<std::vector<vidx_t>> row_tiles(static_cast<std::size_t>(ntr));
+  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+    collect_tile_cols<Dim>(a, tr, row_tiles[static_cast<std::size_t>(tr)]);
+  });
+  for (vidx_t tr = 0; tr < ntr; ++tr) {
+    b.tile_rowptr[static_cast<std::size_t>(tr) + 1] =
+        b.tile_rowptr[static_cast<std::size_t>(tr)] +
+        static_cast<vidx_t>(row_tiles[static_cast<std::size_t>(tr)].size());
+  }
+  const vidx_t ntiles = b.tile_rowptr.back();
+  b.tile_colind.resize(static_cast<std::size_t>(ntiles));
+  b.bits.assign(static_cast<std::size_t>(ntiles) * Dim, word_t{0});
+
+  // Pass 2: scatter the nonzeros into bit-rows (the bit-packing kernel).
+  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+    const auto& cols = row_tiles[static_cast<std::size_t>(tr)];
+    const vidx_t base = b.tile_rowptr[static_cast<std::size_t>(tr)];
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      b.tile_colind[static_cast<std::size_t>(base) + i] = cols[i];
+    }
+    const vidx_t r_lo = tr * Dim;
+    const vidx_t r_hi = std::min<vidx_t>(a.nrows, r_lo + Dim);
+    for (vidx_t r = r_lo; r < r_hi; ++r) {
+      for (const vidx_t c : a.row_cols(r)) {
+        const vidx_t tc = c / Dim;
+        // Binary search the tile within this tile-row (columns sorted).
+        const auto it = std::lower_bound(cols.begin(), cols.end(), tc);
+        const auto t = base + static_cast<vidx_t>(it - cols.begin());
+        auto& w = b.bits[static_cast<std::size_t>(t) * Dim +
+                         static_cast<std::size_t>(r - r_lo)];
+        w = set_bit(w, static_cast<int>(c % Dim));
+      }
+    }
+  });
+  return b;
+}
+
+B2srAny pack_any(const Csr& a, int dim) {
+  return dispatch_tile_dim(
+      dim, [&]<int Dim>() { return B2srAny(pack_from_csr<Dim>(a)); });
+}
+
+template <int Dim>
+Csr unpack_to_csr(const B2srT<Dim>& b) {
+  Csr a;
+  a.nrows = b.nrows;
+  a.ncols = b.ncols;
+  a.rowptr.assign(static_cast<std::size_t>(b.nrows) + 1, 0);
+  for (vidx_t tr = 0; tr < b.n_tile_rows(); ++tr) {
+    const auto lo = b.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = b.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    const vidx_t r_lo = tr * Dim;
+    const vidx_t r_hi = std::min<vidx_t>(b.nrows, r_lo + Dim);
+    for (vidx_t r = r_lo; r < r_hi; ++r) {
+      for (vidx_t t = lo; t < hi; ++t) {
+        const vidx_t c_base = b.tile_colind[static_cast<std::size_t>(t)] * Dim;
+        const auto w = b.tile(t)[static_cast<std::size_t>(r - r_lo)];
+        for_each_set_bit(w, [&](int j) {
+          a.colind.push_back(c_base + j);
+        });
+      }
+      a.rowptr[static_cast<std::size_t>(r) + 1] =
+          static_cast<vidx_t>(a.colind.size());
+    }
+    // Rows past r_hi in this tile-row do not exist; rowptr entries for
+    // them are filled by the running total below.
+  }
+  // Fill any rows that fell outside complete tile rows (none normally;
+  // defensive for nrows == 0 edge).
+  for (std::size_t i = 1; i < a.rowptr.size(); ++i) {
+    a.rowptr[i] = std::max(a.rowptr[i], a.rowptr[i - 1]);
+  }
+  return a;
+}
+
+Csr unpack_any(const B2srAny& b) {
+  return b.visit([](const auto& m) { return unpack_to_csr(m); });
+}
+
+template <int Dim>
+void transpose_tile(const typename TileTraits<Dim>::word_t* in,
+                    typename TileTraits<Dim>::word_t* out) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  for (int c = 0; c < Dim; ++c) {
+    word_t w = 0;
+    for (int r = 0; r < Dim; ++r) {
+      w = static_cast<word_t>(w | (static_cast<word_t>(get_bit(in[r], c)) << r));
+    }
+    out[c] = w;
+  }
+}
+
+template <int Dim>
+B2srT<Dim> transpose(const B2srT<Dim>& a) {
+  B2srT<Dim> t;
+  t.nrows = a.ncols;
+  t.ncols = a.nrows;
+  const vidx_t ntr_t = t.n_tile_rows();  // == a.n_tile_cols()
+  t.tile_rowptr.assign(static_cast<std::size_t>(ntr_t) + 1, 0);
+
+  // CSR -> CSC on the tile index (the upper-level transpose).
+  for (const vidx_t tc : a.tile_colind) {
+    ++t.tile_rowptr[static_cast<std::size_t>(tc) + 1];
+  }
+  for (std::size_t i = 1; i < t.tile_rowptr.size(); ++i) {
+    t.tile_rowptr[i] += t.tile_rowptr[i - 1];
+  }
+  t.tile_colind.resize(a.tile_colind.size());
+  t.bits.assign(a.bits.size(), typename TileTraits<Dim>::word_t{0});
+
+  std::vector<vidx_t> cursor(t.tile_rowptr.begin(), t.tile_rowptr.end() - 1);
+  for (vidx_t tr = 0; tr < a.n_tile_rows(); ++tr) {
+    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    for (vidx_t k = lo; k < hi; ++k) {
+      const vidx_t tc = a.tile_colind[static_cast<std::size_t>(k)];
+      const vidx_t dst = cursor[static_cast<std::size_t>(tc)]++;
+      t.tile_colind[static_cast<std::size_t>(dst)] = tr;
+      transpose_tile<Dim>(
+          a.bits.data() + static_cast<std::size_t>(k) * Dim,
+          t.bits.data() + static_cast<std::size_t>(dst) * Dim);
+    }
+  }
+  return t;
+}
+
+B2srAny transpose_any(const B2srAny& a) {
+  return a.visit([](const auto& m) { return B2srAny(transpose(m)); });
+}
+
+NibbleB2sr4 pack_nibble4(const Csr& a) { return to_nibble4(pack_from_csr<4>(a)); }
+
+NibbleB2sr4 to_nibble4(const B2sr4& a) {
+  NibbleB2sr4 n;
+  n.nrows = a.nrows;
+  n.ncols = a.ncols;
+  n.tile_rowptr = a.tile_rowptr;
+  n.tile_colind = a.tile_colind;
+  n.bytes.resize(static_cast<std::size_t>(a.nnz_tiles()) * 2);
+  for (vidx_t t = 0; t < a.nnz_tiles(); ++t) {
+    const auto words = a.tile(t);
+    for (int half = 0; half < 2; ++half) {
+      const auto lo = static_cast<std::uint8_t>(words[2 * half] & 0x0F);
+      const auto hi =
+          static_cast<std::uint8_t>((words[2 * half + 1] & 0x0F) << 4);
+      n.bytes[static_cast<std::size_t>(t) * 2 + static_cast<std::size_t>(half)] =
+          static_cast<std::uint8_t>(lo | hi);
+    }
+  }
+  return n;
+}
+
+B2sr4 from_nibble4(const NibbleB2sr4& a) {
+  B2sr4 b;
+  b.nrows = a.nrows;
+  b.ncols = a.ncols;
+  b.tile_rowptr = a.tile_rowptr;
+  b.tile_colind = a.tile_colind;
+  b.bits.resize(static_cast<std::size_t>(a.nnz_tiles()) * 4);
+  for (vidx_t t = 0; t < a.nnz_tiles(); ++t) {
+    for (int r = 0; r < 4; ++r) {
+      b.bits[static_cast<std::size_t>(t) * 4 + static_cast<std::size_t>(r)] =
+          a.row(t, r);
+    }
+  }
+  return b;
+}
+
+// Explicit instantiations for the four paper tile sizes.
+template B2srT<4> pack_from_csr<4>(const Csr&);
+template B2srT<8> pack_from_csr<8>(const Csr&);
+template B2srT<16> pack_from_csr<16>(const Csr&);
+template B2srT<32> pack_from_csr<32>(const Csr&);
+template Csr unpack_to_csr<4>(const B2srT<4>&);
+template Csr unpack_to_csr<8>(const B2srT<8>&);
+template Csr unpack_to_csr<16>(const B2srT<16>&);
+template Csr unpack_to_csr<32>(const B2srT<32>&);
+template B2srT<4> transpose<4>(const B2srT<4>&);
+template B2srT<8> transpose<8>(const B2srT<8>&);
+template B2srT<16> transpose<16>(const B2srT<16>&);
+template B2srT<32> transpose<32>(const B2srT<32>&);
+template void transpose_tile<4>(const TileTraits<4>::word_t*,
+                                TileTraits<4>::word_t*);
+template void transpose_tile<8>(const TileTraits<8>::word_t*,
+                                TileTraits<8>::word_t*);
+template void transpose_tile<16>(const TileTraits<16>::word_t*,
+                                 TileTraits<16>::word_t*);
+template void transpose_tile<32>(const TileTraits<32>::word_t*,
+                                 TileTraits<32>::word_t*);
+
+}  // namespace bitgb

@@ -1,0 +1,93 @@
+// Binarized dense vector, packed at tile granularity.
+//
+// For the bin-vector BMV schemes the multiplier vector is "binarized
+// into the column-major order with [tileDim] consecutive elements
+// compacted" into one word (paper §IV, Listing 1 discussion), so that a
+// vector chunk can be fetched with the same indexing system as the tiles
+// and AND-ed against a bit-row directly.  Word k holds elements
+// [k*Dim, (k+1)*Dim); bit j of word k is element k*Dim + j, matching the
+// B2SR bit-row convention.
+#pragma once
+
+#include "core/tile_traits.hpp"
+#include "sparse/types.hpp"
+
+#include <vector>
+
+namespace bitgb {
+
+template <int Dim>
+struct PackedVecT {
+  using word_t = typename TileTraits<Dim>::word_t;
+  static constexpr int dim = Dim;
+
+  vidx_t n = 0;                ///< logical element count
+  std::vector<word_t> words;   ///< ceil(n / Dim) words; tail bits zero
+
+  PackedVecT() = default;
+  explicit PackedVecT(vidx_t size) { resize(size); }
+
+  void resize(vidx_t size) {
+    n = size;
+    words.assign(static_cast<std::size_t>((size + Dim - 1) / Dim), word_t{0});
+  }
+
+  void clear_bits() { words.assign(words.size(), word_t{0}); }
+
+  [[nodiscard]] bool get(vidx_t i) const {
+    return get_bit(words[static_cast<std::size_t>(i / Dim)],
+                   static_cast<int>(i % Dim)) != 0;
+  }
+  void set(vidx_t i) {
+    auto& w = words[static_cast<std::size_t>(i / Dim)];
+    w = set_bit(w, static_cast<int>(i % Dim));
+  }
+  void reset(vidx_t i) {
+    auto& w = words[static_cast<std::size_t>(i / Dim)];
+    w = static_cast<word_t>(w & ~(word_t{1} << (i % Dim)));
+  }
+
+  /// Count of set bits (frontier size).
+  [[nodiscard]] eidx_t count() const {
+    eidx_t c = 0;
+    for (const word_t w : words) c += popcount(w);
+    return c;
+  }
+  [[nodiscard]] bool any() const {
+    for (const word_t w : words) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Binarize a full-precision vector: bit i set iff v[i] != 0 — the
+  /// vector-binarization step the paper performs before a bin-vector BMV.
+  static PackedVecT from_values(const std::vector<value_t>& v) {
+    PackedVecT out(static_cast<vidx_t>(v.size()));
+    for (vidx_t i = 0; i < out.n; ++i) {
+      if (v[static_cast<std::size_t>(i)] != 0.0f) out.set(i);
+    }
+    return out;
+  }
+
+  static PackedVecT from_bools(const std::vector<bool>& v) {
+    PackedVecT out(static_cast<vidx_t>(v.size()));
+    for (vidx_t i = 0; i < out.n; ++i) {
+      if (v[static_cast<std::size_t>(i)]) out.set(i);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<bool> to_bools() const {
+    std::vector<bool> out(static_cast<std::size_t>(n));
+    for (vidx_t i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = get(i);
+    return out;
+  }
+};
+
+using PackedVec4 = PackedVecT<4>;
+using PackedVec8 = PackedVecT<8>;
+using PackedVec16 = PackedVecT<16>;
+using PackedVec32 = PackedVecT<32>;
+
+}  // namespace bitgb

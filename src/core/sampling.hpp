@@ -1,0 +1,57 @@
+// Sampling profiler and tile-size advisor — paper Algorithm 1 (§III-C).
+//
+// Converting CSR to B2SR pays off only when tiles capture enough
+// nonzeros; the paper's answer is an offline *sampled* estimate of the
+// compression rate per candidate tile size: pick N random rows, count
+// how many distinct tile columns each row's nonzeros fall into per tile
+// size k in {4,8,16,32}, and from the per-row (nnz, occupied-bit-row)
+// counts estimate the B2SR/CSR size ratio without packing anything.
+//
+// Estimation model (per tile size k, from the sampled rows):
+//   bit-rows occupied per sampled row  ~ |distinct j/k per row|
+//   => estimated non-empty tiles ≈ (sum of distinct counts over all
+//      rows) / k  (a tile is shared by up to k consecutive rows; the
+//      per-row count is an upper bound whose k-row average the sampler
+//      uses, matching the spirit of Algorithm 1's ColCounter)
+//   => estimated B2SR bytes = index arrays + tiles * k * word_bytes
+//   => estimated rate = estimated B2SR bytes / exact CSR bytes.
+//
+// The estimate is validated against the exact packer in the tests and
+// its accuracy/overhead sweep is bench_sampling_profile.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "core/tile_traits.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bitgb {
+
+struct SampleEstimate {
+  int dim = 0;
+  double est_compression_pct = 0.0;  ///< estimated B2SR/CSR size, percent
+  double est_nonempty_tiles = 0.0;   ///< estimated non-empty tile count
+  double est_occupancy_pct = 0.0;    ///< estimated nnz share inside tiles
+};
+
+struct SamplingProfile {
+  std::array<SampleEstimate, kNumTileDims> per_dim{};
+  vidx_t rows_sampled = 0;
+
+  /// The dim with the lowest estimated compression percentage.
+  [[nodiscard]] int recommended_dim() const;
+
+  /// True if any dim is estimated to compress (< 100%) — the go/no-go
+  /// signal the paper's §III-C workflow gives the user.
+  [[nodiscard]] bool worth_converting() const;
+};
+
+/// Run Algorithm 1: sample `sample_rows` distinct rows (all rows if
+/// sample_rows >= nrows) with the given seed and estimate per-dim
+/// compression.
+[[nodiscard]] SamplingProfile sample_profile(const Csr& a, vidx_t sample_rows,
+                                             std::uint64_t seed);
+
+}  // namespace bitgb

@@ -1,0 +1,83 @@
+#include "core/stats.hpp"
+
+#include "core/pack.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace bitgb {
+
+double compression_ratio(std::size_t b2sr_bytes, std::size_t csr_bytes) {
+  if (csr_bytes == 0) return 0.0;
+  return 100.0 * static_cast<double>(b2sr_bytes) /
+         static_cast<double>(csr_bytes);
+}
+
+double nonempty_tile_ratio_pct(const Csr& a, int dim) {
+  const auto ntr = static_cast<double>((a.nrows + dim - 1) / dim);
+  const auto ntc = static_cast<double>((a.ncols + dim - 1) / dim);
+  const double total = ntr * ntc;
+  if (total == 0.0) return 0.0;
+  return 100.0 * static_cast<double>(count_nonempty_tiles(a, dim)) / total;
+}
+
+double nonzero_occupancy_pct(const Csr& a, int dim) {
+  const vidx_t tiles = count_nonempty_tiles(a, dim);
+  if (tiles == 0) return 0.0;
+  const double capacity = static_cast<double>(tiles) *
+                          static_cast<double>(dim) * static_cast<double>(dim);
+  return 100.0 * static_cast<double>(a.nnz()) / capacity;
+}
+
+std::array<FormatFootprint, kNumTileDims> all_footprints(const Csr& a) {
+  std::array<FormatFootprint, kNumTileDims> out{};
+  const std::size_t csr_bytes = a.storage_bytes();
+  for (int i = 0; i < kNumTileDims; ++i) {
+    const int dim = kTileDims[i];
+    const B2srAny b = pack_any(a, dim);
+    out[static_cast<std::size_t>(i)] = FormatFootprint{
+        dim, b.storage_bytes(), b.nnz_tiles(),
+        compression_ratio(b.storage_bytes(), csr_bytes)};
+  }
+  return out;
+}
+
+int optimal_tile_dim(const Csr& a) {
+  const auto fps = all_footprints(a);
+  std::size_t best_bytes = std::numeric_limits<std::size_t>::max();
+  int best_dim = kTileDims[0];
+  for (const auto& fp : fps) {
+    if (fp.b2sr_bytes < best_bytes) {
+      best_bytes = fp.b2sr_bytes;
+      best_dim = fp.dim;
+    }
+  }
+  return best_dim;
+}
+
+double per_tile_saving(int dim) {
+  // Dense dim x dim float tile vs dim words of the packing type.
+  const std::size_t float_bytes =
+      static_cast<std::size_t>(dim) * static_cast<std::size_t>(dim) *
+      sizeof(float);
+  std::size_t word_bytes = 0;
+  switch (dim) {
+    case 4: word_bytes = 4 * sizeof(std::uint8_t); break;    // 16x
+    case 8: word_bytes = 8 * sizeof(std::uint8_t); break;    // 32x
+    case 16: word_bytes = 16 * sizeof(std::uint16_t); break; // 32x
+    case 32: word_bytes = 32 * sizeof(std::uint32_t); break; // 32x
+    default: return 0.0;
+  }
+  return static_cast<double>(float_bytes) / static_cast<double>(word_bytes);
+}
+
+TrafficModel spmv_traffic(const Csr& a, int dim) {
+  TrafficModel t;
+  t.csr_bytes = a.storage_bytes();
+  const B2srAny b = pack_any(a, dim);
+  t.b2sr_bytes = b.storage_bytes();
+  return t;
+}
+
+}  // namespace bitgb

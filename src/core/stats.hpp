@@ -1,0 +1,63 @@
+// Storage statistics of the B2SR format — the quantities behind
+// Table I, Figure 3 (tile trends) and Figure 5 (compression results).
+#pragma once
+
+#include "core/b2sr.hpp"
+#include "sparse/csr.hpp"
+
+#include <array>
+#include <cstddef>
+
+namespace bitgb {
+
+/// Compression ratio as the paper defines it (§VI-B):
+///   B2SR size / float-CSR size, in percent < 100 means compressed.
+[[nodiscard]] double compression_ratio(std::size_t b2sr_bytes,
+                                       std::size_t csr_bytes);
+
+/// Fraction (%) of tiles of the dim x dim grid that are non-empty —
+/// the y-axis of Figure 3a.
+[[nodiscard]] double nonempty_tile_ratio_pct(const Csr& a, int dim);
+
+/// Average nonzero occupancy (%) inside the *non-empty* tiles —
+/// the y-axis of Figure 3b.
+[[nodiscard]] double nonzero_occupancy_pct(const Csr& a, int dim);
+
+/// Per-dim storage summary of a matrix.
+struct FormatFootprint {
+  int dim = 0;
+  std::size_t b2sr_bytes = 0;
+  vidx_t nonempty_tiles = 0;
+  double compression_pct = 0.0;  ///< vs float CSR, <100 == compressed
+};
+
+/// Footprints for all four B2SR variants (packs each; exact, not
+/// sampled — the sampled estimate is core/sampling.hpp).
+[[nodiscard]] std::array<FormatFootprint, kNumTileDims> all_footprints(
+    const Csr& a);
+
+/// The dim with the smallest B2SR byte size — the "optimal" series of
+/// Figure 5b.
+[[nodiscard]] int optimal_tile_dim(const Csr& a);
+
+/// Per-tile space saving factor of Table I: bytes of a dense dim x dim
+/// float tile over bytes of its bit packing.
+[[nodiscard]] double per_tile_saving(int dim);
+
+/// Word traffic model for the §VI-C locality narrative: bytes of matrix
+/// data a full SpMV must read in each format (CSR: rowptr+colind+val
+/// touched once; B2SR: index arrays + bit tiles).  The ratio reproduces
+/// the "global memory load transactions reduced by 4x" style numbers.
+struct TrafficModel {
+  std::size_t csr_bytes = 0;
+  std::size_t b2sr_bytes = 0;
+  [[nodiscard]] double reduction() const {
+    return b2sr_bytes == 0 ? 0.0
+                           : static_cast<double>(csr_bytes) /
+                                 static_cast<double>(b2sr_bytes);
+  }
+};
+
+[[nodiscard]] TrafficModel spmv_traffic(const Csr& a, int dim);
+
+}  // namespace bitgb

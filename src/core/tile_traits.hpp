@@ -1,0 +1,67 @@
+// Tile-size traits: the packing-word table of the paper (Table I).
+//
+//   tile        CSR storage (at most)   binarized packing    saving/tile
+//   4 x 4       4x4 float               4 x 1 unsigned char  16x
+//   8 x 8       8x8 float               8 x 1 unsigned char  32x
+//   16 x 16     16x16 float             16 x 1 unsigned short 32x
+//   32 x 32     32x32 float             32 x 1 unsigned int  32x
+//
+// One word per bit-row; for dim 4 only the low 4 bits of the byte are
+// used (the paper's optional nibble packing that shares one byte across
+// two rows is implemented separately in pack.hpp as NibbleTile4).
+#pragma once
+
+#include "platform/intrinsics.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace bitgb {
+
+template <int Dim>
+struct TileTraits;
+
+template <>
+struct TileTraits<4> {
+  using word_t = std::uint8_t;
+  static constexpr int dim = 4;
+};
+
+template <>
+struct TileTraits<8> {
+  using word_t = std::uint8_t;
+  static constexpr int dim = 8;
+};
+
+template <>
+struct TileTraits<16> {
+  using word_t = std::uint16_t;
+  static constexpr int dim = 16;
+};
+
+template <>
+struct TileTraits<32> {
+  using word_t = std::uint32_t;
+  static constexpr int dim = 32;
+};
+
+/// The tile dims the paper explores (B2SR-4 .. B2SR-32), in order.
+inline constexpr int kTileDims[] = {4, 8, 16, 32};
+inline constexpr int kNumTileDims = 4;
+
+/// Invoke fn.template operator()<Dim>() for the given runtime dim.
+/// Returns fn's result; throws std::invalid_argument on an unsupported
+/// dim.  This is the single dispatch point from runtime tile size to the
+/// templated kernels.
+template <typename Fn>
+decltype(auto) dispatch_tile_dim(int dim, Fn&& fn) {
+  switch (dim) {
+    case 4: return fn.template operator()<4>();
+    case 8: return fn.template operator()<8>();
+    case 16: return fn.template operator()<16>();
+    case 32: return fn.template operator()<32>();
+    default: throw std::invalid_argument("unsupported tile dim");
+  }
+}
+
+}  // namespace bitgb

@@ -1,0 +1,83 @@
+#include "graphblas/graph.hpp"
+
+#include "core/pack.hpp"
+#include "core/sampling.hpp"
+#include "sparse/convert.hpp"
+
+namespace bitgb::gb {
+
+namespace {
+
+int choose_tile_dim(const Csr& a, const GraphOptions& opts) {
+  if (opts.tile_dim != 0) return opts.tile_dim;
+  // The §III-C workflow: sample, estimate compression per dim, pick the
+  // best.  Seed fixed for reproducibility.
+  const SamplingProfile prof = sample_profile(a, opts.sample_rows, 0x5eed);
+  return prof.recommended_dim();
+}
+
+}  // namespace
+
+Graph Graph::from_coo(const Coo& edges, const GraphOptions& opts) {
+  return from_csr(coo_to_csr(pattern_of(edges)), opts);
+}
+
+Graph Graph::from_csr(Csr adjacency, const GraphOptions& opts) {
+  Graph g;
+  adjacency.val.clear();  // homogeneous: pattern only
+  if (opts.strip_self_loops) adjacency = strip_diagonal(adjacency);
+  if (opts.symmetrize) adjacency = symmetrize(adjacency);
+  g.tile_dim_ = choose_tile_dim(adjacency, opts);
+  g.csr_ = std::move(adjacency);
+  return g;
+}
+
+const Csr& Graph::adjacency_t() const {
+  if (!csr_t_) csr_t_ = transpose(csr_);
+  return *csr_t_;
+}
+
+const B2srAny& Graph::packed() const {
+  if (!b2sr_) b2sr_ = pack_any(csr_, tile_dim_);
+  return *b2sr_;
+}
+
+const B2srAny& Graph::packed_t() const {
+  if (!b2sr_t_) b2sr_t_ = pack_any(adjacency_t(), tile_dim_);
+  return *b2sr_t_;
+}
+
+const Csr& Graph::unit_adjacency() const {
+  if (!unit_csr_) {
+    Csr u = csr_;
+    u.val.assign(static_cast<std::size_t>(u.nnz()), 1.0f);
+    unit_csr_ = std::move(u);
+  }
+  return *unit_csr_;
+}
+
+const Csr& Graph::unit_adjacency_t() const {
+  if (!unit_csr_t_) {
+    Csr u = adjacency_t();
+    u.val.assign(static_cast<std::size_t>(u.nnz()), 1.0f);
+    unit_csr_t_ = std::move(u);
+  }
+  return *unit_csr_t_;
+}
+
+const Csr& Graph::lower() const {
+  if (!lower_) lower_ = lower_triangle(csr_);
+  return *lower_;
+}
+
+const B2srAny& Graph::packed_lower() const {
+  if (!b2sr_lower_) b2sr_lower_ = pack_any(lower(), tile_dim_);
+  return *b2sr_lower_;
+}
+
+const std::vector<vidx_t>& Graph::degrees() const {
+  if (!degrees_) degrees_ = out_degrees(csr_);
+  return *degrees_;
+}
+
+}  // namespace bitgb::gb

@@ -1,0 +1,90 @@
+// Graph — the public-facing handle of the library.
+//
+// Owns the adjacency matrix in every representation the two execution
+// backends need:
+//   * binary CSR (and its cached transpose) for the reference backend
+//     (the GraphBLAST-substitute baseline) and for packing;
+//   * B2SR (and its cached transpose) for the bit backend, at a tile
+//     size chosen explicitly or by the sampling profiler (paper §III-C).
+//
+// Construction symmetrizes and strips self-loops by default — the
+// homogeneous-graph preconditions of the paper's algorithms — both
+// switchable for directed uses (PR uses the directed adjacency).
+#pragma once
+
+#include "core/b2sr.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace bitgb::gb {
+
+enum class Backend {
+  kReference,  ///< float-CSR framework baseline (GraphBLAST substitute)
+  kBit,        ///< B2SR bit kernels (this paper)
+};
+
+[[nodiscard]] constexpr const char* backend_name(Backend b) {
+  return b == Backend::kReference ? "reference-csr" : "bit-b2sr";
+}
+
+struct GraphOptions {
+  bool symmetrize = true;      ///< undirected adjacency (BFS/SSSP/CC/TC)
+  bool strip_self_loops = true;
+  int tile_dim = 0;            ///< 4/8/16/32, or 0 = pick via sampling
+  vidx_t sample_rows = 256;    ///< Algorithm-1 sample size when tile_dim==0
+};
+
+class Graph {
+ public:
+  /// Build from an edge list (values, if any, are dropped: homogeneous).
+  [[nodiscard]] static Graph from_coo(const Coo& edges,
+                                      const GraphOptions& opts = {});
+
+  /// Build from an existing binary CSR (takes a copy).
+  [[nodiscard]] static Graph from_csr(Csr adjacency,
+                                      const GraphOptions& opts = {});
+
+  [[nodiscard]] vidx_t num_vertices() const { return csr_.nrows; }
+  [[nodiscard]] eidx_t num_edges() const { return csr_.nnz(); }
+  [[nodiscard]] int tile_dim() const { return tile_dim_; }
+
+  /// Binary adjacency, CSR.
+  [[nodiscard]] const Csr& adjacency() const { return csr_; }
+  /// Transposed adjacency (cached on first use).
+  [[nodiscard]] const Csr& adjacency_t() const;
+  /// Unit-valued (1.0f per nonzero) copies, cached — what the float-CSR
+  /// framework baseline actually stores and reads for the value-loading
+  /// semirings (SSSP/PR), per §III-B: frameworks "use float to carry
+  /// the elements".
+  [[nodiscard]] const Csr& unit_adjacency() const;
+  [[nodiscard]] const Csr& unit_adjacency_t() const;
+  /// B2SR-packed adjacency (cached on first use).
+  [[nodiscard]] const B2srAny& packed() const;
+  /// B2SR of the transpose (cached on first use).
+  [[nodiscard]] const B2srAny& packed_t() const;
+
+  /// Strict lower triangle L (cached) — the TC operand (paper §V).
+  [[nodiscard]] const Csr& lower() const;
+  /// B2SR of L (cached; the one-time conversion the paper amortizes).
+  [[nodiscard]] const B2srAny& packed_lower() const;
+
+  /// Out-degrees (the PR auxiliary vector, paper §V).
+  [[nodiscard]] const std::vector<vidx_t>& degrees() const;
+
+ private:
+  Csr csr_;
+  int tile_dim_ = 32;
+  mutable std::optional<Csr> csr_t_;
+  mutable std::optional<Csr> unit_csr_;
+  mutable std::optional<Csr> unit_csr_t_;
+  mutable std::optional<Csr> lower_;
+  mutable std::optional<B2srAny> b2sr_;
+  mutable std::optional<B2srAny> b2sr_t_;
+  mutable std::optional<B2srAny> b2sr_lower_;
+  mutable std::optional<std::vector<vidx_t>> degrees_;
+};
+
+}  // namespace bitgb::gb

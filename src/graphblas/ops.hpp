@@ -1,0 +1,156 @@
+// GraphBLAS operations for both backends.
+//
+// The reference backend is the GraphBLAST substitute: float-CSR
+// semiring mxv/vxm with masks, a sparse (push) and dense (pull) boolean
+// frontier pair with direction optimization, and early exit inside the
+// masked pull — the optimizations §II credits GraphBLAST with
+// ("exploiting input and output sparsity" / push-pull).
+//
+// The bit backend routes to the B2SR kernels of src/core; masking is
+// applied at the output store (no early exit — the paper's §V design
+// choice, because consecutive rows of a tile-row share a warp).
+//
+// Every operation contributes to the thread-local kernel-time
+// accumulator (platform/timer.hpp), which is how the bench harness
+// splits "algorithm" from "kernel" time in Tables VII/VIII.
+#pragma once
+
+#include "core/bmv.hpp"
+#include "core/bmm.hpp"
+#include "graphblas/graph.hpp"
+#include "platform/timer.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bitgb::gb {
+
+// ---------------------------------------------------------------------
+// Reference (GraphBLAST-substitute) backend
+// ---------------------------------------------------------------------
+
+/// Dense semiring mxv over binary CSR: y[i] = reduce_{j in adj(i)}
+/// map(x[j]); rows with no neighbours get Op::identity.
+template <typename Op>
+void ref_mxv(const Csr& a, const std::vector<value_t>& x,
+             std::vector<value_t>& y) {
+  KernelTimerScope timer;
+  y.assign(static_cast<std::size_t>(a.nrows), Op::identity);
+  parallel_for(vidx_t{0}, a.nrows, [&](vidx_t r) {
+    value_t acc = Op::identity;
+    for (const vidx_t c : a.row_cols(r)) {
+      acc = Op::reduce(acc, Op::map(x[static_cast<std::size_t>(c)]));
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  });
+}
+
+/// Dense semiring mxv over *weighted* CSR: the faithful GraphBLAST
+/// behaviour for arithmetic/min-plus semirings, which load one stored
+/// float per nonzero (`a` must carry values; a unit-valued copy of a
+/// binary adjacency gives identical results with the baseline's real
+/// memory traffic).
+template <typename Op>
+void ref_mxv_weighted(const Csr& a, const std::vector<value_t>& x,
+                      std::vector<value_t>& y) {
+  KernelTimerScope timer;
+  y.assign(static_cast<std::size_t>(a.nrows), Op::identity);
+  parallel_for(vidx_t{0}, a.nrows, [&](vidx_t r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    value_t acc = Op::identity;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      acc = Op::reduce(
+          acc, Op::combine(vals[i], x[static_cast<std::size_t>(cols[i])]));
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  });
+}
+
+/// Masked dense semiring mxv; positions failing the mask keep their
+/// previous y (y pre-sized by caller).  mask is a dense 0/1 byte vector.
+template <typename Op>
+void ref_mxv_masked(const Csr& a, const std::vector<value_t>& x,
+                    const std::vector<std::uint8_t>& mask, bool complement,
+                    std::vector<value_t>& y) {
+  KernelTimerScope timer;
+  parallel_for(vidx_t{0}, a.nrows, [&](vidx_t r) {
+    const bool pass =
+        (mask[static_cast<std::size_t>(r)] != 0) != complement;
+    if (!pass) return;  // GraphBLAST-style early exit on the mask
+    value_t acc = Op::identity;
+    for (const vidx_t c : a.row_cols(r)) {
+      acc = Op::reduce(acc, Op::map(x[static_cast<std::size_t>(c)]));
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  });
+}
+
+/// Boolean vxm, push direction: expand a sparse frontier through A's
+/// rows, drop visited vertices, return the new frontier (sorted,
+/// deduplicated).  visited is a dense 0/1 byte vector.
+[[nodiscard]] std::vector<vidx_t> ref_vxm_bool_push(
+    const Csr& a, const std::vector<vidx_t>& frontier,
+    const std::vector<std::uint8_t>& visited);
+
+/// Boolean vxm, pull direction: for every unvisited vertex, scan its
+/// in-neighbours (rows of A^T) and stop at the first frontier member
+/// (early exit).  frontier_dense is 0/1 per vertex; out likewise.
+void ref_vxm_bool_pull(const Csr& at,
+                       const std::vector<std::uint8_t>& frontier_dense,
+                       const std::vector<std::uint8_t>& visited,
+                       std::vector<std::uint8_t>& out);
+
+/// Direction-optimization threshold: push while |frontier| < n / this.
+inline constexpr vidx_t kPushPullDenominator = 32;
+
+// ---------------------------------------------------------------------
+// Bit (B2SR) backend — thin instrumented wrappers over src/core
+// ---------------------------------------------------------------------
+
+template <int Dim>
+void bit_vxm_bool_masked(const B2srT<Dim>& at, const PackedVecT<Dim>& frontier,
+                         const PackedVecT<Dim>& visited,
+                         PackedVecT<Dim>& next) {
+  KernelTimerScope timer;
+  // vxm(f, A) == mxv(A^T, f); mask = complement(visited).
+  bmv_bin_bin_bin_masked(at, frontier, visited, /*complement=*/true, next);
+}
+
+/// Push-direction bit vxm: work proportional to the frontier's tiles.
+/// Takes A itself (vxm selects A's rows); pairs with the pull form
+/// above for GraphBLAST-style direction optimization.
+template <int Dim>
+void bit_vxm_bool_masked_push(const B2srT<Dim>& a,
+                              const PackedVecT<Dim>& frontier,
+                              const PackedVecT<Dim>& visited,
+                              PackedVecT<Dim>& next) {
+  KernelTimerScope timer;
+  bmv_bin_bin_bin_push_masked(a, frontier, visited, /*complement=*/true,
+                              next);
+}
+
+template <int Dim, typename Op>
+void bit_mxv(const B2srT<Dim>& a, const std::vector<value_t>& x,
+             std::vector<value_t>& y) {
+  KernelTimerScope timer;
+  bmv_bin_full_full<Dim, Op>(a, x, y);
+}
+
+template <int Dim, typename Op>
+void bit_mxv_masked(const B2srT<Dim>& a, const std::vector<value_t>& x,
+                    const PackedVecT<Dim>& mask, bool complement,
+                    std::vector<value_t>& y) {
+  KernelTimerScope timer;
+  bmv_bin_full_full_masked<Dim, Op>(a, x, mask, complement, y);
+}
+
+template <int Dim>
+[[nodiscard]] std::int64_t bit_mxm_masked_sum(const B2srT<Dim>& a,
+                                              const B2srT<Dim>& b,
+                                              const B2srT<Dim>& mask) {
+  KernelTimerScope timer;
+  return bmm_bin_bin_sum_masked(a, b, mask);
+}
+
+}  // namespace bitgb::gb

@@ -1,0 +1,49 @@
+// Semiring catalogue — paper Table IV.
+//
+// | semiring           | domain      | algorithms        | scheme        |
+// |--------------------|-------------|-------------------|---------------|
+// | Boolean            | {0,1}       | BFS, diameter,    | bin-bin-bin   |
+// |                    |             | MIS, GC           |               |
+// | Arithmetic         | R           | LGC, PR, TC       | bin-full-full |
+// |                    |             |                   | / bin-bin-full|
+// | Tropical min-plus  | R ∪ {+inf}  | SSSP, CC          | bin-full-full |
+// | Tropical max-times | R           | MIS, GC           | bin-full-full |
+//
+// The operator bundles themselves live in core/semiring_ops.hpp (the
+// bit kernels are generic over them); this header names them at the
+// GraphBLAS level and records which BMV scheme serves each.
+#pragma once
+
+#include "core/semiring_ops.hpp"
+
+namespace bitgb::gb {
+
+enum class Semiring {
+  kBoolean,        ///< OR-AND over {0,1}
+  kArithmetic,     ///< (+, x) over R
+  kMinPlus,        ///< tropical (min, +)
+  kMaxTimes,       ///< tropical (max, x)
+};
+
+[[nodiscard]] constexpr const char* semiring_name(Semiring s) {
+  switch (s) {
+    case Semiring::kBoolean: return "boolean";
+    case Semiring::kArithmetic: return "arithmetic";
+    case Semiring::kMinPlus: return "min-plus";
+    case Semiring::kMaxTimes: return "max-times";
+  }
+  return "?";
+}
+
+/// BMV scheme Table IV assigns to each semiring.
+[[nodiscard]] constexpr const char* semiring_scheme(Semiring s) {
+  switch (s) {
+    case Semiring::kBoolean: return "bmv_bin_bin_bin";
+    case Semiring::kArithmetic: return "bmv_bin_full_full";
+    case Semiring::kMinPlus: return "bmv_bin_full_full";
+    case Semiring::kMaxTimes: return "bmv_bin_full_full";
+  }
+  return "?";
+}
+
+}  // namespace bitgb::gb

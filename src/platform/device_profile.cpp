@@ -1,0 +1,36 @@
+#include "platform/device_profile.hpp"
+
+#include "platform/parallel.hpp"
+
+#include <thread>
+
+namespace bitgb {
+
+namespace {
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+}  // namespace
+
+DeviceProfile pascal_analog() {
+  return DeviceProfile{"pascal-analog", "NVIDIA GTX 1080 (Pascal)", 1};
+}
+
+DeviceProfile volta_analog() {
+  return DeviceProfile{"volta-analog", "NVIDIA Titan V (Volta)",
+                       hardware_threads()};
+}
+
+std::vector<DeviceProfile> all_profiles() {
+  return {pascal_analog(), volta_analog()};
+}
+
+ProfileScope::ProfileScope(const DeviceProfile& p)
+    : previous_threads_(max_threads()) {
+  set_threads(p.num_threads);
+}
+
+ProfileScope::~ProfileScope() { set_threads(previous_threads_); }
+
+}  // namespace bitgb

@@ -1,0 +1,37 @@
+#include "platform/parallel.hpp"
+
+#include <atomic>
+
+namespace bitgb {
+
+namespace {
+// The kernels allocate plain float/uint32 buffers (to keep the data
+// layout byte-identical to the GPU original); atomic RMW on them is done
+// through std::atomic_ref semantics emulated with compare_exchange on an
+// atomic view.  C++20 guarantees std::atomic_ref<float> is lock-free on
+// this platform's 32-bit cells.
+std::atomic<std::uint32_t>& as_atomic_u32(std::uint32_t* p) noexcept {
+  return *reinterpret_cast<std::atomic<std::uint32_t>*>(p);
+}
+}  // namespace
+
+void atomic_min_float(float* cell, float v) noexcept {
+  std::atomic_ref<float> ref(*cell);
+  float cur = ref.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add_float(float* cell, float v) noexcept {
+  std::atomic_ref<float> ref(*cell);
+  float cur = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_or_u32(std::uint32_t* cell, std::uint32_t v) noexcept {
+  as_atomic_u32(cell).fetch_or(v, std::memory_order_relaxed);
+}
+
+}  // namespace bitgb

@@ -1,0 +1,99 @@
+// Shared-memory parallel runtime.
+//
+// The paper maps one tile-row to one warp and lets the SM scheduler run
+// up to 64 warps concurrently (§IV, warp-consolidation model).  The host
+// analog is a parallel loop over tile rows.  All kernels parallelize
+// through this header so the device profile (thread count) is applied
+// uniformly and so builds without OpenMP still work (they run serially).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace bitgb {
+
+/// Number of worker threads the runtime would use right now.
+[[nodiscard]] inline int max_threads() noexcept {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Set the worker-thread count for subsequent parallel_for calls.
+/// Device profiles (device_profile.hpp) call this; 0 means "leave as is".
+inline void set_threads(int n) noexcept {
+#if defined(_OPENMP)
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// parallel_for(begin, end, fn): run fn(i) for i in [begin, end) across
+/// the worker threads.  `fn` must be safe to run concurrently for
+/// distinct i (the B2SR kernels write disjoint output rows per tile-row,
+/// matching the one-warp-per-tile-row mapping of the paper).
+template <typename Index, typename Fn>
+void parallel_for(Index begin, Index end, Fn&& fn) {
+  if (end <= begin) return;
+#if defined(_OPENMP)
+  const std::int64_t b = static_cast<std::int64_t>(begin);
+  const std::int64_t e = static_cast<std::int64_t>(end);
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = b; i < e; ++i) {
+    fn(static_cast<Index>(i));
+  }
+#else
+  for (Index i = begin; i < end; ++i) fn(i);
+#endif
+}
+
+/// parallel_for with a static schedule — for uniform per-iteration work
+/// (e.g. packing kernels) where dynamic scheduling would only add
+/// overhead.
+template <typename Index, typename Fn>
+void parallel_for_static(Index begin, Index end, Fn&& fn) {
+  if (end <= begin) return;
+#if defined(_OPENMP)
+  const std::int64_t b = static_cast<std::int64_t>(begin);
+  const std::int64_t e = static_cast<std::int64_t>(end);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = b; i < e; ++i) {
+    fn(static_cast<Index>(i));
+  }
+#else
+  for (Index i = begin; i < end; ++i) fn(i);
+#endif
+}
+
+/// Atomic float min on a shared cell (atomicMin analog for the sub-warp
+/// tile variants, paper §V SSSP/CC).  Implemented as a CAS loop because
+/// OpenMP has no atomic min.
+void atomic_min_float(float* cell, float v) noexcept;
+
+/// Atomic float add on a shared cell (atomicAdd analog, paper §V PR/TC).
+void atomic_add_float(float* cell, float v) noexcept;
+
+/// Atomic OR on a packed bit-vector word (frontier updates).
+void atomic_or_u32(std::uint32_t* cell, std::uint32_t v) noexcept;
+
+/// Atomic OR on any packing word (uint8/16/32) — the push-mode boolean
+/// vxm scatters frontier words into the output, and distinct tile-rows
+/// may hit the same output word concurrently.
+template <typename W>
+void atomic_or_word(W* cell, W v) noexcept {
+#if defined(_OPENMP)
+  std::atomic_ref<W> ref(*cell);
+  ref.fetch_or(v, std::memory_order_relaxed);
+#else
+  *cell = static_cast<W>(*cell | v);
+#endif
+}
+
+}  // namespace bitgb

@@ -1,0 +1,20 @@
+#include "platform/timer.hpp"
+
+namespace bitgb {
+
+namespace {
+// Thread local: algorithms drive kernels from the calling thread, and
+// the OpenMP parallelism lives *inside* a kernel invocation, so the
+// calling thread's accumulator sees every kernel exactly once.
+thread_local double g_kernel_ms = 0.0;
+}  // namespace
+
+double kernel_time_ms() { return g_kernel_ms; }
+
+void reset_kernel_time() { g_kernel_ms = 0.0; }
+
+KernelTimerScope::KernelTimerScope() = default;
+
+KernelTimerScope::~KernelTimerScope() { g_kernel_ms += watch_.elapsed_ms(); }
+
+}  // namespace bitgb

@@ -1,0 +1,90 @@
+// Timing utilities and the kernel-vs-algorithm split.
+//
+// Tables VII/VIII of the paper report, per (matrix, algorithm), both the
+// whole-algorithm latency and the latency spent inside the mxv/mxm
+// kernels ("algorithm" vs "kernel" rows).  We reproduce that split with
+// a thread-local accumulator that every backend kernel wraps in a
+// KernelTimerScope; the harness reads and resets the accumulator around
+// each run.  All reported numbers are averages of kRunsPerMeasurement
+// runs, matching the paper's "average of 5 runs" protocol (§VI-A).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bitgb {
+
+inline constexpr int kRunsPerMeasurement = 5;  ///< paper §VI-A protocol
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulated in-kernel time (milliseconds) on the calling thread since
+/// the last reset.  Backend kernels contribute via KernelTimerScope.
+[[nodiscard]] double kernel_time_ms();
+
+/// Zero the kernel-time accumulator (harness calls this per run).
+void reset_kernel_time();
+
+/// RAII contribution of one kernel invocation to the accumulator.
+/// Scopes may not nest meaningfully (a kernel does not call a kernel);
+/// nesting double-counts by design simplicity and is avoided in code.
+class KernelTimerScope {
+ public:
+  KernelTimerScope();
+  ~KernelTimerScope();
+  KernelTimerScope(const KernelTimerScope&) = delete;
+  KernelTimerScope& operator=(const KernelTimerScope&) = delete;
+
+ private:
+  Stopwatch watch_;
+};
+
+/// Measure `fn` as the paper does: one warm-up call, then the average
+/// wall-clock of kRunsPerMeasurement timed calls, in milliseconds.
+template <typename Fn>
+[[nodiscard]] double time_avg_ms(Fn&& fn, int runs = kRunsPerMeasurement) {
+  fn();  // warm-up (the paper amortizes one-time effects, §III-B)
+  Stopwatch w;
+  for (int r = 0; r < runs; ++r) fn();
+  return w.elapsed_ms() / runs;
+}
+
+/// Like time_avg_ms but also averages the in-kernel accumulator, for the
+/// Tables VII/VIII "kernel" rows.  Returns {algorithm_ms, kernel_ms}.
+struct SplitTiming {
+  double algorithm_ms = 0.0;
+  double kernel_ms = 0.0;
+};
+
+template <typename Fn>
+[[nodiscard]] SplitTiming time_split_ms(Fn&& fn,
+                                        int runs = kRunsPerMeasurement) {
+  fn();  // warm-up
+  SplitTiming t;
+  for (int r = 0; r < runs; ++r) {
+    reset_kernel_time();
+    Stopwatch w;
+    fn();
+    t.algorithm_ms += w.elapsed_ms();
+    t.kernel_ms += kernel_time_ms();
+  }
+  t.algorithm_ms /= runs;
+  t.kernel_ms /= runs;
+  return t;
+}
+
+}  // namespace bitgb

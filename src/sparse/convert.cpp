@@ -1,0 +1,73 @@
+#include "sparse/convert.hpp"
+
+namespace bitgb {
+
+Csr coo_to_csr(const Coo& a) {
+  Coo sorted = a;
+  sorted.sort_and_dedup();
+
+  Csr out;
+  out.nrows = sorted.nrows;
+  out.ncols = sorted.ncols;
+  out.rowptr.assign(static_cast<std::size_t>(sorted.nrows) + 1, 0);
+  out.colind = std::move(sorted.col);
+  out.val = std::move(sorted.val);
+  for (const vidx_t r : sorted.row) {
+    ++out.rowptr[static_cast<std::size_t>(r) + 1];
+  }
+  for (std::size_t i = 1; i < out.rowptr.size(); ++i) {
+    out.rowptr[i] += out.rowptr[i - 1];
+  }
+  return out;
+}
+
+Coo csr_to_coo(const Csr& a) {
+  Coo out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  out.col = a.colind;
+  out.val = a.val;
+  out.row.reserve(a.colind.size());
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    const auto lo = a.rowptr[static_cast<std::size_t>(r)];
+    const auto hi = a.rowptr[static_cast<std::size_t>(r) + 1];
+    for (vidx_t k = lo; k < hi; ++k) out.row.push_back(r);
+  }
+  return out;
+}
+
+std::vector<value_t> csr_to_dense(const Csr& a) {
+  std::vector<value_t> d(static_cast<std::size_t>(a.nrows) *
+                             static_cast<std::size_t>(a.ncols),
+                         0.0f);
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      d[static_cast<std::size_t>(r) * static_cast<std::size_t>(a.ncols) +
+        static_cast<std::size_t>(cols[i])] = vals.empty() ? 1.0f : vals[i];
+    }
+  }
+  return d;
+}
+
+Csr dense_to_csr(const std::vector<value_t>& dense, vidx_t nrows,
+                 vidx_t ncols) {
+  Csr out;
+  out.nrows = nrows;
+  out.ncols = ncols;
+  out.rowptr.assign(static_cast<std::size_t>(nrows) + 1, 0);
+  for (vidx_t r = 0; r < nrows; ++r) {
+    for (vidx_t c = 0; c < ncols; ++c) {
+      if (dense[static_cast<std::size_t>(r) * static_cast<std::size_t>(ncols) +
+                static_cast<std::size_t>(c)] != 0.0f) {
+        out.colind.push_back(c);
+      }
+    }
+    out.rowptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<vidx_t>(out.colind.size());
+  }
+  return out;
+}
+
+}  // namespace bitgb

@@ -1,0 +1,23 @@
+// Format conversions (COO <-> CSR).
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace bitgb {
+
+/// Build CSR from COO.  Input need not be sorted; duplicates are merged
+/// (values summed, pattern kept single) as in Coo::sort_and_dedup.
+[[nodiscard]] Csr coo_to_csr(const Coo& a);
+
+/// Expand CSR back to (sorted) COO.
+[[nodiscard]] Coo csr_to_coo(const Csr& a);
+
+/// Dense row-major expansion for small-matrix tests and gold references.
+[[nodiscard]] std::vector<value_t> csr_to_dense(const Csr& a);
+
+/// Build a binary CSR from a dense row-major 0/1 matrix (test helper).
+[[nodiscard]] Csr dense_to_csr(const std::vector<value_t>& dense, vidx_t nrows,
+                               vidx_t ncols);
+
+}  // namespace bitgb

@@ -1,0 +1,66 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bitgb {
+
+void Coo::sort_and_dedup() {
+  const eidx_t n = nnz();
+  if (n == 0) return;
+  std::vector<eidx_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), eidx_t{0});
+  std::sort(order.begin(), order.end(), [&](eidx_t a, eidx_t b) {
+    const auto ia = static_cast<std::size_t>(a);
+    const auto ib = static_cast<std::size_t>(b);
+    if (row[ia] != row[ib]) return row[ia] < row[ib];
+    return col[ia] < col[ib];
+  });
+
+  std::vector<vidx_t> new_row;
+  std::vector<vidx_t> new_col;
+  std::vector<value_t> new_val;
+  new_row.reserve(static_cast<std::size_t>(n));
+  new_col.reserve(static_cast<std::size_t>(n));
+  if (!val.empty()) new_val.reserve(static_cast<std::size_t>(n));
+
+  for (eidx_t k = 0; k < n; ++k) {
+    const auto i = static_cast<std::size_t>(order[static_cast<std::size_t>(k)]);
+    if (!new_row.empty() && new_row.back() == row[i] &&
+        new_col.back() == col[i]) {
+      if (!val.empty()) new_val.back() += val[i];  // MM duplicate convention
+      continue;
+    }
+    new_row.push_back(row[i]);
+    new_col.push_back(col[i]);
+    if (!val.empty()) new_val.push_back(val[i]);
+  }
+  row = std::move(new_row);
+  col = std::move(new_col);
+  val = std::move(new_val);
+}
+
+bool Coo::validate() const {
+  if (nrows < 0 || ncols < 0) return false;
+  if (row.size() != col.size()) return false;
+  if (!val.empty() && val.size() != row.size()) return false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] < 0 || row[i] >= nrows) return false;
+    if (col[i] < 0 || col[i] >= ncols) return false;
+  }
+  return true;
+}
+
+Coo with_unit_values(const Coo& a) {
+  Coo out = a;
+  out.val.assign(out.row.size(), 1.0f);
+  return out;
+}
+
+Coo pattern_of(const Coo& a) {
+  Coo out = a;
+  out.val.clear();
+  return out;
+}
+
+}  // namespace bitgb

@@ -1,0 +1,175 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace bitgb {
+
+double Csr::density() const {
+  if (nrows == 0 || ncols == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(nrows) * static_cast<double>(ncols));
+}
+
+std::size_t Csr::storage_bytes() const {
+  const std::size_t n = static_cast<std::size_t>(nnz());
+  return (rowptr.size() + n) * sizeof(vidx_t) + n * sizeof(value_t);
+}
+
+bool Csr::validate() const {
+  if (nrows < 0 || ncols < 0) return false;
+  if (rowptr.size() != static_cast<std::size_t>(nrows) + 1) return false;
+  if (rowptr.front() != 0) return false;
+  if (rowptr.back() != static_cast<vidx_t>(colind.size())) return false;
+  if (!val.empty() && val.size() != colind.size()) return false;
+  for (vidx_t r = 0; r < nrows; ++r) {
+    const auto lo = rowptr[static_cast<std::size_t>(r)];
+    const auto hi = rowptr[static_cast<std::size_t>(r) + 1];
+    if (lo > hi) return false;
+    for (vidx_t k = lo; k < hi; ++k) {
+      const vidx_t c = colind[static_cast<std::size_t>(k)];
+      if (c < 0 || c >= ncols) return false;
+      if (k > lo && colind[static_cast<std::size_t>(k) - 1] >= c) return false;
+    }
+  }
+  return true;
+}
+
+Csr transpose(const Csr& a) {
+  Csr t;
+  t.nrows = a.ncols;
+  t.ncols = a.nrows;
+  t.rowptr.assign(static_cast<std::size_t>(t.nrows) + 1, 0);
+
+  // Counting pass over column indices.
+  for (const vidx_t c : a.colind) {
+    ++t.rowptr[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t i = 1; i < t.rowptr.size(); ++i) {
+    t.rowptr[i] += t.rowptr[i - 1];
+  }
+
+  t.colind.resize(a.colind.size());
+  const bool weighted = !a.val.empty();
+  if (weighted) t.val.resize(a.val.size());
+
+  std::vector<vidx_t> cursor(t.rowptr.begin(), t.rowptr.end() - 1);
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    const auto lo = a.rowptr[static_cast<std::size_t>(r)];
+    const auto hi = a.rowptr[static_cast<std::size_t>(r) + 1];
+    for (vidx_t k = lo; k < hi; ++k) {
+      const vidx_t c = a.colind[static_cast<std::size_t>(k)];
+      const auto dst = static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++);
+      t.colind[dst] = r;
+      if (weighted) t.val[dst] = a.val[static_cast<std::size_t>(k)];
+    }
+  }
+  // Row-major emission over sorted source rows keeps each output row's
+  // column indices sorted, so no per-row sort is needed.
+  return t;
+}
+
+Csr lower_triangle(const Csr& a) {
+  Csr l;
+  l.nrows = a.nrows;
+  l.ncols = a.ncols;
+  l.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+  const bool weighted = !a.val.empty();
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    const auto lo = a.rowptr[static_cast<std::size_t>(r)];
+    const auto hi = a.rowptr[static_cast<std::size_t>(r) + 1];
+    for (vidx_t k = lo; k < hi; ++k) {
+      const vidx_t c = a.colind[static_cast<std::size_t>(k)];
+      if (c < r) {
+        l.colind.push_back(c);
+        if (weighted) l.val.push_back(a.val[static_cast<std::size_t>(k)]);
+      }
+    }
+    l.rowptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<vidx_t>(l.colind.size());
+  }
+  return l;
+}
+
+Csr symmetrize(const Csr& a) {
+  const Csr t = transpose(a);
+  Csr s;
+  s.nrows = a.nrows;
+  s.ncols = a.ncols;
+  s.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+  const bool weighted = !a.val.empty() || !t.val.empty();
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    // Merge the sorted rows of a and a^T.
+    auto ac = a.row_cols(r);
+    auto tc = t.row_cols(r);
+    auto av = a.row_vals(r);
+    auto tv = t.row_vals(r);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ac.size() || j < tc.size()) {
+      vidx_t c;
+      value_t v = 1.0f;
+      if (j >= tc.size() || (i < ac.size() && ac[i] < tc[j])) {
+        c = ac[i];
+        if (!av.empty()) v = av[i];
+        ++i;
+      } else if (i >= ac.size() || tc[j] < ac[i]) {
+        c = tc[j];
+        if (!tv.empty()) v = tv[j];
+        ++j;
+      } else {  // present in both
+        c = ac[i];
+        const value_t va = av.empty() ? 1.0f : av[i];
+        const value_t vb = tv.empty() ? 1.0f : tv[j];
+        v = std::max(va, vb);
+        ++i;
+        ++j;
+      }
+      s.colind.push_back(c);
+      if (weighted) s.val.push_back(v);
+    }
+    s.rowptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<vidx_t>(s.colind.size());
+  }
+  return s;
+}
+
+Csr strip_diagonal(const Csr& a) {
+  Csr d;
+  d.nrows = a.nrows;
+  d.ncols = a.ncols;
+  d.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+  const bool weighted = !a.val.empty();
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    const auto lo = a.rowptr[static_cast<std::size_t>(r)];
+    const auto hi = a.rowptr[static_cast<std::size_t>(r) + 1];
+    for (vidx_t k = lo; k < hi; ++k) {
+      const vidx_t c = a.colind[static_cast<std::size_t>(k)];
+      if (c != r) {
+        d.colind.push_back(c);
+        if (weighted) d.val.push_back(a.val[static_cast<std::size_t>(k)]);
+      }
+    }
+    d.rowptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<vidx_t>(d.colind.size());
+  }
+  return d;
+}
+
+std::vector<vidx_t> out_degrees(const Csr& a) {
+  std::vector<vidx_t> deg(static_cast<std::size_t>(a.nrows));
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    deg[static_cast<std::size_t>(r)] =
+        a.rowptr[static_cast<std::size_t>(r) + 1] -
+        a.rowptr[static_cast<std::size_t>(r)];
+  }
+  return deg;
+}
+
+bool is_symmetric(const Csr& a) {
+  if (a.nrows != a.ncols) return false;
+  const Csr t = transpose(a);
+  return t.rowptr == a.rowptr && t.colind == a.colind;
+}
+
+}  // namespace bitgb

@@ -1,0 +1,309 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_set>
+
+namespace bitgb {
+
+namespace {
+
+// 64-bit mix for pair-dedup hashing.
+std::uint64_t edge_key(vidx_t r, vidx_t c) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
+         static_cast<std::uint32_t>(c);
+}
+
+}  // namespace
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kDot: return "dot";
+    case Pattern::kDiagonal: return "diagonal";
+    case Pattern::kBlock: return "block";
+    case Pattern::kStripe: return "stripe";
+    case Pattern::kRoad: return "road";
+    case Pattern::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+Coo gen_random(vidx_t n, eidx_t nnz_target, std::uint64_t seed) {
+  Coo out;
+  out.nrows = n;
+  out.ncols = n;
+  if (n <= 1) return out;
+  const eidx_t cap = static_cast<eidx_t>(n) * (n - 1);
+  nnz_target = std::min(nnz_target, cap);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<vidx_t> pick(0, n - 1);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz_target) * 2);
+  while (static_cast<eidx_t>(seen.size()) < nnz_target) {
+    const vidx_t r = pick(rng);
+    const vidx_t c = pick(rng);
+    if (r == c) continue;
+    if (seen.insert(edge_key(r, c)).second) out.push(r, c);
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_banded(vidx_t n, vidx_t bandwidth, double fill, std::uint64_t seed) {
+  Coo out;
+  out.nrows = n;
+  out.ncols = n;
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution keep(std::clamp(fill, 0.0, 1.0));
+  for (vidx_t r = 0; r < n; ++r) {
+    const vidx_t lo = std::max<vidx_t>(0, r - bandwidth);
+    const vidx_t hi = std::min<vidx_t>(n - 1, r + bandwidth);
+    for (vidx_t c = lo; c <= hi; ++c) {
+      if (c == r) continue;
+      if (keep(rng)) out.push(r, c);
+    }
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_block(vidx_t n, vidx_t block_size, int nblocks, double fill,
+              std::uint64_t seed, bool off_diagonal_blocks) {
+  Coo out;
+  out.nrows = n;
+  out.ncols = n;
+  if (n == 0 || block_size == 0 || nblocks == 0) return out;
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution keep(std::clamp(fill, 0.0, 1.0));
+  std::uniform_int_distribution<vidx_t> origin(
+      0, std::max<vidx_t>(0, n - block_size));
+  for (int b = 0; b < nblocks; ++b) {
+    const vidx_t r0 = origin(rng);
+    const vidx_t c0 = off_diagonal_blocks ? origin(rng) : r0;
+    for (vidx_t dr = 0; dr < block_size; ++dr) {
+      for (vidx_t dc = 0; dc < block_size; ++dc) {
+        const vidx_t r = r0 + dr;
+        const vidx_t c = c0 + dc;
+        if (r == c) continue;
+        if (keep(rng)) out.push(r, c);
+      }
+    }
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_stripe(vidx_t n, int nstripes, double fill, std::uint64_t seed) {
+  Coo out;
+  out.nrows = n;
+  out.ncols = n;
+  if (n <= 1) return out;
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution keep(std::clamp(fill, 0.0, 1.0));
+  std::uniform_int_distribution<vidx_t> off(0, n - 1);
+  // Small integer slopes give the "lines in various directions" look.
+  std::uniform_int_distribution<int> slope_pick(1, 3);
+  std::bernoulli_distribution flip(0.5);
+  for (int s = 0; s < nstripes; ++s) {
+    const int slope = slope_pick(rng) * (flip(rng) ? 1 : -1);
+    const vidx_t offset = off(rng);
+    for (vidx_t r = 0; r < n; ++r) {
+      const auto c64 =
+          (static_cast<std::int64_t>(r) * slope + offset) % n;
+      const vidx_t c = static_cast<vidx_t>(c64 < 0 ? c64 + n : c64);
+      if (c == r) continue;
+      if (keep(rng)) out.push(r, c);
+    }
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_road(vidx_t width, vidx_t height, double rewire, std::uint64_t seed) {
+  Coo out;
+  const vidx_t n = width * height;
+  out.nrows = n;
+  out.ncols = n;
+  if (n == 0) return out;
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution do_rewire(std::clamp(rewire, 0.0, 1.0));
+  std::uniform_int_distribution<vidx_t> pick(0, n - 1);
+  auto id = [width](vidx_t x, vidx_t y) { return y * width + x; };
+  for (vidx_t y = 0; y < height; ++y) {
+    for (vidx_t x = 0; x < width; ++x) {
+      const vidx_t u = id(x, y);
+      if (x + 1 < width) {
+        vidx_t v = id(x + 1, y);
+        if (do_rewire(rng)) v = pick(rng);
+        if (u != v) {
+          out.push(u, v);
+          out.push(v, u);
+        }
+      }
+      if (y + 1 < height) {
+        vidx_t v = id(x, y + 1);
+        if (do_rewire(rng)) v = pick(rng);
+        if (u != v) {
+          out.push(u, v);
+          out.push(v, u);
+        }
+      }
+    }
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_hybrid(vidx_t n, std::uint64_t seed) {
+  // Union of a narrow band, a few blocks, and light random scatter —
+  // Table V's "combination of more than two patterns above".
+  const Coo band = gen_banded(n, std::max<vidx_t>(2, n / 256), 0.6, seed);
+  const Coo blocks =
+      gen_block(n, std::max<vidx_t>(4, n / 64), 6, 0.4, seed + 1, true);
+  const Coo dots = gen_random(n, static_cast<eidx_t>(n) * 2, seed + 2);
+  Coo out;
+  out.nrows = n;
+  out.ncols = n;
+  for (const Coo* part : {&band, &blocks, &dots}) {
+    out.row.insert(out.row.end(), part->row.begin(), part->row.end());
+    out.col.insert(out.col.end(), part->col.begin(), part->col.end());
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_rmat(int scale, eidx_t nnz_target, std::uint64_t seed) {
+  const vidx_t n = static_cast<vidx_t>(1) << scale;
+  Coo out;
+  out.nrows = n;
+  out.ncols = n;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  // Graph500 partition probabilities.
+  constexpr double a = 0.57;
+  constexpr double b = 0.19;
+  constexpr double c = 0.19;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz_target) * 2);
+  eidx_t attempts = 0;
+  const eidx_t max_attempts = nnz_target * 16 + 1024;
+  while (static_cast<eidx_t>(seen.size()) < nnz_target &&
+         attempts++ < max_attempts) {
+    vidx_t r = 0;
+    vidx_t cc = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double p = u(rng);
+      if (p < a) {
+        // upper-left: nothing to add
+      } else if (p < a + b) {
+        cc |= (static_cast<vidx_t>(1) << bit);
+      } else if (p < a + b + c) {
+        r |= (static_cast<vidx_t>(1) << bit);
+      } else {
+        r |= (static_cast<vidx_t>(1) << bit);
+        cc |= (static_cast<vidx_t>(1) << bit);
+      }
+    }
+    if (r == cc) continue;
+    if (seen.insert(edge_key(r, cc)).second) out.push(r, cc);
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_mycielskian(int k) {
+  // mycielskian2 = K2; each step maps G(V,E) with n nodes to a graph on
+  // 2n+1 nodes: copies u_i, shadows w_i (adjacent to N(u_i)), apex z
+  // adjacent to all shadows.  This reproduces the SuiteSparse
+  // mycielskianN graphs exactly (they are defined by this construction).
+  std::vector<std::pair<vidx_t, vidx_t>> edges = {{0, 1}};
+  vidx_t n = 2;
+  for (int step = 2; step < k; ++step) {
+    std::vector<std::pair<vidx_t, vidx_t>> next = edges;
+    // shadow w_i = n + i, apex z = 2n.
+    for (const auto& [u, v] : edges) {
+      next.emplace_back(n + u, v);
+      next.emplace_back(u, n + v);
+    }
+    for (vidx_t i = 0; i < n; ++i) next.emplace_back(n + i, 2 * n);
+    edges = std::move(next);
+    n = 2 * n + 1;
+  }
+  Coo out;
+  out.nrows = n;
+  out.ncols = n;
+  for (const auto& [u, v] : edges) {
+    out.push(u, v);
+    out.push(v, u);
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_chain_of_cliques(vidx_t nchains, vidx_t clique, std::uint64_t seed) {
+  Coo out;
+  const vidx_t n = nchains * clique;
+  out.nrows = n;
+  out.ncols = n;
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution keep(0.8);
+  for (vidx_t b = 0; b < nchains; ++b) {
+    const vidx_t base = b * clique;
+    for (vidx_t i = 0; i < clique; ++i) {
+      for (vidx_t j = i + 1; j < clique; ++j) {
+        if (keep(rng)) {
+          out.push(base + i, base + j);
+          out.push(base + j, base + i);
+        }
+      }
+    }
+    // Ring link to the next clique.
+    const vidx_t u = base + clique - 1;
+    const vidx_t v = ((b + 1) % nchains) * clique;
+    if (u != v) {
+      out.push(u, v);
+      out.push(v, u);
+    }
+  }
+  out.sort_and_dedup();
+  return out;
+}
+
+Coo gen_pattern(Pattern p, vidx_t n, double density, std::uint64_t seed) {
+  const double d = std::clamp(density, 0.0, 0.5);
+  const auto nnz =
+      static_cast<eidx_t>(d * static_cast<double>(n) * static_cast<double>(n));
+  switch (p) {
+    case Pattern::kDot:
+      return gen_random(n, nnz, seed);
+    case Pattern::kDiagonal: {
+      // band fill 0.5 => bandwidth so that 2*bw*0.5*n ≈ nnz
+      const vidx_t bw = std::max<vidx_t>(
+          1, static_cast<vidx_t>(static_cast<double>(nnz) / n));
+      return gen_banded(n, bw, 0.5, seed);
+    }
+    case Pattern::kBlock: {
+      const vidx_t bs = std::max<vidx_t>(4, n / 32);
+      const double per_block = 0.5 * bs * bs;
+      const int nb = std::max(1, static_cast<int>(
+                                     static_cast<double>(nnz) / per_block));
+      return gen_block(n, bs, nb, 0.5, seed, true);
+    }
+    case Pattern::kStripe: {
+      const int ns = std::max(
+          1, static_cast<int>(static_cast<double>(nnz) / (0.6 * n)));
+      return gen_stripe(n, ns, 0.6, seed);
+    }
+    case Pattern::kRoad: {
+      const vidx_t side = std::max<vidx_t>(
+          2, static_cast<vidx_t>(std::sqrt(static_cast<double>(n))));
+      return gen_road(side, side, 0.02, seed);
+    }
+    case Pattern::kHybrid:
+      return gen_hybrid(n, seed);
+  }
+  return gen_random(n, nnz, seed);
+}
+
+}  // namespace bitgb

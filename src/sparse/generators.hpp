@@ -1,0 +1,91 @@
+// Synthetic matrix generators — the SuiteSparse dataset substitute.
+//
+// The paper evaluates on all 521 binary square matrices of the
+// SuiteSparse Matrix Collection and buckets them into six nonzero
+// pattern categories (paper Table V): dot (random scatter), diagonal
+// (band around the main diagonal), block, stripe (lines of various
+// slopes), road (regular planar distribution), and hybrid.  That
+// collection is not available offline, so these generators produce
+// structurally equivalent matrices per category.  Each generator is
+// deterministic given its seed, so the corpus (benchlib/corpus.*) is
+// reproducible.
+//
+// All generators emit *binary square* matrices (the paper's population:
+// homogeneous graphs); graph-algorithm consumers symmetrize as needed.
+#pragma once
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bitgb {
+
+/// Table V pattern categories.
+enum class Pattern {
+  kDot,       ///< nonzeros scattered uniformly at random (Erdős–Rényi)
+  kDiagonal,  ///< band matrix: nonzeros near the main diagonal
+  kBlock,     ///< dense square blocks / contours
+  kStripe,    ///< one or more lines at various slopes/offsets
+  kRoad,      ///< planar grid / mesh (road-network-like regularity)
+  kHybrid,    ///< combination of two or more of the above
+};
+
+[[nodiscard]] const char* pattern_name(Pattern p);
+
+/// Erdős–Rényi G(n, m): `nnz_target` distinct off-diagonal entries placed
+/// uniformly at random ("dot" category).
+[[nodiscard]] Coo gen_random(vidx_t n, eidx_t nnz_target, std::uint64_t seed);
+
+/// Band matrix: each row has entries within +-bandwidth of the diagonal,
+/// keeping each with probability `fill` ("diagonal" category;
+/// analogs: ash292, minnesota, jagmesh6, whitaker3_dual, 3dtube, ...).
+[[nodiscard]] Coo gen_banded(vidx_t n, vidx_t bandwidth, double fill,
+                             std::uint64_t seed);
+
+/// Block pattern: `nblocks` dense-ish square blocks of size `block_size`
+/// placed along (or off) the diagonal with interior density `fill`
+/// ("block" category; analogs: Erdos02, net25, EX3).
+[[nodiscard]] Coo gen_block(vidx_t n, vidx_t block_size, int nblocks,
+                            double fill, std::uint64_t seed,
+                            bool off_diagonal_blocks = true);
+
+/// Stripe pattern: `nstripes` lines r -> (slope*r + offset) mod n with
+/// per-entry keep probability `fill` ("stripe" category; analogs:
+/// delaunay_n14 [as rendered in the paper's table], se, debr).
+[[nodiscard]] Coo gen_stripe(vidx_t n, int nstripes, double fill,
+                             std::uint64_t seed);
+
+/// 2D grid / road network: width*height nodes, 4-neighbour connectivity
+/// with a fraction `rewire` of random long edges ("road" category).
+/// The returned matrix has n = width*height rows.
+[[nodiscard]] Coo gen_road(vidx_t width, vidx_t height, double rewire,
+                           std::uint64_t seed);
+
+/// Hybrid: union of a band, a block set and random scatter ("hybrid").
+[[nodiscard]] Coo gen_hybrid(vidx_t n, std::uint64_t seed);
+
+/// RMAT power-law graph (a=0.57,b=0.19,c=0.19,d=0.05 Graph500 defaults);
+/// used for social-network-flavoured examples and scale-free analogs.
+[[nodiscard]] Coo gen_rmat(int scale, eidx_t nnz_target, std::uint64_t seed);
+
+/// The Mycielski construction applied `k-2` times to K2, producing the
+/// mycielskian-k graph of the SuiteSparse collection *exactly* (these
+/// are deterministic graphs: mycielskian9 has 383 nodes, mycielskian12
+/// has 3071).  Used for the paper's mycielskian9/10/12/13 rows.
+[[nodiscard]] Coo gen_mycielskian(int k);
+
+/// Path-of-cliques "small-world chain" used for the `uk`/`se` style
+/// long-diameter matrices: `nchains` cliques of `clique` vertices linked
+/// in a ring.
+[[nodiscard]] Coo gen_chain_of_cliques(vidx_t nchains, vidx_t clique,
+                                       std::uint64_t seed);
+
+/// Generate a matrix of the given category at roughly n rows and the
+/// requested density (best effort; exact for kDot).  Dispatcher used by
+/// the corpus builder.
+[[nodiscard]] Coo gen_pattern(Pattern p, vidx_t n, double density,
+                              std::uint64_t seed);
+
+}  // namespace bitgb

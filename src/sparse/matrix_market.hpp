@@ -1,0 +1,37 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// The paper's dataset is the SuiteSparse Matrix Collection, which is
+// distributed in Matrix Market format.  This reader handles the subset
+// the collection uses for graphs: `matrix coordinate
+// {pattern|real|integer} {general|symmetric}` with 1-based indices and
+// '%' comments.  Symmetric inputs are expanded to both triangles, which
+// is how SuiteSparse graph consumers interpret them.
+#pragma once
+
+#include "sparse/coo.hpp"
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace bitgb {
+
+/// Raised on malformed input.
+class MatrixMarketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse a Matrix Market stream into COO (sorted, deduplicated).
+/// `pattern` entries produce a binary COO (empty val).
+[[nodiscard]] Coo read_matrix_market(std::istream& in);
+
+/// Convenience file loader.
+[[nodiscard]] Coo read_matrix_market_file(const std::string& path);
+
+/// Write COO as `coordinate pattern general` (binary) or `coordinate
+/// real general` (weighted), 1-based.
+void write_matrix_market(std::ostream& out, const Coo& a);
+void write_matrix_market_file(const std::string& path, const Coo& a);
+
+}  // namespace bitgb

@@ -1,0 +1,17 @@
+// Fundamental index and value types.
+//
+// The paper's artifact (like cuSPARSE) uses 32-bit indices and float
+// values; the whole library follows suit.  Binary adjacency matrices
+// carry implicit value 1.0f, so formats for binary matrices omit the
+// value array entirely (that omission is the point of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace bitgb {
+
+using vidx_t = std::int32_t;  ///< vertex / row / column index
+using eidx_t = std::int64_t;  ///< edge / nonzero index (nnz can exceed 2^31)
+using value_t = float;        ///< full-precision element (paper: 32-bit float)
+
+}  // namespace bitgb

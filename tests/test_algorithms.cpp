@@ -1,0 +1,224 @@
+// Graph-algorithm tests: BFS, SSSP, PR, CC, TC — both backends against
+// serial gold references, across pattern categories and tile sizes.
+#include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
+#include "algorithms/sssp.hpp"
+#include "algorithms/tc.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace bitgb {
+namespace {
+
+// (tile dim, matrix index) — every algorithm must agree with its gold
+// reference on every backend for every combination.
+class AlgoTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  gb::Graph make_graph() {
+    const auto [dim, mi] = GetParam();
+    const auto mats = test::small_matrices();
+    gb::GraphOptions opts;
+    opts.tile_dim = dim;
+    return gb::Graph::from_csr(mats[static_cast<std::size_t>(mi)].second,
+                               opts);
+  }
+};
+
+TEST_P(AlgoTest, BfsBothBackendsMatchGold) {
+  const gb::Graph g = make_graph();
+  if (g.num_vertices() == 0) return;
+  const auto gold = algo::bfs_gold(g.adjacency(), 0);
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::bfs(g, 0, backend);
+    EXPECT_EQ(gold, res.levels) << gb::backend_name(backend);
+  }
+}
+
+TEST_P(AlgoTest, SsspBothBackendsMatchGold) {
+  const gb::Graph g = make_graph();
+  if (g.num_vertices() == 0) return;
+  const auto gold = algo::sssp_gold(g.adjacency(), 0);
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::sssp(g, 0, backend);
+    test::expect_vectors_near(gold, res.dist);
+  }
+}
+
+TEST_P(AlgoTest, PageRankBothBackendsMatchGold) {
+  const gb::Graph g = make_graph();
+  if (g.num_vertices() == 0) return;
+  const auto gold = algo::pagerank_gold(g.adjacency());
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::pagerank(g, backend);
+    test::expect_vectors_near(gold, res.rank, 1e-4);
+  }
+}
+
+TEST_P(AlgoTest, CcBothBackendsMatchGold) {
+  const gb::Graph g = make_graph();
+  if (g.num_vertices() == 0) return;
+  const auto gold = algo::cc_gold(g.adjacency());
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::connected_components(g, backend);
+    EXPECT_EQ(gold, res.component) << gb::backend_name(backend);
+  }
+}
+
+TEST_P(AlgoTest, TcBothBackendsMatchGold) {
+  const gb::Graph g = make_graph();
+  if (g.num_vertices() == 0) return;
+  const auto gold = algo::tc_gold(g.adjacency());
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    EXPECT_EQ(gold, algo::triangle_count(g, backend))
+        << gb::backend_name(backend);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndMatrices, AlgoTest,
+    ::testing::Combine(::testing::ValuesIn({4, 8, 16, 32}),
+                       ::testing::ValuesIn({2, 4, 6, 7, 8, 9, 10, 11})),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- targeted semantic checks on known graphs ---
+
+TEST(Bfs, PathGraphLevelsAreDistances) {
+  Coo path{6, 6, {}, {}, {}};
+  for (vidx_t i = 0; i + 1 < 6; ++i) path.push(i, i + 1);
+  const gb::Graph g = gb::Graph::from_coo(path);
+  const auto res = algo::bfs(g, 0, gb::Backend::kBit);
+  for (vidx_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(i, res.levels[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(5, res.iterations);
+}
+
+TEST(Bfs, DisconnectedComponentStaysUnreached) {
+  Coo two{6, 6, {}, {}, {}};
+  two.push(0, 1);
+  two.push(3, 4);
+  const gb::Graph g = gb::Graph::from_coo(two);
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::bfs(g, 0, backend);
+    EXPECT_EQ(algo::kUnreached, res.levels[3]);
+    EXPECT_EQ(algo::kUnreached, res.levels[5]);
+    EXPECT_EQ(1, res.levels[1]);
+  }
+}
+
+TEST(Bfs, SourceOnlyGraph) {
+  const gb::Graph g = gb::Graph::from_coo(Coo{4, 4, {}, {}, {}});
+  const auto res = algo::bfs(g, 2, gb::Backend::kBit);
+  EXPECT_EQ(0, res.levels[2]);
+  EXPECT_EQ(algo::kUnreached, res.levels[0]);
+}
+
+TEST(Sssp, UnitWeightsEqualBfsLevels) {
+  const gb::Graph g = gb::Graph::from_coo(gen_road(8, 8, 0.0, 20));
+  const auto bfs_res = algo::bfs(g, 0, gb::Backend::kBit);
+  const auto sssp_res = algo::sssp(g, 0, gb::Backend::kBit);
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    const auto lvl = bfs_res.levels[static_cast<std::size_t>(v)];
+    const auto d = sssp_res.dist[static_cast<std::size_t>(v)];
+    if (lvl == algo::kUnreached) {
+      EXPECT_TRUE(std::isinf(d));
+    } else {
+      EXPECT_FLOAT_EQ(static_cast<value_t>(lvl), d);
+    }
+  }
+}
+
+TEST(PageRank, SumsToOneAndUniformOnRegularGraph) {
+  // On a cycle (2-regular), PageRank is exactly uniform.
+  Coo cycle{8, 8, {}, {}, {}};
+  for (vidx_t i = 0; i < 8; ++i) cycle.push(i, (i + 1) % 8);
+  const gb::Graph g = gb::Graph::from_coo(cycle);
+  const auto res = algo::pagerank(g, gb::Backend::kBit);
+  double sum = 0.0;
+  for (const value_t r : res.rank) {
+    EXPECT_NEAR(1.0 / 8.0, r, 1e-5);
+    sum += r;
+  }
+  EXPECT_NEAR(1.0, sum, 1e-4);
+}
+
+TEST(PageRank, DanglingMassIsRedistributed) {
+  // Directed edge 0->1 only: vertex 1 is dangling; ranks must still
+  // sum to 1.
+  Coo a{3, 3, {}, {}, {}};
+  a.push(0, 1);
+  gb::GraphOptions opts;
+  opts.symmetrize = false;
+  const gb::Graph g = gb::Graph::from_coo(a, opts);
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::pagerank(g, backend);
+    double sum = 0.0;
+    for (const value_t r : res.rank) sum += r;
+    EXPECT_NEAR(1.0, sum, 1e-4) << gb::backend_name(backend);
+    // 1 receives 0's rank on top of the teleport share.
+    EXPECT_GT(res.rank[1], res.rank[0]);
+  }
+}
+
+TEST(PageRank, HonorsIterationCap) {
+  const gb::Graph g = gb::Graph::from_coo(gen_rmat(8, 1500, 21));
+  algo::PageRankOptions opts;
+  opts.max_iterations = 3;
+  opts.epsilon = 0.0;  // never converges early
+  const auto res = algo::pagerank(g, gb::Backend::kBit, opts);
+  EXPECT_EQ(3, res.iterations);
+}
+
+TEST(Cc, CountsComponentsOfForest) {
+  // Three separate edges + 2 isolated vertices = 5 components.
+  Coo f{8, 8, {}, {}, {}};
+  f.push(0, 1);
+  f.push(2, 3);
+  f.push(4, 5);
+  const gb::Graph g = gb::Graph::from_coo(f);
+  const auto res = algo::connected_components(g, gb::Backend::kBit);
+  std::map<vidx_t, int> sizes;
+  for (const vidx_t c : res.component) ++sizes[c];
+  EXPECT_EQ(5u, sizes.size());
+  // Labels are component minima.
+  EXPECT_EQ(0, res.component[1]);
+  EXPECT_EQ(2, res.component[3]);
+  EXPECT_EQ(6, res.component[6]);
+}
+
+TEST(Tc, KnownTriangleCounts) {
+  // K4 has 4 triangles.
+  Coo k4{4, 4, {}, {}, {}};
+  for (vidx_t i = 0; i < 4; ++i) {
+    for (vidx_t j = 0; j < 4; ++j) {
+      if (i != j) k4.push(i, j);
+    }
+  }
+  const gb::Graph g4 = gb::Graph::from_coo(k4);
+  EXPECT_EQ(4, algo::triangle_count(g4, gb::Backend::kBit));
+  EXPECT_EQ(4, algo::triangle_count(g4, gb::Backend::kReference));
+
+  // Mycielskian graphs are triangle-free by construction.
+  const gb::Graph gm = gb::Graph::from_coo(gen_mycielskian(7));
+  EXPECT_EQ(0, algo::triangle_count(gm, gb::Backend::kBit));
+}
+
+TEST(Tc, CycleHasNoTrianglesSquareOfCycleDoes) {
+  Coo c5{5, 5, {}, {}, {}};
+  for (vidx_t i = 0; i < 5; ++i) c5.push(i, (i + 1) % 5);
+  const gb::Graph g = gb::Graph::from_coo(c5);
+  EXPECT_EQ(0, algo::triangle_count(g, gb::Backend::kBit));
+}
+
+}  // namespace
+}  // namespace bitgb

@@ -1,0 +1,129 @@
+// Bit-plane decomposition tests — the §VII future-work extension.
+#include "core/bitplane.hpp"
+#include "core/pack.hpp"
+#include "baseline/csrmv.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace bitgb {
+namespace {
+
+Csr random_weighted(vidx_t n, eidx_t nnz, int max_weight, std::uint64_t seed) {
+  // Distinct coordinates only: COO dedup would otherwise *sum*
+  // duplicate weights past the decomposition's clamp range.
+  Coo a{n, n, {}, {}, {}};
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> w(1, max_weight);
+  std::uniform_int_distribution<vidx_t> pick(0, n - 1);
+  std::set<std::pair<vidx_t, vidx_t>> seen;
+  while (static_cast<eidx_t>(seen.size()) < nnz) {
+    const vidx_t r = pick(rng);
+    const vidx_t c = pick(rng);
+    if (seen.emplace(r, c).second) {
+      a.push(r, c, static_cast<value_t>(w(rng)));
+    }
+  }
+  return coo_to_csr(a);
+}
+
+TEST(BitPlane, RequiredBitWidth) {
+  Coo a{3, 3, {}, {}, {}};
+  a.push(0, 1, 1.0f);
+  EXPECT_EQ(1, required_bit_width(coo_to_csr(a)));
+  a.push(1, 2, 7.0f);
+  EXPECT_EQ(3, required_bit_width(coo_to_csr(a)));
+  a.push(2, 0, 8.0f);
+  EXPECT_EQ(4, required_bit_width(coo_to_csr(a)));
+}
+
+TEST(BitPlane, DecompositionReconstructsWeights) {
+  const Csr a = random_weighted(60, 400, 15, 1);
+  const auto planes = decompose_bitplanes<8>(a, 4);
+  EXPECT_EQ(4u, planes.planes.size());
+  // Reconstruct: weight(r,c) = sum over planes of 2^p * bit.
+  const auto dense = csr_to_dense(a);
+  std::vector<value_t> recon(dense.size(), 0.0f);
+  for (int p = 0; p < 4; ++p) {
+    const Csr plane = unpack_to_csr(planes.planes[static_cast<std::size_t>(p)]);
+    for (vidx_t r = 0; r < plane.nrows; ++r) {
+      for (const vidx_t c : plane.row_cols(r)) {
+        recon[static_cast<std::size_t>(r) * 60 + c] +=
+            static_cast<value_t>(1 << p);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_FLOAT_EQ(dense[i], recon[i]) << "at " << i;
+  }
+}
+
+class BitPlaneSpmvTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPlaneSpmvTest, SpmvMatchesWeightedCsrmv) {
+  const int dim = GetParam();
+  const Csr a = random_weighted(80, 600, 31, 2);
+  const auto x = test::random_vector(80, 0.2, 3);
+  std::vector<value_t> expected;
+  baseline::csrmv(a, x, expected);
+
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const auto planes = decompose_bitplanes<Dim>(a, required_bit_width(a));
+    std::vector<value_t> y;
+    bitplane_spmv(planes, x, y);
+    test::expect_vectors_near(expected, y, 1e-2);
+    return 0;
+  });
+}
+
+TEST_P(BitPlaneSpmvTest, UnitWeightsNeedOnePlane) {
+  const int dim = GetParam();
+  const Csr a = coo_to_csr(with_unit_values(gen_random(50, 300, 4)));
+  EXPECT_EQ(1, required_bit_width(a));
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const auto planes = decompose_bitplanes<Dim>(a, 1);
+    EXPECT_EQ(1u, planes.planes.size());
+    EXPECT_EQ(a.nnz(), planes.planes[0].nnz());
+    return 0;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, BitPlaneSpmvTest,
+                         ::testing::ValuesIn({4, 8, 16, 32}),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+TEST(BitPlane, WeightsClampToRange) {
+  Coo a{2, 2, {}, {}, {}};
+  a.push(0, 1, 100.0f);  // above 2^3-1=7
+  const auto planes = decompose_bitplanes<4>(coo_to_csr(a), 3);
+  std::vector<value_t> y;
+  bitplane_spmv(planes, {0.0f, 1.0f}, y);
+  EXPECT_FLOAT_EQ(7.0f, y[0]);  // clamped to max representable
+}
+
+TEST(BitPlane, ZeroWeightDropsEdge) {
+  Coo a{2, 2, {}, {}, {}};
+  a.push(0, 1, 0.0f);
+  a.push(1, 0, 2.0f);
+  const auto planes = decompose_bitplanes<4>(coo_to_csr(a), 2);
+  std::vector<value_t> y;
+  bitplane_spmv(planes, {1.0f, 1.0f}, y);
+  EXPECT_FLOAT_EQ(0.0f, y[0]);
+  EXPECT_FLOAT_EQ(2.0f, y[1]);
+}
+
+TEST(BitPlane, StorageSmallerThanFloatCsrForSmallWidths) {
+  const Csr a = random_weighted(256, 6000, 3, 5);  // 2-bit weights
+  const auto planes = decompose_bitplanes<8>(a, 2);
+  EXPECT_LT(planes.storage_bytes(), a.storage_bytes());
+}
+
+}  // namespace
+}  // namespace bitgb

@@ -1,0 +1,168 @@
+// BMM kernel tests — paper Table III: the counting-sum product, the
+// masked dot-product sum (triangle counting's workhorse), and the
+// bit-SpGEMM extension.
+#include "core/bit_spgemm.hpp"
+#include "core/bmm.hpp"
+#include "core/pack.hpp"
+#include "baseline/csrgemm.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+class BmmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BmmTest, SumMatchesDenseProductSum) {
+  const int dim = GetParam();
+  for (const auto& [name, m] : test::small_matrices()) {
+    const std::int64_t expected = test::ref_product_sum(m, m);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      EXPECT_EQ(expected, bmm_bin_bin_sum(a, a)) << name << " dim=" << Dim;
+      return 0;
+    });
+  }
+}
+
+TEST_P(BmmTest, SumOfRectangularProduct) {
+  const int dim = GetParam();
+  // A: 40x60, B: 60x52 — distinct inner/outer sizes cross the tile
+  // boundary logic.
+  Coo ac{40, 60, {}, {}, {}};
+  Coo bc{60, 52, {}, {}, {}};
+  std::mt19937_64 rng(80);
+  for (int i = 0; i < 300; ++i) {
+    ac.push(static_cast<vidx_t>(rng() % 40), static_cast<vidx_t>(rng() % 60));
+    bc.push(static_cast<vidx_t>(rng() % 60), static_cast<vidx_t>(rng() % 52));
+  }
+  const Csr a = coo_to_csr(ac);
+  const Csr b = coo_to_csr(bc);
+  const std::int64_t expected = test::ref_product_sum(a, b);
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    EXPECT_EQ(expected,
+              bmm_bin_bin_sum(pack_from_csr<Dim>(a), pack_from_csr<Dim>(b)));
+    return 0;
+  });
+}
+
+TEST_P(BmmTest, MaskedSumMatchesReference) {
+  const int dim = GetParam();
+  for (const auto& [name, m] : test::small_matrices()) {
+    const Csr l = lower_triangle(m);
+    const std::int64_t expected = test::ref_abt_masked_sum(l, l, l);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> lb = pack_from_csr<Dim>(l);
+      EXPECT_EQ(expected, bmm_bin_bin_sum_masked(lb, lb, lb))
+          << name << " dim=" << Dim;
+      return 0;
+    });
+  }
+}
+
+TEST_P(BmmTest, MaskedSumWithDistinctOperands) {
+  const int dim = GetParam();
+  const Csr a = coo_to_csr(gen_random(45, 350, 81));
+  const Csr b = coo_to_csr(gen_random(45, 350, 82));
+  const Csr mask = coo_to_csr(gen_random(45, 200, 83));
+  const std::int64_t expected = test::ref_abt_masked_sum(a, b, mask);
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    EXPECT_EQ(expected, bmm_bin_bin_sum_masked(pack_from_csr<Dim>(a),
+                                               pack_from_csr<Dim>(b),
+                                               pack_from_csr<Dim>(mask)));
+    return 0;
+  });
+}
+
+TEST_P(BmmTest, EmptyOperandsGiveZero) {
+  const int dim = GetParam();
+  const Csr empty = coo_to_csr(Coo{32, 32, {}, {}, {}});
+  const Csr some = coo_to_csr(gen_random(32, 100, 84));
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const auto e = pack_from_csr<Dim>(empty);
+    const auto s = pack_from_csr<Dim>(some);
+    EXPECT_EQ(0, bmm_bin_bin_sum(e, s));
+    EXPECT_EQ(0, bmm_bin_bin_sum(s, e));
+    EXPECT_EQ(0, bmm_bin_bin_sum_masked(s, s, e));
+    return 0;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, BmmTest, ::testing::ValuesIn({4, 8, 16, 32}),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+// --- bit SpGEMM extension ---
+
+class BitSpgemmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitSpgemmTest, MatchesBooleanizedFloatSpgemm) {
+  const int dim = GetParam();
+  for (const auto& [name, m] : test::small_matrices()) {
+    // Boolean product pattern == pattern of the float product.
+    const Csr ref = baseline::csrgemm(m, m);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      const Csr got = unpack_to_csr(bit_spgemm(a, a));
+      EXPECT_EQ(ref.rowptr, got.rowptr) << name << " dim=" << Dim;
+      EXPECT_EQ(ref.colind, got.colind) << name << " dim=" << Dim;
+      return 0;
+    });
+  }
+}
+
+TEST_P(BitSpgemmTest, ProducesValidFormat) {
+  const int dim = GetParam();
+  const Csr m = coo_to_csr(gen_stripe(100, 4, 0.7, 85));
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> c = bit_spgemm(pack_from_csr<Dim>(m), pack_from_csr<Dim>(m));
+    EXPECT_TRUE(c.validate());
+    return 0;
+  });
+}
+
+TEST_P(BitSpgemmTest, RectangularChainAssociativityPattern) {
+  const int dim = GetParam();
+  // (A*B) computed bitwise equals pattern of float product for
+  // rectangular operands.
+  Coo ac{30, 50, {}, {}, {}};
+  Coo bc{50, 20, {}, {}, {}};
+  std::mt19937_64 rng(86);
+  for (int i = 0; i < 250; ++i) {
+    ac.push(static_cast<vidx_t>(rng() % 30), static_cast<vidx_t>(rng() % 50));
+    bc.push(static_cast<vidx_t>(rng() % 50), static_cast<vidx_t>(rng() % 20));
+  }
+  const Csr a = coo_to_csr(ac);
+  const Csr b = coo_to_csr(bc);
+  const Csr ref = baseline::csrgemm(a, b);
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const Csr got =
+        unpack_to_csr(bit_spgemm(pack_from_csr<Dim>(a), pack_from_csr<Dim>(b)));
+    EXPECT_EQ(ref.rowptr, got.rowptr);
+    EXPECT_EQ(ref.colind, got.colind);
+    return 0;
+  });
+}
+
+TEST(BitSpgemmAny, RejectsMixedDims) {
+  const Csr m = coo_to_csr(gen_random(20, 60, 87));
+  const B2srAny a4 = pack_any(m, 4);
+  const B2srAny a8 = pack_any(m, 8);
+  EXPECT_THROW(bit_spgemm_any(a4, a8), std::invalid_argument);
+  // Same dims work.
+  const B2srAny c = bit_spgemm_any(a4, a4);
+  EXPECT_EQ(4, c.tile_dim());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, BitSpgemmTest,
+                         ::testing::ValuesIn({4, 8, 16, 32}),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace bitgb

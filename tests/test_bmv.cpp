@@ -1,0 +1,157 @@
+// BMV kernel tests — every scheme of paper Table II, every tile size,
+// every pattern category, against dense references.
+#include "core/bmv.hpp"
+#include "core/pack.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+class BmvTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  // Runs `body` with the matrix and a deterministic bool input vector.
+  template <typename Body>
+  void with_fixture(Body&& body) {
+    const auto [dim, mi] = GetParam();
+    const auto mats = test::small_matrices();
+    const auto& [name, m] = mats[static_cast<std::size_t>(mi)];
+    const auto xf = test::random_vector(m.ncols, 0.5, 99);
+    std::vector<bool> xb(static_cast<std::size_t>(m.ncols));
+    for (vidx_t i = 0; i < m.ncols; ++i) {
+      xb[static_cast<std::size_t>(i)] = xf[static_cast<std::size_t>(i)] != 0.0f;
+    }
+    body(dim, name, m, xf, xb);
+  }
+};
+
+TEST_P(BmvTest, BinBinBinMatchesBooleanReference) {
+  with_fixture([](int dim, const std::string& name, const Csr& m,
+                  const std::vector<value_t>&, const std::vector<bool>& xb) {
+    const auto expected = test::ref_bool_mxv(m, xb);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      const auto x = PackedVecT<Dim>::from_bools(xb);
+      PackedVecT<Dim> y;
+      bmv_bin_bin_bin(a, x, y);
+      EXPECT_EQ(expected, y.to_bools()) << name << " dim=" << Dim;
+      return 0;
+    });
+  });
+}
+
+TEST_P(BmvTest, BinBinFullMatchesCountingReference) {
+  with_fixture([](int dim, const std::string& name, const Csr& m,
+                  const std::vector<value_t>&, const std::vector<bool>& xb) {
+    const auto expected = test::ref_count_mxv(m, xb);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      const auto x = PackedVecT<Dim>::from_bools(xb);
+      std::vector<value_t> y;
+      bmv_bin_bin_full(a, x, y);
+      test::expect_vectors_near(expected, y);
+      return 0;
+    });
+  });
+}
+
+TEST_P(BmvTest, BinFullFullPlusTimes) {
+  with_fixture([](int dim, const std::string&, const Csr& m,
+                  const std::vector<value_t>& xf, const std::vector<bool>&) {
+    const auto expected = test::ref_semiring_mxv<PlusTimesOp>(m, xf);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      std::vector<value_t> y;
+      bmv_bin_full_full<Dim, PlusTimesOp>(a, xf, y);
+      test::expect_vectors_near(expected, y, 1e-3);
+      return 0;
+    });
+  });
+}
+
+TEST_P(BmvTest, BinFullFullMinPlus) {
+  with_fixture([](int dim, const std::string&, const Csr& m,
+                  const std::vector<value_t>& xf, const std::vector<bool>&) {
+    const auto expected = test::ref_semiring_mxv<MinPlusOp>(m, xf);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      std::vector<value_t> y;
+      bmv_bin_full_full<Dim, MinPlusOp>(a, xf, y);
+      test::expect_vectors_near(expected, y);
+      return 0;
+    });
+  });
+}
+
+TEST_P(BmvTest, BinFullFullMinIdentity) {
+  with_fixture([](int dim, const std::string&, const Csr& m,
+                  const std::vector<value_t>& xf, const std::vector<bool>&) {
+    const auto expected = test::ref_semiring_mxv<MinIdentityOp>(m, xf);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      std::vector<value_t> y;
+      bmv_bin_full_full<Dim, MinIdentityOp>(a, xf, y);
+      test::expect_vectors_near(expected, y);
+      return 0;
+    });
+  });
+}
+
+TEST_P(BmvTest, BinFullFullMaxTimes) {
+  with_fixture([](int dim, const std::string&, const Csr& m,
+                  const std::vector<value_t>& xf, const std::vector<bool>&) {
+    const auto expected = test::ref_semiring_mxv<MaxTimesOp>(m, xf);
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      std::vector<value_t> y;
+      bmv_bin_full_full<Dim, MaxTimesOp>(a, xf, y);
+      test::expect_vectors_near(expected, y);
+      return 0;
+    });
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDimsAllPatterns, BmvTest,
+    ::testing::Combine(::testing::ValuesIn({4, 8, 16, 32}),
+                       ::testing::Range(0, 12)),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Bmv, AllOnesVectorCountsRowDegrees) {
+  const Csr m = coo_to_csr(gen_banded(70, 4, 0.8, 55));
+  const B2sr16 a = pack_from_csr<16>(m);
+  PackedVec16 x(m.ncols);
+  for (vidx_t i = 0; i < m.ncols; ++i) x.set(i);
+  std::vector<value_t> y;
+  bmv_bin_bin_full(a, x, y);
+  const auto deg = out_degrees(m);
+  for (vidx_t r = 0; r < m.nrows; ++r) {
+    EXPECT_FLOAT_EQ(static_cast<value_t>(deg[static_cast<std::size_t>(r)]),
+                    y[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Bmv, ZeroVectorGivesIdentityOutputs) {
+  const Csr m = coo_to_csr(gen_random(50, 400, 56));
+  const B2sr8 a = pack_from_csr<8>(m);
+  // Boolean: empty frontier -> empty result.
+  PackedVec8 x(m.ncols);
+  PackedVec8 yb;
+  bmv_bin_bin_bin(a, x, yb);
+  EXPECT_FALSE(yb.any());
+  // MinPlus over an all-inf vector: stays inf everywhere.
+  std::vector<value_t> xinf(static_cast<std::size_t>(m.ncols),
+                            MinPlusOp::identity);
+  std::vector<value_t> y;
+  bmv_bin_full_full<8, MinPlusOp>(a, xinf, y);
+  for (const value_t v : y) EXPECT_EQ(MinPlusOp::identity, v);
+}
+
+}  // namespace
+}  // namespace bitgb

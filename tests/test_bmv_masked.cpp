@@ -1,0 +1,211 @@
+// Masked BMV tests — the paper's §V masking design (bitmask AND-ed at
+// the output store; complement masks for "unvisited" filtering).
+#include "core/bmv.hpp"
+#include "core/pack.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+class MaskedBmvTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskedBmvTest, BinBinBinMaskedDropsMaskedRows) {
+  const int dim = GetParam();
+  const Csr m = coo_to_csr(gen_banded(75, 5, 0.7, 60));
+  const auto xb = test::random_vector(m.ncols, 0.4, 61);
+  const auto mb = test::random_vector(m.nrows, 0.5, 62);
+  std::vector<bool> xbool(static_cast<std::size_t>(m.ncols));
+  for (vidx_t i = 0; i < m.ncols; ++i) {
+    xbool[static_cast<std::size_t>(i)] = xb[static_cast<std::size_t>(i)] != 0.0f;
+  }
+  const auto expected_unmasked = test::ref_bool_mxv(m, xbool);
+
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    const auto x = PackedVecT<Dim>::from_bools(xbool);
+    const auto mask = PackedVecT<Dim>::from_values(mb);
+
+    for (const bool complement : {false, true}) {
+      PackedVecT<Dim> y;
+      bmv_bin_bin_bin_masked(a, x, mask, complement, y);
+      for (vidx_t r = 0; r < m.nrows; ++r) {
+        const bool pass = mask.get(r) != complement;
+        const bool want =
+            pass && expected_unmasked[static_cast<std::size_t>(r)];
+        EXPECT_EQ(want, y.get(r)) << "row " << r << " comp=" << complement;
+      }
+    }
+    return 0;
+  });
+}
+
+TEST_P(MaskedBmvTest, BinBinFullMaskedKeepsPreviousWhereMasked) {
+  const int dim = GetParam();
+  const Csr m = coo_to_csr(gen_random(66, 500, 63));
+  const auto xb = test::random_vector(m.ncols, 0.4, 64);
+  const auto mb = test::random_vector(m.nrows, 0.5, 65);
+  std::vector<bool> xbool(static_cast<std::size_t>(m.ncols));
+  for (vidx_t i = 0; i < m.ncols; ++i) {
+    xbool[static_cast<std::size_t>(i)] = xb[static_cast<std::size_t>(i)] != 0.0f;
+  }
+  const auto expected = test::ref_count_mxv(m, xbool);
+
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    const auto x = PackedVecT<Dim>::from_bools(xbool);
+    const auto mask = PackedVecT<Dim>::from_values(mb);
+
+    const value_t sentinel = -123.0f;
+    std::vector<value_t> y(static_cast<std::size_t>(m.nrows), sentinel);
+    bmv_bin_bin_full_masked(a, x, mask, /*complement=*/false, y);
+    for (vidx_t r = 0; r < m.nrows; ++r) {
+      if (mask.get(r)) {
+        EXPECT_FLOAT_EQ(expected[static_cast<std::size_t>(r)],
+                        y[static_cast<std::size_t>(r)]);
+      } else {
+        EXPECT_FLOAT_EQ(sentinel, y[static_cast<std::size_t>(r)]);
+      }
+    }
+    return 0;
+  });
+}
+
+TEST_P(MaskedBmvTest, BinFullFullMaskedMinPlus) {
+  const int dim = GetParam();
+  const Csr m = coo_to_csr(gen_stripe(80, 3, 0.8, 66));
+  const auto xf = test::random_vector(m.ncols, 0.2, 67);
+  const auto mb = test::random_vector(m.nrows, 0.5, 68);
+  const auto expected = test::ref_semiring_mxv<MinPlusOp>(m, xf);
+
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    const auto mask = PackedVecT<Dim>::from_values(mb);
+
+    const value_t sentinel = -7.0f;
+    std::vector<value_t> y(static_cast<std::size_t>(m.nrows), sentinel);
+    bmv_bin_full_full_masked<Dim, MinPlusOp>(a, xf, mask,
+                                             /*complement=*/true, y);
+    for (vidx_t r = 0; r < m.nrows; ++r) {
+      if (!mask.get(r)) {  // complement: pass where mask bit clear
+        EXPECT_EQ(expected[static_cast<std::size_t>(r)],
+                  y[static_cast<std::size_t>(r)]);
+      } else {
+        EXPECT_FLOAT_EQ(sentinel, y[static_cast<std::size_t>(r)]);
+      }
+    }
+    return 0;
+  });
+}
+
+TEST_P(MaskedBmvTest, PushEqualsPullOnSymmetricMatrices) {
+  // vxm(f, A) push over A == mxv(A^T, f) pull; on a symmetric matrix
+  // both kernels take the same operand, so results must be word-equal
+  // for every frontier/visited combination.
+  const int dim = GetParam();
+  const Csr m = symmetrize(coo_to_csr(gen_random(85, 600, 73)));
+  const auto fb = test::random_vector(m.nrows, 0.7, 74);
+  const auto vb = test::random_vector(m.nrows, 0.5, 75);
+
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    const auto frontier = PackedVecT<Dim>::from_values(fb);
+    const auto visited = PackedVecT<Dim>::from_values(vb);
+
+    PackedVecT<Dim> pull;
+    bmv_bin_bin_bin_masked(a, frontier, visited, true, pull);
+    PackedVecT<Dim> push;
+    bmv_bin_bin_bin_push_masked(a, frontier, visited, true, push);
+    EXPECT_EQ(pull.words, push.words);
+    return 0;
+  });
+}
+
+TEST_P(MaskedBmvTest, PushOnAsymmetricMatchesReference) {
+  // Push vxm on a directed matrix: y_j = OR_{i in frontier} A(i,j),
+  // masked.  Check against a scalar reference.
+  const int dim = GetParam();
+  const Csr m = coo_to_csr(gen_random(77, 500, 76));
+  const auto fb = test::random_vector(m.nrows, 0.6, 77);
+  const auto vb = test::random_vector(m.ncols, 0.5, 78);
+
+  std::vector<bool> expected(static_cast<std::size_t>(m.ncols), false);
+  for (vidx_t i = 0; i < m.nrows; ++i) {
+    if (fb[static_cast<std::size_t>(i)] == 0.0f) continue;
+    for (const vidx_t j : m.row_cols(i)) {
+      if (vb[static_cast<std::size_t>(j)] == 0.0f) {  // unvisited only
+        expected[static_cast<std::size_t>(j)] = true;
+      }
+    }
+  }
+
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    const auto frontier = PackedVecT<Dim>::from_values(fb);
+    const auto visited = PackedVecT<Dim>::from_values(vb);
+    PackedVecT<Dim> y;
+    bmv_bin_bin_bin_push_masked(a, frontier, visited, true, y);
+    EXPECT_EQ(expected, y.to_bools());
+    return 0;
+  });
+}
+
+TEST_P(MaskedBmvTest, PushWithEmptyFrontierIsEmpty) {
+  const int dim = GetParam();
+  const Csr m = coo_to_csr(gen_banded(60, 5, 0.8, 79));
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    const PackedVecT<Dim> frontier(m.nrows);
+    const PackedVecT<Dim> visited(m.ncols);
+    PackedVecT<Dim> y;
+    bmv_bin_bin_bin_push_masked(a, frontier, visited, true, y);
+    EXPECT_FALSE(y.any());
+    return 0;
+  });
+}
+
+TEST_P(MaskedBmvTest, FullMaskEqualsUnmasked) {
+  const int dim = GetParam();
+  const Csr m = coo_to_csr(gen_hybrid(90, 69));
+  const auto xf = test::random_vector(m.ncols, 0.3, 70);
+
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    PackedVecT<Dim> all(m.nrows);
+    for (vidx_t i = 0; i < m.nrows; ++i) all.set(i);
+
+    std::vector<value_t> unmasked;
+    bmv_bin_full_full<Dim, PlusTimesOp>(a, xf, unmasked);
+    std::vector<value_t> masked(static_cast<std::size_t>(m.nrows), 0.0f);
+    bmv_bin_full_full_masked<Dim, PlusTimesOp>(a, xf, all, false, masked);
+    test::expect_vectors_near(unmasked, masked);
+    return 0;
+  });
+}
+
+TEST_P(MaskedBmvTest, EmptyMaskLeavesOutputUntouched) {
+  const int dim = GetParam();
+  const Csr m = coo_to_csr(gen_random(40, 300, 71));
+  const auto xf = test::random_vector(m.ncols, 0.3, 72);
+
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    const PackedVecT<Dim> none(m.nrows);  // all clear
+    std::vector<value_t> y(static_cast<std::size_t>(m.nrows), 5.5f);
+    bmv_bin_full_full_masked<Dim, PlusTimesOp>(a, xf, none, false, y);
+    for (const value_t v : y) EXPECT_FLOAT_EQ(5.5f, v);
+    return 0;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, MaskedBmvTest,
+                         ::testing::ValuesIn({4, 8, 16, 32}),
+                         [](const auto& info) {
+                           return "dim" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace bitgb

@@ -1,0 +1,147 @@
+// Unit tests for the synthetic matrix generators (the dataset
+// substitute) — determinism, structural properties, category shapes.
+#include "sparse/convert.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+TEST(Generators, RandomHitsExactNnzAndNoDiagonal) {
+  const Coo a = gen_random(100, 500, 1);
+  EXPECT_TRUE(a.validate());
+  EXPECT_EQ(500, a.nnz());
+  for (eidx_t i = 0; i < a.nnz(); ++i) {
+    EXPECT_NE(a.row[static_cast<std::size_t>(i)],
+              a.col[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Generators, RandomIsDeterministicPerSeed) {
+  const Coo a = gen_random(64, 256, 7);
+  const Coo b = gen_random(64, 256, 7);
+  const Coo c = gen_random(64, 256, 8);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.col, b.col);
+  EXPECT_NE(a.col, c.col);  // different seed, different matrix
+}
+
+TEST(Generators, RandomCapsAtMaximumOffDiagonal) {
+  const Coo a = gen_random(5, 10000, 2);  // asks for more than 5*4=20
+  EXPECT_EQ(20, a.nnz());
+}
+
+TEST(Generators, BandedStaysInBand) {
+  const vidx_t bw = 3;
+  const Coo a = gen_banded(50, bw, 1.0, 3);
+  EXPECT_TRUE(a.validate());
+  for (eidx_t i = 0; i < a.nnz(); ++i) {
+    const auto d = std::abs(a.row[static_cast<std::size_t>(i)] -
+                            a.col[static_cast<std::size_t>(i)]);
+    EXPECT_LE(d, bw);
+    EXPECT_GT(d, 0);  // no diagonal
+  }
+  // fill=1.0 band is full: 2*bw*n - boundary corrections.
+  EXPECT_EQ(2 * 3 * 50 - 2 * (1 + 2 + 3), a.nnz());
+}
+
+TEST(Generators, BlockEntriesLieInBlocks) {
+  const Coo a = gen_block(64, 8, 3, 1.0, 4, false);
+  EXPECT_TRUE(a.validate());
+  EXPECT_GT(a.nnz(), 0);
+}
+
+TEST(Generators, StripeFollowsLines) {
+  const Coo a = gen_stripe(97, 2, 1.0, 5);
+  EXPECT_TRUE(a.validate());
+  // Two full stripes minus diagonal hits: close to 2n.
+  EXPECT_GT(a.nnz(), 97);
+  EXPECT_LE(a.nnz(), 2 * 97);
+}
+
+TEST(Generators, RoadIsSymmetricPlanarGrid) {
+  const Coo a = gen_road(8, 6, 0.0, 6);
+  EXPECT_TRUE(a.validate());
+  const Csr c = coo_to_csr(a);
+  EXPECT_TRUE(is_symmetric(c));
+  // 4-neighbour grid: (w-1)*h + w*(h-1) undirected edges, doubled.
+  EXPECT_EQ(2 * (7 * 6 + 8 * 5), c.nnz());
+}
+
+TEST(Generators, HybridCombinesPatterns) {
+  const Coo a = gen_hybrid(128, 7);
+  EXPECT_TRUE(a.validate());
+  EXPECT_GT(a.nnz(), 128);  // band + blocks + dots
+}
+
+TEST(Generators, RmatRespectsScaleAndDedup) {
+  const Coo a = gen_rmat(8, 1000, 8);
+  EXPECT_TRUE(a.validate());
+  EXPECT_EQ(256, a.nrows);
+  EXPECT_LE(a.nnz(), 1000);
+  EXPECT_GT(a.nnz(), 500);  // most attempts land (dedup drops a few)
+}
+
+TEST(Generators, MycielskianSizesMatchSuiteSparse) {
+  // The SuiteSparse mycielskianN graphs are this exact construction:
+  // n(k) = 2*n(k-1)+1 from n(2)=2 -> 5, 11, 23, 47, 95, 191, 383, ...
+  EXPECT_EQ(2, gen_mycielskian(2).nrows);
+  EXPECT_EQ(5, gen_mycielskian(3).nrows);
+  EXPECT_EQ(11, gen_mycielskian(4).nrows);
+  EXPECT_EQ(47, gen_mycielskian(6).nrows);
+  EXPECT_EQ(383, gen_mycielskian(9).nrows);
+  EXPECT_EQ(767, gen_mycielskian(10).nrows);
+  EXPECT_EQ(3071, gen_mycielskian(12).nrows);
+}
+
+TEST(Generators, MycielskianIsSymmetricAndTriangleFreeAtK3) {
+  // The Mycielski construction preserves triangle-freeness; starting
+  // from K2 every mycielskianN is triangle-free.
+  const Csr c = coo_to_csr(gen_mycielskian(5));
+  EXPECT_TRUE(is_symmetric(c));
+  // Brute-force triangle check.
+  const auto dense = csr_to_dense(c);
+  const auto at = [&](vidx_t r, vidx_t cc) {
+    return dense[static_cast<std::size_t>(r) * c.ncols + cc] != 0.0f;
+  };
+  for (vidx_t i = 0; i < c.nrows; ++i) {
+    for (vidx_t j = i + 1; j < c.nrows; ++j) {
+      if (!at(i, j)) continue;
+      for (vidx_t k = j + 1; k < c.nrows; ++k) {
+        EXPECT_FALSE(at(i, j) && at(j, k) && at(i, k))
+            << "triangle " << i << "," << j << "," << k;
+      }
+    }
+  }
+}
+
+TEST(Generators, ChainOfCliquesIsSymmetricAndConnectedish) {
+  const Coo a = gen_chain_of_cliques(10, 5, 9);
+  EXPECT_TRUE(a.validate());
+  EXPECT_EQ(50, a.nrows);
+  EXPECT_TRUE(is_symmetric(coo_to_csr(a)));
+}
+
+TEST(Generators, PatternDispatcherCoversAllCategories) {
+  for (const Pattern p :
+       {Pattern::kDot, Pattern::kDiagonal, Pattern::kBlock, Pattern::kStripe,
+        Pattern::kRoad, Pattern::kHybrid}) {
+    const Coo a = gen_pattern(p, 200, 0.01, 10);
+    EXPECT_TRUE(a.validate()) << pattern_name(p);
+    EXPECT_GT(a.nnz(), 0) << pattern_name(p);
+  }
+}
+
+TEST(Generators, PatternNamesAreStable) {
+  EXPECT_STREQ("dot", pattern_name(Pattern::kDot));
+  EXPECT_STREQ("diagonal", pattern_name(Pattern::kDiagonal));
+  EXPECT_STREQ("block", pattern_name(Pattern::kBlock));
+  EXPECT_STREQ("stripe", pattern_name(Pattern::kStripe));
+  EXPECT_STREQ("road", pattern_name(Pattern::kRoad));
+  EXPECT_STREQ("hybrid", pattern_name(Pattern::kHybrid));
+}
+
+}  // namespace
+}  // namespace bitgb

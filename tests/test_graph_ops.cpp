@@ -1,0 +1,199 @@
+// Graph facade and GraphBLAS-layer operation tests.
+#include "graphblas/graph.hpp"
+#include "graphblas/ops.hpp"
+#include "graphblas/semiring.hpp"
+#include "core/pack.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+TEST(Graph, FromCooSymmetrizesAndStripsLoops) {
+  Coo a{5, 5, {}, {}, {}};
+  a.push(0, 1);
+  a.push(2, 2);  // self loop
+  a.push(3, 4);
+  const gb::Graph g = gb::Graph::from_coo(a);
+  EXPECT_TRUE(is_symmetric(g.adjacency()));
+  for (vidx_t r = 0; r < g.num_vertices(); ++r) {
+    for (const vidx_t c : g.adjacency().row_cols(r)) EXPECT_NE(r, c);
+  }
+  EXPECT_EQ(4, g.num_edges());  // 2 undirected edges
+}
+
+TEST(Graph, DirectedOptionKeepsAsymmetry) {
+  Coo a{4, 4, {}, {}, {}};
+  a.push(0, 1);
+  gb::GraphOptions opts;
+  opts.symmetrize = false;
+  const gb::Graph g = gb::Graph::from_coo(a, opts);
+  EXPECT_EQ(1, g.num_edges());
+  EXPECT_FALSE(is_symmetric(g.adjacency()));
+}
+
+TEST(Graph, ExplicitTileDimIsHonored) {
+  gb::GraphOptions opts;
+  opts.tile_dim = 16;
+  const gb::Graph g =
+      gb::Graph::from_coo(gen_random(64, 300, 1), opts);
+  EXPECT_EQ(16, g.tile_dim());
+  EXPECT_EQ(16, g.packed().tile_dim());
+}
+
+TEST(Graph, AutoTileDimPicksSupportedSize) {
+  const gb::Graph g = gb::Graph::from_coo(gen_banded(256, 8, 0.8, 2));
+  const int d = g.tile_dim();
+  EXPECT_TRUE(d == 4 || d == 8 || d == 16 || d == 32);
+}
+
+TEST(Graph, PackedMatchesAdjacency) {
+  const gb::Graph g = gb::Graph::from_coo(gen_hybrid(128, 3));
+  const Csr back = unpack_any(g.packed());
+  EXPECT_EQ(g.adjacency().rowptr, back.rowptr);
+  EXPECT_EQ(g.adjacency().colind, back.colind);
+}
+
+TEST(Graph, PackedTransposeMatchesAdjacencyTranspose) {
+  gb::GraphOptions opts;
+  opts.symmetrize = false;  // make transpose non-trivial
+  const gb::Graph g = gb::Graph::from_coo(gen_random(90, 700, 4), opts);
+  const Csr back = unpack_any(g.packed_t());
+  EXPECT_EQ(g.adjacency_t().rowptr, back.rowptr);
+  EXPECT_EQ(g.adjacency_t().colind, back.colind);
+}
+
+TEST(Graph, DegreesMatchRowLengths) {
+  const gb::Graph g = gb::Graph::from_coo(gen_road(9, 9, 0.0, 5));
+  const auto& deg = g.degrees();
+  for (vidx_t r = 0; r < g.num_vertices(); ++r) {
+    EXPECT_EQ(static_cast<vidx_t>(g.adjacency().row_cols(r).size()),
+              deg[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Semiring, NamesAndSchemes) {
+  using gb::Semiring;
+  EXPECT_STREQ("boolean", gb::semiring_name(Semiring::kBoolean));
+  EXPECT_STREQ("min-plus", gb::semiring_name(Semiring::kMinPlus));
+  EXPECT_STREQ("bmv_bin_bin_bin", gb::semiring_scheme(Semiring::kBoolean));
+  EXPECT_STREQ("bmv_bin_full_full", gb::semiring_scheme(Semiring::kMinPlus));
+}
+
+TEST(RefOps, PushAndPullAgree) {
+  const Csr a = symmetrize(coo_to_csr(gen_random(80, 500, 6)));
+  const Csr at = transpose(a);
+  std::vector<std::uint8_t> visited(80, 0);
+  std::vector<vidx_t> frontier = {0, 5, 17};
+  std::vector<std::uint8_t> frontier_dense(80, 0);
+  for (const vidx_t u : frontier) frontier_dense[u] = 1;
+  visited[0] = visited[5] = visited[17] = 1;
+
+  const auto pushed = gb::ref_vxm_bool_push(a, frontier, visited);
+  std::vector<std::uint8_t> pulled;
+  gb::ref_vxm_bool_pull(at, frontier_dense, visited, pulled);
+  std::vector<vidx_t> pulled_list;
+  for (vidx_t v = 0; v < 80; ++v) {
+    if (pulled[static_cast<std::size_t>(v)]) pulled_list.push_back(v);
+  }
+  EXPECT_EQ(pushed, pulled_list);
+}
+
+TEST(RefOps, WeightedMxvWithUnitValuesEqualsBinaryMxv) {
+  const Csr a = coo_to_csr(gen_banded(60, 4, 0.7, 12));
+  Csr unit = a;
+  unit.val.assign(static_cast<std::size_t>(a.nnz()), 1.0f);
+  const auto x = test::random_vector(60, 0.3, 13);
+
+  std::vector<value_t> y_bin;
+  std::vector<value_t> y_wgt;
+  gb::ref_mxv<MinPlusOp>(a, x, y_bin);
+  gb::ref_mxv_weighted<MinPlusOp>(unit, x, y_wgt);
+  test::expect_vectors_near(y_bin, y_wgt);
+
+  gb::ref_mxv<PlusTimesOp>(a, x, y_bin);
+  gb::ref_mxv_weighted<PlusTimesOp>(unit, x, y_wgt);
+  test::expect_vectors_near(y_bin, y_wgt, 1e-4);
+}
+
+TEST(RefOps, WeightedMxvUsesStoredWeights) {
+  Coo a{2, 2, {}, {}, {}};
+  a.push(0, 1, 5.0f);  // min-plus: dist + 5
+  const Csr c = coo_to_csr(a);
+  std::vector<value_t> y;
+  gb::ref_mxv_weighted<MinPlusOp>(c, {0.0f, 2.0f}, y);
+  EXPECT_FLOAT_EQ(7.0f, y[0]);  // 2 + 5
+  EXPECT_EQ(MinPlusOp::identity, y[1]);
+}
+
+TEST(Graph, UnitAdjacencyCarriesOnes) {
+  const gb::Graph g = gb::Graph::from_coo(gen_random(30, 120, 14));
+  const Csr& u = g.unit_adjacency();
+  EXPECT_EQ(g.adjacency().colind, u.colind);
+  ASSERT_EQ(static_cast<std::size_t>(u.nnz()), u.val.size());
+  for (const value_t v : u.val) EXPECT_FLOAT_EQ(1.0f, v);
+  const Csr& ut = g.unit_adjacency_t();
+  EXPECT_EQ(g.adjacency_t().colind, ut.colind);
+}
+
+TEST(RefOps, MaskedMxvEarlyExitsOnMask) {
+  const Csr a = coo_to_csr(gen_banded(50, 4, 0.8, 7));
+  const auto x = test::random_vector(50, 0.2, 8);
+  std::vector<std::uint8_t> mask(50, 0);
+  for (vidx_t i = 0; i < 50; i += 2) mask[static_cast<std::size_t>(i)] = 1;
+
+  std::vector<value_t> y(50, -1.0f);
+  gb::ref_mxv_masked<PlusTimesOp>(a, x, mask, false, y);
+  const auto full = test::ref_semiring_mxv<PlusTimesOp>(a, x);
+  for (vidx_t i = 0; i < 50; ++i) {
+    if (mask[static_cast<std::size_t>(i)]) {
+      EXPECT_NEAR(full[static_cast<std::size_t>(i)],
+                  y[static_cast<std::size_t>(i)], 1e-4);
+    } else {
+      EXPECT_FLOAT_EQ(-1.0f, y[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(BitOps, VxmBoolMaskedMatchesRefPush) {
+  const Csr a = symmetrize(coo_to_csr(gen_random(96, 600, 9)));
+  const Csr at = transpose(a);
+  const B2sr8 at_packed = pack_from_csr<8>(at);
+
+  std::vector<std::uint8_t> visited(96, 0);
+  std::vector<vidx_t> frontier = {3, 40};
+  visited[3] = visited[40] = 1;
+  const auto expected = gb::ref_vxm_bool_push(a, frontier, visited);
+
+  PackedVec8 f(96);
+  PackedVec8 vis(96);
+  f.set(3);
+  f.set(40);
+  vis.set(3);
+  vis.set(40);
+  PackedVec8 next;
+  gb::bit_vxm_bool_masked<8>(at_packed, f, vis, next);
+
+  std::vector<vidx_t> got;
+  for (vidx_t v = 0; v < 96; ++v) {
+    if (next.get(v)) got.push_back(v);
+  }
+  EXPECT_EQ(expected, got);
+}
+
+TEST(KernelTimer, OpsAccumulateKernelTime) {
+  reset_kernel_time();
+  const Csr a = coo_to_csr(gen_banded(300, 8, 0.8, 10));
+  const auto x = test::random_vector(300, 0.2, 11);
+  std::vector<value_t> y;
+  gb::ref_mxv<PlusTimesOp>(a, x, y);
+  EXPECT_GT(kernel_time_ms(), 0.0);
+  reset_kernel_time();
+  EXPECT_EQ(0.0, kernel_time_ms());
+}
+
+}  // namespace
+}  // namespace bitgb

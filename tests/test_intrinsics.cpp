@@ -1,0 +1,119 @@
+// Unit tests for the portable bit intrinsics (platform/intrinsics.hpp).
+#include "platform/intrinsics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace bitgb {
+namespace {
+
+TEST(Intrinsics, PopcountMatchesManualCount) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng());
+    int manual = 0;
+    for (int b = 0; b < 32; ++b) manual += static_cast<int>((w >> b) & 1u);
+    EXPECT_EQ(manual, popcount(w));
+  }
+}
+
+TEST(Intrinsics, PopcountAllWidths) {
+  EXPECT_EQ(0, popcount<std::uint8_t>(0));
+  EXPECT_EQ(8, popcount<std::uint8_t>(0xFF));
+  EXPECT_EQ(16, popcount<std::uint16_t>(0xFFFF));
+  EXPECT_EQ(32, popcount<std::uint32_t>(0xFFFFFFFFu));
+  EXPECT_EQ(64, popcount<std::uint64_t>(~std::uint64_t{0}));
+  EXPECT_EQ(1, popcount<std::uint32_t>(0x80000000u));
+}
+
+TEST(Intrinsics, BrevIsInvolution) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(w, brev(brev(w)));
+  }
+}
+
+TEST(Intrinsics, BrevMapsBitIToOppositeEnd) {
+  for (int i = 0; i < 32; ++i) {
+    const std::uint32_t w = 1u << i;
+    EXPECT_EQ(1u << (31 - i), brev(w));
+  }
+  // 8-bit width reverses within 8 bits.
+  EXPECT_EQ(std::uint8_t{0x80}, brev<std::uint8_t>(0x01));
+  EXPECT_EQ(std::uint8_t{0x01}, brev<std::uint8_t>(0x80));
+}
+
+TEST(Intrinsics, BrevLowReversesOnlyLowBits) {
+  // 4-bit nibble reversal: 0b0001 -> 0b1000.
+  EXPECT_EQ(std::uint8_t{0b1000}, brev_low<std::uint8_t>(0b0001, 4));
+  EXPECT_EQ(std::uint8_t{0b0101}, brev_low<std::uint8_t>(0b1010, 4));
+  // Full-width brev_low equals brev.
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto w = static_cast<std::uint16_t>(rng());
+    EXPECT_EQ(brev(w), brev_low(w, 16));
+  }
+}
+
+TEST(Intrinsics, ClzCtz) {
+  EXPECT_EQ(32, clz<std::uint32_t>(0));
+  EXPECT_EQ(32, ctz<std::uint32_t>(0));
+  EXPECT_EQ(31, clz<std::uint32_t>(1));
+  EXPECT_EQ(0, ctz<std::uint32_t>(1));
+  EXPECT_EQ(0, clz<std::uint32_t>(0x80000000u));
+  EXPECT_EQ(31, ctz<std::uint32_t>(0x80000000u));
+}
+
+TEST(Intrinsics, GetSetBit) {
+  std::uint32_t w = 0;
+  w = set_bit(w, 0);
+  w = set_bit(w, 31);
+  w = set_bit(w, 7);
+  EXPECT_EQ(1u, get_bit(w, 0));
+  EXPECT_EQ(1u, get_bit(w, 31));
+  EXPECT_EQ(1u, get_bit(w, 7));
+  EXPECT_EQ(0u, get_bit(w, 15));
+  EXPECT_EQ(3, popcount(w));
+}
+
+TEST(Intrinsics, LowMask) {
+  EXPECT_EQ(0u, low_mask<std::uint32_t>(0));
+  EXPECT_EQ(0x7u, low_mask<std::uint32_t>(3));
+  EXPECT_EQ(0xFFFFFFFFu, low_mask<std::uint32_t>(32));
+  EXPECT_EQ(std::uint8_t{0x0F}, low_mask<std::uint8_t>(4));
+  EXPECT_EQ(std::uint8_t{0xFF}, low_mask<std::uint8_t>(8));
+}
+
+TEST(Intrinsics, ForEachSetBitVisitsExactlySetBitsInOrder) {
+  const std::uint32_t w = 0x80000401u;  // bits 0, 10, 31
+  std::vector<int> seen;
+  for_each_set_bit(w, [&](int b) { seen.push_back(b); });
+  EXPECT_EQ((std::vector<int>{0, 10, 31}), seen);
+}
+
+TEST(Intrinsics, ForEachSetBitEmptyAndFull) {
+  int count = 0;
+  for_each_set_bit<std::uint16_t>(0, [&](int) { ++count; });
+  EXPECT_EQ(0, count);
+  for_each_set_bit<std::uint16_t>(0xFFFF, [&](int) { ++count; });
+  EXPECT_EQ(16, count);
+}
+
+TEST(Intrinsics, ForEachSetBitMatchesPopcount) {
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto w = static_cast<std::uint64_t>(rng());
+    int count = 0;
+    for_each_set_bit(w, [&](int b) {
+      EXPECT_EQ(1u, get_bit(w, b));
+      ++count;
+    });
+    EXPECT_EQ(popcount(w), count);
+  }
+}
+
+}  // namespace
+}  // namespace bitgb

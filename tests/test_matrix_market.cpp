@@ -1,0 +1,123 @@
+// Unit tests for the Matrix Market reader/writer.
+#include "sparse/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bitgb {
+namespace {
+
+TEST(MatrixMarket, ReadsPatternGeneral) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2\n"
+      "3 1\n");
+  const Coo a = read_matrix_market(in);
+  EXPECT_EQ(3, a.nrows);
+  EXPECT_EQ(3, a.ncols);
+  EXPECT_EQ(2, a.nnz());
+  EXPECT_TRUE(a.is_binary());
+  EXPECT_EQ(0, a.row[0]);  // 1-based -> 0-based
+  EXPECT_EQ(1, a.col[0]);
+}
+
+TEST(MatrixMarket, ReadsRealValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.5\n"
+      "2 2 -2.0\n");
+  const Coo a = read_matrix_market(in);
+  ASSERT_EQ(2u, a.val.size());
+  EXPECT_FLOAT_EQ(1.5f, a.val[0]);
+  EXPECT_FLOAT_EQ(-2.0f, a.val[1]);
+}
+
+TEST(MatrixMarket, SymmetricExpandsBothTriangles) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 3\n");
+  const Coo a = read_matrix_market(in);
+  // (1,0) expands to (0,1); diagonal (2,2) does not double.
+  EXPECT_EQ(3, a.nnz());
+}
+
+TEST(MatrixMarket, SkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const Coo a = read_matrix_market(in);
+  ASSERT_EQ(2, a.nnz());
+  // Entries sorted: (0,1) = -3, (1,0) = 3.
+  EXPECT_FLOAT_EQ(-3.0f, a.val[0]);
+  EXPECT_FLOAT_EQ(3.0f, a.val[1]);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::istringstream in("3 3 0\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndex) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "3 1\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntryList) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFormat) {
+  std::istringstream in(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, WriteReadRoundTripPattern) {
+  Coo a{5, 5, {}, {}, {}};
+  a.push(0, 4);
+  a.push(3, 1);
+  a.push(4, 4);
+  a.sort_and_dedup();
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  std::istringstream in(out.str());
+  const Coo b = read_matrix_market(in);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.col, b.col);
+  EXPECT_TRUE(b.is_binary());
+}
+
+TEST(MatrixMarket, WriteReadRoundTripWeighted) {
+  Coo a{3, 4, {}, {}, {}};
+  a.push(0, 1, 2.25f);
+  a.push(2, 3, -1.5f);
+  a.sort_and_dedup();
+  std::ostringstream out;
+  write_matrix_market(out, a);
+  std::istringstream in(out.str());
+  const Coo b = read_matrix_market(in);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.col, b.col);
+  ASSERT_EQ(a.val.size(), b.val.size());
+  for (std::size_t i = 0; i < a.val.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.val[i], b.val[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bitgb

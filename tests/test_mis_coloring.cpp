@@ -1,0 +1,141 @@
+// MIS and graph-coloring tests — the max-times-semiring algorithms of
+// paper Table IV, on both backends.
+#include "algorithms/coloring.hpp"
+#include "algorithms/mis.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bitgb {
+namespace {
+
+class MisColoringTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  gb::Graph make_graph() {
+    const auto [dim, mi] = GetParam();
+    const auto mats = test::small_matrices();
+    gb::GraphOptions opts;
+    opts.tile_dim = dim;
+    return gb::Graph::from_csr(mats[static_cast<std::size_t>(mi)].second,
+                               opts);
+  }
+};
+
+TEST_P(MisColoringTest, MisIsIndependentAndMaximalOnBothBackends) {
+  const gb::Graph g = make_graph();
+  if (g.num_vertices() == 0) return;
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::maximal_independent_set(g, backend, 7);
+    EXPECT_TRUE(algo::is_valid_mis(g.adjacency(), res.in_set))
+        << gb::backend_name(backend);
+    EXPECT_GT(res.rounds, 0);
+  }
+}
+
+TEST_P(MisColoringTest, ColoringIsProperOnBothBackends) {
+  const gb::Graph g = make_graph();
+  if (g.num_vertices() == 0) return;
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::greedy_coloring(g, backend, 7);
+    EXPECT_TRUE(algo::is_valid_coloring(g.adjacency(), res.color))
+        << gb::backend_name(backend);
+    // num_colors consistent with the labels used.
+    const auto max_c =
+        *std::max_element(res.color.begin(), res.color.end());
+    EXPECT_EQ(res.num_colors >= 1, true);
+    EXPECT_LT(max_c, res.num_colors);
+  }
+}
+
+TEST_P(MisColoringTest, BackendsAgreeGivenSameSeed) {
+  // Both backends run the same deterministic priority sequence, so the
+  // resulting sets/colorings must be identical.
+  const gb::Graph g = make_graph();
+  if (g.num_vertices() == 0) return;
+  const auto mis_ref =
+      algo::maximal_independent_set(g, gb::Backend::kReference, 3);
+  const auto mis_bit = algo::maximal_independent_set(g, gb::Backend::kBit, 3);
+  EXPECT_EQ(mis_ref.in_set, mis_bit.in_set);
+
+  const auto col_ref = algo::greedy_coloring(g, gb::Backend::kReference, 3);
+  const auto col_bit = algo::greedy_coloring(g, gb::Backend::kBit, 3);
+  EXPECT_EQ(col_ref.color, col_bit.color);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndMatrices, MisColoringTest,
+    ::testing::Combine(::testing::ValuesIn({4, 8, 16, 32}),
+                       ::testing::ValuesIn({2, 5, 7, 9, 10})),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_m" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Mis, IsolatedVerticesAllJoinTheSet) {
+  const gb::Graph g = gb::Graph::from_coo(Coo{6, 6, {}, {}, {}});
+  const auto res = algo::maximal_independent_set(g, gb::Backend::kBit);
+  for (const auto b : res.in_set) EXPECT_EQ(1, b);
+}
+
+TEST(Mis, CompleteGraphPicksExactlyOne) {
+  Coo k5{5, 5, {}, {}, {}};
+  for (vidx_t i = 0; i < 5; ++i) {
+    for (vidx_t j = 0; j < 5; ++j) {
+      if (i != j) k5.push(i, j);
+    }
+  }
+  const gb::Graph g = gb::Graph::from_coo(k5);
+  const auto res = algo::maximal_independent_set(g, gb::Backend::kBit);
+  int count = 0;
+  for (const auto b : res.in_set) count += b;
+  EXPECT_EQ(1, count);
+}
+
+TEST(Coloring, BipartiteNeedsTwoColors) {
+  // Even cycle: chromatic number 2; the randomized greedy may use a
+  // couple more, but must stay proper and small.
+  Coo c8{8, 8, {}, {}, {}};
+  for (vidx_t i = 0; i < 8; ++i) c8.push(i, (i + 1) % 8);
+  const gb::Graph g = gb::Graph::from_coo(c8);
+  const auto res = algo::greedy_coloring(g, gb::Backend::kBit);
+  EXPECT_TRUE(algo::is_valid_coloring(g.adjacency(), res.color));
+  EXPECT_GE(res.num_colors, 2);
+  EXPECT_LE(res.num_colors, 4);
+}
+
+TEST(Coloring, CompleteGraphNeedsAllColors) {
+  Coo k4{4, 4, {}, {}, {}};
+  for (vidx_t i = 0; i < 4; ++i) {
+    for (vidx_t j = 0; j < 4; ++j) {
+      if (i != j) k4.push(i, j);
+    }
+  }
+  const gb::Graph g = gb::Graph::from_coo(k4);
+  const auto res = algo::greedy_coloring(g, gb::Backend::kBit);
+  EXPECT_TRUE(algo::is_valid_coloring(g.adjacency(), res.color));
+  EXPECT_EQ(4, res.num_colors);
+}
+
+TEST(Validators, RejectBrokenInputs) {
+  Coo e{3, 3, {}, {}, {}};
+  e.push(0, 1);
+  e.push(1, 0);
+  const Csr a = coo_to_csr(e);
+  // Both endpoints of the edge in the set: not independent.
+  EXPECT_FALSE(algo::is_valid_mis(a, {1, 1, 1}));
+  // Vertex 2 isolated and outside: not maximal.
+  EXPECT_FALSE(algo::is_valid_mis(a, {1, 0, 0}));
+  EXPECT_TRUE(algo::is_valid_mis(a, {1, 0, 1}));
+  // Same color across the edge: invalid.
+  EXPECT_FALSE(algo::is_valid_coloring(a, {0, 0, 0}));
+  // Uncolored vertex: invalid.
+  EXPECT_FALSE(algo::is_valid_coloring(a, {0, 1, -1}));
+  EXPECT_TRUE(algo::is_valid_coloring(a, {0, 1, 0}));
+}
+
+}  // namespace
+}  // namespace bitgb

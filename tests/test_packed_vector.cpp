@@ -1,0 +1,87 @@
+// Unit tests for the binarized dense vector (core/packed_vector.hpp).
+#include "core/packed_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+template <typename T>
+class PackedVecTest : public ::testing::Test {};
+
+using AllDims = ::testing::Types<PackedVecT<4>, PackedVecT<8>, PackedVecT<16>,
+                                 PackedVecT<32>>;
+TYPED_TEST_SUITE(PackedVecTest, AllDims);
+
+TYPED_TEST(PackedVecTest, ResizeAllocatesCeilDivWords) {
+  TypeParam v(0);
+  EXPECT_EQ(0u, v.words.size());
+  v.resize(1);
+  EXPECT_EQ(1u, v.words.size());
+  v.resize(TypeParam::dim);
+  EXPECT_EQ(1u, v.words.size());
+  v.resize(TypeParam::dim + 1);
+  EXPECT_EQ(2u, v.words.size());
+}
+
+TYPED_TEST(PackedVecTest, SetGetResetRoundTrip) {
+  const vidx_t n = 3 * TypeParam::dim + 2;
+  TypeParam v(n);
+  for (vidx_t i = 0; i < n; i += 3) v.set(i);
+  for (vidx_t i = 0; i < n; ++i) {
+    EXPECT_EQ(i % 3 == 0, v.get(i)) << i;
+  }
+  for (vidx_t i = 0; i < n; i += 3) v.reset(i);
+  EXPECT_FALSE(v.any());
+  EXPECT_EQ(0, v.count());
+}
+
+TYPED_TEST(PackedVecTest, CountAndAny) {
+  TypeParam v(2 * TypeParam::dim);
+  EXPECT_FALSE(v.any());
+  v.set(0);
+  v.set(TypeParam::dim);       // second word
+  v.set(TypeParam::dim + 1);
+  EXPECT_TRUE(v.any());
+  EXPECT_EQ(3, v.count());
+}
+
+TYPED_TEST(PackedVecTest, FromValuesBinarizesNonzeros) {
+  std::vector<value_t> f = {0.0f, 1.5f, -2.0f, 0.0f, 0.25f};
+  const auto v = TypeParam::from_values(f);
+  EXPECT_EQ(5, v.n);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_TRUE(v.get(2));  // negative is nonzero
+  EXPECT_FALSE(v.get(3));
+  EXPECT_TRUE(v.get(4));
+}
+
+TYPED_TEST(PackedVecTest, BoolsRoundTrip) {
+  std::vector<bool> b(2 * TypeParam::dim + 1);
+  for (std::size_t i = 0; i < b.size(); i += 2) b[i] = true;
+  const auto v = TypeParam::from_bools(b);
+  EXPECT_EQ(b, v.to_bools());
+}
+
+TYPED_TEST(PackedVecTest, ClearBitsKeepsSize) {
+  TypeParam v(TypeParam::dim * 2);
+  v.set(1);
+  v.clear_bits();
+  EXPECT_EQ(TypeParam::dim * 2, v.n);
+  EXPECT_FALSE(v.any());
+}
+
+TYPED_TEST(PackedVecTest, TailBitsStayZero) {
+  // Setting only valid positions never dirties the tail of the last
+  // word (the kernels rely on this).
+  const vidx_t n = TypeParam::dim + TypeParam::dim / 2;
+  TypeParam v(n);
+  for (vidx_t i = 0; i < n; ++i) v.set(i);
+  using W = typename TypeParam::word_t;
+  const W tail = v.words.back();
+  EXPECT_EQ(low_mask<W>(TypeParam::dim / 2), tail);
+}
+
+}  // namespace
+}  // namespace bitgb

@@ -1,0 +1,146 @@
+// Randomized property tests: format and kernel invariants checked over
+// many random matrices (seed-parameterized, deterministic).  These
+// complement the targeted unit tests with breadth — every invariant
+// here is one the rest of the library silently relies on.
+#include "baseline/csrgemm.hpp"
+#include "baseline/csrmv.hpp"
+#include "core/bit_spgemm.hpp"
+#include "core/bmm.hpp"
+#include "core/bmv.hpp"
+#include "core/pack.hpp"
+#include "core/sampling.hpp"
+#include "core/stats.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace bitgb {
+namespace {
+
+// One random matrix per (seed); shapes and densities vary with it too.
+Csr random_matrix(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const vidx_t n = 16 + static_cast<vidx_t>(rng() % 150);
+  const double density = std::pow(10.0, -3.0 + 2.5 * (rng() % 1000) / 1000.0);
+  const auto nnz = static_cast<eidx_t>(
+      density * static_cast<double>(n) * static_cast<double>(n));
+  switch (rng() % 4) {
+    case 0: return coo_to_csr(gen_random(n, nnz, seed));
+    case 1: return coo_to_csr(gen_banded(n, 1 + static_cast<vidx_t>(rng() % 9),
+                                         0.3 + 0.6 * (rng() % 100) / 100.0,
+                                         seed));
+    case 2: return coo_to_csr(gen_stripe(n, 1 + static_cast<int>(rng() % 4),
+                                         0.5, seed));
+    default: return coo_to_csr(gen_hybrid(n, seed));
+  }
+}
+
+class PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertyTest, PackUnpackIsIdentityForAllDims) {
+  const Csr m = random_matrix(static_cast<std::uint64_t>(GetParam()));
+  for (const int dim : kTileDims) {
+    const B2srAny b = pack_any(m, dim);
+    EXPECT_TRUE(b.visit([](const auto& t) { return t.validate(); }));
+    const Csr back = unpack_any(b);
+    EXPECT_EQ(m.rowptr, back.rowptr) << "dim " << dim;
+    EXPECT_EQ(m.colind, back.colind) << "dim " << dim;
+  }
+}
+
+TEST_P(PropertyTest, NnzIsFormatInvariant) {
+  const Csr m = random_matrix(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (const int dim : kTileDims) {
+    EXPECT_EQ(m.nnz(), pack_any(m, dim).nnz()) << "dim " << dim;
+  }
+}
+
+TEST_P(PropertyTest, TransposeCommutesWithPacking) {
+  const Csr m = random_matrix(static_cast<std::uint64_t>(GetParam()) + 2000);
+  for (const int dim : {8, 32}) {
+    const Csr via_csr = unpack_any(pack_any(transpose(m), dim));
+    const Csr via_b2sr = unpack_any(transpose_any(pack_any(m, dim)));
+    EXPECT_EQ(via_csr.colind, via_b2sr.colind) << "dim " << dim;
+  }
+}
+
+TEST_P(PropertyTest, BmvAgreesWithCsrmvOnBinaryMatrices) {
+  const Csr m = random_matrix(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const auto x = test::random_vector(m.ncols, 0.4, 1);
+  std::vector<value_t> y_ref;
+  baseline::csrmv(m, x, y_ref);
+  for (const int dim : kTileDims) {
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      std::vector<value_t> y;
+      bmv_bin_full_full<Dim, PlusTimesOp>(pack_from_csr<Dim>(m), x, y);
+      test::expect_vectors_near(y_ref, y, 1e-2);
+      return 0;
+    });
+  }
+}
+
+TEST_P(PropertyTest, BooleanProductPatternEqualsCountingSupport) {
+  // bit_spgemm (Boolean) must have exactly the support of the counting
+  // product, and bmm_bin_bin_sum must equal the counting product's
+  // total mass.
+  const Csr m = random_matrix(static_cast<std::uint64_t>(GetParam()) + 4000);
+  const Csr ref = baseline::csrgemm(m, m);
+  double mass = 0.0;
+  for (const value_t v : ref.val) mass += v;
+  dispatch_tile_dim(8, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    EXPECT_EQ(static_cast<std::int64_t>(std::llround(mass)),
+              bmm_bin_bin_sum(a, a));
+    const Csr boolean = unpack_to_csr(bit_spgemm(a, a));
+    EXPECT_EQ(ref.rowptr, boolean.rowptr);
+    EXPECT_EQ(ref.colind, boolean.colind);
+    return 0;
+  });
+}
+
+TEST_P(PropertyTest, CompressionBoundsHold) {
+  // The format can never beat the information bound of its tiles and
+  // the sampler's full-sample estimate must match the packer exactly.
+  const Csr m = random_matrix(static_cast<std::uint64_t>(GetParam()) + 5000);
+  if (m.nnz() == 0) return;
+  const auto fps = all_footprints(m);
+  const SamplingProfile prof = sample_profile(m, m.nrows, 9);
+  for (int i = 0; i < kNumTileDims; ++i) {
+    const auto& fp = fps[static_cast<std::size_t>(i)];
+    // At least 1 word per dim rows of a non-empty tile.
+    EXPECT_GT(fp.b2sr_bytes, 0u);
+    EXPECT_NEAR(
+        fp.compression_pct,
+        prof.per_dim[static_cast<std::size_t>(i)].est_compression_pct, 0.05);
+  }
+}
+
+TEST_P(PropertyTest, MaskedBmmIsSubsetOfUnmaskedMass) {
+  const Csr m = random_matrix(static_cast<std::uint64_t>(GetParam()) + 6000);
+  const Csr l = lower_triangle(m);
+  dispatch_tile_dim(16, [&]<int Dim>() {
+    const B2srT<Dim> lb = pack_from_csr<Dim>(l);
+    const std::int64_t masked = bmm_bin_bin_sum_masked(lb, lb, lb);
+    // The masked sum counts a subset of (L*L^T)'s entries; the full
+    // product mass of L*L^T equals sum over t colcount_t(L)^2.
+    std::vector<std::int64_t> colcount(static_cast<std::size_t>(l.ncols), 0);
+    for (const vidx_t c : l.colind) ++colcount[static_cast<std::size_t>(c)];
+    std::int64_t full = 0;
+    for (const std::int64_t c : colcount) full += c * c;
+    EXPECT_LE(masked, full);
+    EXPECT_GE(masked, 0);
+    return 0;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(0, 12),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace bitgb

@@ -1,0 +1,90 @@
+// Sampling-profiler tests — Algorithm 1's estimate must track the exact
+// packer closely enough to pick sane tile sizes.
+#include "core/sampling.hpp"
+#include "core/stats.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+TEST(Sampling, FullSampleReproducesExactFootprints) {
+  // Sampling every row covers every tile-row window, so the estimator
+  // must reproduce the exact packer's tile count and byte size.
+  for (const auto& [name, m] : test::small_matrices()) {
+    if (m.nnz() == 0) continue;
+    const SamplingProfile prof = sample_profile(m, m.nrows, 1);
+    const auto exact = all_footprints(m);
+    for (int i = 0; i < kNumTileDims; ++i) {
+      const auto& e = prof.per_dim[static_cast<std::size_t>(i)];
+      const auto& x = exact[static_cast<std::size_t>(i)];
+      EXPECT_NEAR(static_cast<double>(x.nonempty_tiles), e.est_nonempty_tiles,
+                  1e-6)
+          << name << " dim " << kTileDims[i];
+      EXPECT_NEAR(x.compression_pct, e.est_compression_pct, 0.05)
+          << name << " dim " << kTileDims[i];
+    }
+  }
+}
+
+TEST(Sampling, SubsampleIsDeterministicPerSeed) {
+  const Csr m = coo_to_csr(gen_random(500, 5000, 2));
+  const SamplingProfile a = sample_profile(m, 50, 7);
+  const SamplingProfile b = sample_profile(m, 50, 7);
+  for (int i = 0; i < kNumTileDims; ++i) {
+    EXPECT_DOUBLE_EQ(a.per_dim[static_cast<std::size_t>(i)].est_compression_pct,
+                     b.per_dim[static_cast<std::size_t>(i)].est_compression_pct);
+  }
+}
+
+TEST(Sampling, RecommendedDimMatchesNearOptimal) {
+  // On a strongly structured matrix the sampler's pick must be within
+  // 1.5x of the true optimum's byte size.
+  const Csr m = coo_to_csr(gen_banded(1024, 8, 0.9, 3));
+  const SamplingProfile prof = sample_profile(m, m.nrows, 4);
+  const auto exact = all_footprints(m);
+  std::size_t best = SIZE_MAX;
+  std::size_t picked = 0;
+  for (const auto& fp : exact) {
+    best = std::min(best, fp.b2sr_bytes);
+    if (fp.dim == prof.recommended_dim()) picked = fp.b2sr_bytes;
+  }
+  EXPECT_LE(static_cast<double>(picked), 1.5 * static_cast<double>(best));
+}
+
+TEST(Sampling, WorthConvertingSaysYesForDenseBand) {
+  const Csr m = coo_to_csr(gen_banded(512, 16, 1.0, 5));
+  EXPECT_TRUE(sample_profile(m, 128, 6).worth_converting());
+}
+
+TEST(Sampling, ScatterExpandsAtLargeTilesCompressesAtSmall) {
+  // 1 nnz per row scattered: at dim 32 every nonzero drags in a whole
+  // 128-byte tile (massive expansion — the §III-C caveat); at dim 4 the
+  // 4-byte tile still beats the 4-byte float value plus index overhead.
+  const Csr m = coo_to_csr(gen_random(4096, 4096, 7));
+  const SamplingProfile prof = sample_profile(m, 512, 8);
+  EXPECT_GT(prof.per_dim[3].est_compression_pct, 100.0);  // dim 32
+  EXPECT_LT(prof.per_dim[0].est_compression_pct, 100.0);  // dim 4
+  EXPECT_EQ(4, prof.recommended_dim());
+}
+
+TEST(Sampling, SampleCountIsRespected) {
+  const Csr m = coo_to_csr(gen_random(300, 2000, 9));
+  EXPECT_EQ(40, sample_profile(m, 40, 10).rows_sampled);
+  EXPECT_EQ(300, sample_profile(m, 4000, 11).rows_sampled);  // clamped
+}
+
+TEST(Sampling, OccupancyEstimateIsPlausible) {
+  const Csr m = coo_to_csr(gen_banded(256, 4, 1.0, 12));
+  const SamplingProfile prof = sample_profile(m, m.nrows, 13);
+  for (const auto& e : prof.per_dim) {
+    EXPECT_GT(e.est_occupancy_pct, 0.0);
+    EXPECT_LE(e.est_occupancy_pct, 110.0);  // rough estimate, near <=100
+  }
+}
+
+}  // namespace
+}  // namespace bitgb

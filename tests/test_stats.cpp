@@ -1,0 +1,112 @@
+// Storage-statistics tests — the quantities behind Table I and
+// Figures 3/5.
+#include "core/pack.hpp"
+#include "core/stats.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+TEST(Stats, PerTileSavingMatchesPaperTable1) {
+  EXPECT_DOUBLE_EQ(16.0, per_tile_saving(4));   // 64B float -> 4B
+  EXPECT_DOUBLE_EQ(32.0, per_tile_saving(8));   // 256B -> 8B
+  EXPECT_DOUBLE_EQ(32.0, per_tile_saving(16));  // 1KB -> 32B
+  EXPECT_DOUBLE_EQ(32.0, per_tile_saving(32));  // 4KB -> 128B
+}
+
+TEST(Stats, CompressionRatioDefinition) {
+  EXPECT_DOUBLE_EQ(50.0, compression_ratio(50, 100));
+  EXPECT_DOUBLE_EQ(200.0, compression_ratio(200, 100));  // expansion
+  EXPECT_DOUBLE_EQ(0.0, compression_ratio(10, 0));       // degenerate
+}
+
+TEST(Stats, DenseBandCompressesWell) {
+  // A dense band packs tiles full of nonzeros: B2SR should be far
+  // smaller than float CSR.
+  const Csr m = coo_to_csr(gen_banded(512, 16, 1.0, 1));
+  const auto fps = all_footprints(m);
+  for (const auto& fp : fps) {
+    EXPECT_LT(fp.compression_pct, 100.0) << "dim " << fp.dim;
+  }
+}
+
+TEST(Stats, UltraSparseRandomExpandsAtLargeTiles) {
+  // 1 nonzero per ~universe: every nonzero drags in a whole tile, so
+  // large tiles expand storage (the paper's §III-C caveat).
+  const Csr m = coo_to_csr(gen_random(2048, 2048, 2));  // ~1 nnz per row
+  const auto fps = all_footprints(m);
+  EXPECT_GT(fps[3].compression_pct, 100.0);  // 32x32 expands
+}
+
+TEST(Stats, NonemptyTileRatioIsMonotoneInDim) {
+  // Figure 3a's trend: larger tiles -> higher non-empty tile ratio
+  // (fewer total tiles shrink the denominator faster than the count).
+  const Csr m = coo_to_csr(gen_random(512, 4000, 3));
+  double prev = 0.0;
+  for (const int dim : kTileDims) {
+    const double r = nonempty_tile_ratio_pct(m, dim);
+    EXPECT_GE(r, prev) << "dim " << dim;
+    prev = r;
+  }
+}
+
+TEST(Stats, OccupancyFallsAsDimGrows) {
+  // Figure 3b's trend: occupancy inside non-empty tiles decreases with
+  // tile dimension for scattered patterns.
+  const Csr m = coo_to_csr(gen_random(512, 4000, 4));
+  double prev = 100.0;
+  for (const int dim : kTileDims) {
+    const double occ = nonzero_occupancy_pct(m, dim);
+    EXPECT_LE(occ, prev + 1e-9) << "dim " << dim;
+    prev = occ;
+  }
+}
+
+TEST(Stats, OccupancyOfFullDenseTileIs100) {
+  // An exactly tile-aligned dense matrix fills its tiles completely.
+  Coo a{8, 8, {}, {}, {}};
+  for (vidx_t r = 0; r < 8; ++r) {
+    for (vidx_t c = 0; c < 8; ++c) a.push(r, c);
+  }
+  const Csr m = coo_to_csr(a);
+  EXPECT_DOUBLE_EQ(100.0, nonzero_occupancy_pct(m, 8));
+  EXPECT_DOUBLE_EQ(100.0, nonempty_tile_ratio_pct(m, 8));
+}
+
+TEST(Stats, FootprintsAgreeWithDirectPacking) {
+  const Csr m = coo_to_csr(gen_block(256, 32, 6, 0.5, 5, true));
+  const auto fps = all_footprints(m);
+  for (const auto& fp : fps) {
+    const B2srAny b = pack_any(m, fp.dim);
+    EXPECT_EQ(b.storage_bytes(), fp.b2sr_bytes);
+    EXPECT_EQ(b.nnz_tiles(), fp.nonempty_tiles);
+  }
+}
+
+TEST(Stats, OptimalTileDimMinimizesBytes) {
+  const Csr m = coo_to_csr(gen_banded(300, 3, 0.9, 6));
+  const int best = optimal_tile_dim(m);
+  const auto fps = all_footprints(m);
+  std::size_t best_bytes = 0;
+  for (const auto& fp : fps) {
+    if (fp.dim == best) best_bytes = fp.b2sr_bytes;
+  }
+  for (const auto& fp : fps) {
+    EXPECT_LE(best_bytes, fp.b2sr_bytes);
+  }
+}
+
+TEST(Stats, TrafficModelReductionForDenseBand) {
+  // §VI-C narrative: B2SR reads far fewer bytes than CSR for
+  // well-packed matrices (mycielskian8-style 4x reduction).
+  const Csr m = coo_to_csr(gen_banded(512, 16, 1.0, 7));
+  const TrafficModel t = spmv_traffic(m, 8);
+  EXPECT_GT(t.reduction(), 2.0);
+}
+
+}  // namespace
+}  // namespace bitgb

@@ -1,0 +1,157 @@
+// Shared helpers for the test suite: small deterministic matrices,
+// dense reference implementations of every kernel semantics, and
+// comparison utilities.
+#pragma once
+
+#include "sparse/convert.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace bitgb::test {
+
+/// A spread of small matrices covering the pattern categories plus the
+/// awkward shapes (empty, single entry, dense, non-multiple-of-dim).
+inline std::vector<std::pair<std::string, Csr>> small_matrices() {
+  std::vector<std::pair<std::string, Csr>> out;
+  out.emplace_back("empty", coo_to_csr(Coo{64, 64, {}, {}, {}}));
+  {
+    Coo one{65, 65, {}, {}, {}};
+    one.push(33, 17);
+    out.emplace_back("single", coo_to_csr(one));
+  }
+  out.emplace_back("random_61", coo_to_csr(gen_random(61, 300, 11)));
+  out.emplace_back("random_128", coo_to_csr(gen_random(128, 2000, 12)));
+  out.emplace_back("band_100", coo_to_csr(gen_banded(100, 5, 0.7, 13)));
+  out.emplace_back("band_129", coo_to_csr(gen_banded(129, 9, 0.5, 14)));
+  out.emplace_back("block_96", coo_to_csr(gen_block(96, 16, 5, 0.5, 15, true)));
+  out.emplace_back("stripe_90", coo_to_csr(gen_stripe(90, 3, 0.8, 16)));
+  out.emplace_back("road_10x7", coo_to_csr(gen_road(10, 7, 0.05, 17)));
+  out.emplace_back("hybrid_120", coo_to_csr(gen_hybrid(120, 18)));
+  out.emplace_back("mycielskian6", coo_to_csr(gen_mycielskian(6)));
+  {
+    // Fully dense 33x33 (every off-diagonal entry).
+    Coo dense{33, 33, {}, {}, {}};
+    for (vidx_t r = 0; r < 33; ++r) {
+      for (vidx_t c = 0; c < 33; ++c) {
+        if (r != c) dense.push(r, c);
+      }
+    }
+    out.emplace_back("dense_33", coo_to_csr(dense));
+  }
+  return out;
+}
+
+/// Deterministic float vector with the given fraction of zeros (BMV
+/// inputs need both zero and nonzero entries to exercise binarization).
+inline std::vector<value_t> random_vector(vidx_t n, double zero_fraction,
+                                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> val(0.5f, 4.0f);
+  std::bernoulli_distribution zero(zero_fraction);
+  std::vector<value_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = zero(rng) ? 0.0f : val(rng);
+  return v;
+}
+
+/// Dense reference: Boolean y = A x over OR-AND.
+inline std::vector<bool> ref_bool_mxv(const Csr& a,
+                                      const std::vector<bool>& x) {
+  std::vector<bool> y(static_cast<std::size_t>(a.nrows), false);
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    for (const vidx_t c : a.row_cols(r)) {
+      if (x[static_cast<std::size_t>(c)]) {
+        y[static_cast<std::size_t>(r)] = true;
+        break;
+      }
+    }
+  }
+  return y;
+}
+
+/// Dense reference: counting y[i] = |{j in adj(i) : x[j]}|.
+inline std::vector<value_t> ref_count_mxv(const Csr& a,
+                                          const std::vector<bool>& x) {
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows), 0.0f);
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    int c0 = 0;
+    for (const vidx_t c : a.row_cols(r)) {
+      if (x[static_cast<std::size_t>(c)]) ++c0;
+    }
+    y[static_cast<std::size_t>(r)] = static_cast<value_t>(c0);
+  }
+  return y;
+}
+
+/// Dense reference: semiring y[i] = reduce_j map(x[j]) over adj(i).
+template <typename Op>
+std::vector<value_t> ref_semiring_mxv(const Csr& a,
+                                      const std::vector<value_t>& x) {
+  std::vector<value_t> y(static_cast<std::size_t>(a.nrows), Op::identity);
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    value_t acc = Op::identity;
+    for (const vidx_t c : a.row_cols(r)) {
+      acc = Op::reduce(acc, Op::map(x[static_cast<std::size_t>(c)]));
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+/// Sum over the counting product A*B via dense expansion (small only).
+inline std::int64_t ref_product_sum(const Csr& a, const Csr& b) {
+  std::int64_t sum = 0;
+  for (vidx_t r = 0; r < a.nrows; ++r) {
+    for (const vidx_t k : a.row_cols(r)) {
+      sum += b.rowptr[static_cast<std::size_t>(k) + 1] -
+             b.rowptr[static_cast<std::size_t>(k)];
+    }
+  }
+  return sum;
+}
+
+/// Sum over (A * B^T) .* M via sorted-row dot products (small only).
+inline std::int64_t ref_abt_masked_sum(const Csr& a, const Csr& b,
+                                       const Csr& m) {
+  std::int64_t sum = 0;
+  for (vidx_t i = 0; i < m.nrows; ++i) {
+    for (const vidx_t j : m.row_cols(i)) {
+      const auto ra = a.row_cols(i);
+      const auto rb = b.row_cols(j);
+      std::size_t p = 0;
+      std::size_t q = 0;
+      while (p < ra.size() && q < rb.size()) {
+        if (ra[p] < rb[q]) {
+          ++p;
+        } else if (rb[q] < ra[p]) {
+          ++q;
+        } else {
+          ++sum;
+          ++p;
+          ++q;
+        }
+      }
+    }
+  }
+  return sum;
+}
+
+/// EXPECT float vectors equal element-wise within tol (inf == inf ok).
+inline void expect_vectors_near(const std::vector<value_t>& expected,
+                                const std::vector<value_t>& actual,
+                                double tol = 1e-5) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (std::isinf(expected[i]) || std::isinf(actual[i])) {
+      EXPECT_EQ(expected[i], actual[i]) << "at index " << i;
+    } else {
+      EXPECT_NEAR(expected[i], actual[i], tol) << "at index " << i;
+    }
+  }
+}
+
+}  // namespace bitgb::test
