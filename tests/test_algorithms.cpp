@@ -23,11 +23,9 @@ class AlgoTest : public ::testing::TestWithParam<std::tuple<int, int>> {
  protected:
   gb::Graph make_graph() {
     const auto [dim, mi] = GetParam();
-    const auto mats = test::small_matrices();
     gb::GraphOptions opts;
     opts.tile_dim = dim;
-    return gb::Graph::from_csr(mats[static_cast<std::size_t>(mi)].second,
-                               opts);
+    return gb::Graph::from_csr(test::small_matrix(mi).second, opts);
   }
 };
 
@@ -86,8 +84,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn({4, 8, 16, 32}),
                        ::testing::ValuesIn({2, 4, 6, 7, 8, 9, 10, 11})),
     [](const auto& info) {
-      return "dim" + std::to_string(std::get<0>(info.param)) + "_m" +
-             std::to_string(std::get<1>(info.param));
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_" +
+             test::kSmallMatrixOracle[static_cast<std::size_t>(
+                                          std::get<1>(info.param))]
+                 .name;
     });
 
 // --- targeted semantic checks on known graphs ---

@@ -25,7 +25,8 @@ std::vector<value_t> dense_mv(const Csr& a, const std::vector<value_t>& x) {
 }
 
 TEST(Csrmv, MatchesDenseOnBinaryMatrices) {
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
+    SCOPED_TRACE(name);
     const auto x = test::random_vector(m.ncols, 0.3, 200);
     std::vector<value_t> y;
     baseline::csrmv(m, x, y);

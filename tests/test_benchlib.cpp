@@ -49,6 +49,17 @@ TEST(Corpus, DeterministicAcrossCalls) {
   }
 }
 
+TEST(Corpus, SmokeMatrixNamesAreUnique) {
+  // named_matrix() lookups and per-row table rendering both assume the
+  // corpus has no duplicate names.
+  const auto corpus = full_corpus(CorpusScale::kSmoke);
+  std::map<std::string, int> counts;
+  for (const auto& e : corpus) ++counts[e.name];
+  for (const auto& [name, n] : counts) {
+    EXPECT_EQ(1, n) << "duplicate corpus name " << name;
+  }
+}
+
 TEST(Corpus, NamedMatricesExistAndAreExactWhereDefined) {
   // mycielskianN analogs are the *exact* graphs (deterministic
   // construction), so their sizes match SuiteSparse.

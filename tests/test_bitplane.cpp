@@ -99,6 +99,25 @@ INSTANTIATE_TEST_SUITE_P(AllDims, BitPlaneSpmvTest,
                            return "dim" + std::to_string(info.param);
                          });
 
+TEST(BitPlane, Width1SpmvMatchesCsrmvAcrossFixturePatterns) {
+  // A unit-weighted matrix is exactly its own single bit-plane, so
+  // bit-plane SpMV must agree with the float baseline on every fixture
+  // pattern category.
+  for (const auto& [name, m] : test::small_matrices_cached()) {
+    if (m.nnz() == 0) continue;
+    SCOPED_TRACE(name);
+    const Csr unit = coo_to_csr(with_unit_values(csr_to_coo(m)));
+    EXPECT_EQ(1, required_bit_width(unit));
+    const auto x = test::random_vector(unit.ncols, 0.3, 6);
+    std::vector<value_t> expected;
+    baseline::csrmv(unit, x, expected);
+    const auto planes = decompose_bitplanes<8>(unit, 1);
+    std::vector<value_t> y;
+    bitplane_spmv(planes, x, y);
+    test::expect_vectors_near(expected, y, 1e-3);
+  }
+}
+
 TEST(BitPlane, WeightsClampToRange) {
   Coo a{2, 2, {}, {}, {}};
   a.push(0, 1, 100.0f);  // above 2^3-1=7

@@ -18,7 +18,7 @@ class BmmTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(BmmTest, SumMatchesDenseProductSum) {
   const int dim = GetParam();
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     const std::int64_t expected = test::ref_product_sum(m, m);
     dispatch_tile_dim(dim, [&]<int Dim>() {
       const B2srT<Dim> a = pack_from_csr<Dim>(m);
@@ -51,7 +51,7 @@ TEST_P(BmmTest, SumOfRectangularProduct) {
 
 TEST_P(BmmTest, MaskedSumMatchesReference) {
   const int dim = GetParam();
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     const Csr l = lower_triangle(m);
     const std::int64_t expected = test::ref_abt_masked_sum(l, l, l);
     dispatch_tile_dim(dim, [&]<int Dim>() {
@@ -102,7 +102,7 @@ class BitSpgemmTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(BitSpgemmTest, MatchesBooleanizedFloatSpgemm) {
   const int dim = GetParam();
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     // Boolean product pattern == pattern of the float product.
     const Csr ref = baseline::csrgemm(m, m);
     dispatch_tile_dim(dim, [&]<int Dim>() {

@@ -17,8 +17,7 @@ class BmvTest : public ::testing::TestWithParam<std::tuple<int, int>> {
   template <typename Body>
   void with_fixture(Body&& body) {
     const auto [dim, mi] = GetParam();
-    const auto mats = test::small_matrices();
-    const auto& [name, m] = mats[static_cast<std::size_t>(mi)];
+    const auto& [name, m] = test::small_matrix(mi);
     const auto xf = test::random_vector(m.ncols, 0.5, 99);
     std::vector<bool> xb(static_cast<std::size_t>(m.ncols));
     for (vidx_t i = 0; i < m.ncols; ++i) {
@@ -46,6 +45,7 @@ TEST_P(BmvTest, BinBinBinMatchesBooleanReference) {
 TEST_P(BmvTest, BinBinFullMatchesCountingReference) {
   with_fixture([](int dim, const std::string& name, const Csr& m,
                   const std::vector<value_t>&, const std::vector<bool>& xb) {
+    SCOPED_TRACE(name);
     const auto expected = test::ref_count_mxv(m, xb);
     dispatch_tile_dim(dim, [&]<int Dim>() {
       const B2srT<Dim> a = pack_from_csr<Dim>(m);
@@ -117,10 +117,12 @@ TEST_P(BmvTest, BinFullFullMaxTimes) {
 INSTANTIATE_TEST_SUITE_P(
     AllDimsAllPatterns, BmvTest,
     ::testing::Combine(::testing::ValuesIn({4, 8, 16, 32}),
-                       ::testing::Range(0, 12)),
+                       ::testing::Range(0, test::kSmallMatrixCount)),
     [](const auto& info) {
-      return "dim" + std::to_string(std::get<0>(info.param)) + "_m" +
-             std::to_string(std::get<1>(info.param));
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_" +
+             test::kSmallMatrixOracle[static_cast<std::size_t>(
+                                          std::get<1>(info.param))]
+                 .name;
     });
 
 TEST(Bmv, AllOnesVectorCountsRowDegrees) {

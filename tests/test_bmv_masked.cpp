@@ -201,6 +201,39 @@ TEST_P(MaskedBmvTest, EmptyMaskLeavesOutputUntouched) {
   });
 }
 
+TEST_P(MaskedBmvTest, ComplementHalvesPartitionTheUnmaskedResult) {
+  // For any mask, the masked result and its complement-masked result
+  // partition the unmasked result row set: OR-ing them row-wise must
+  // reproduce the unmasked output on every fixture pattern.
+  const int dim = GetParam();
+  for (const auto& [name, m] : test::small_matrices_cached()) {
+    SCOPED_TRACE(name);
+    const auto xb = test::random_vector(m.ncols, 0.4, 90);
+    const auto mb = test::random_vector(m.nrows, 0.5, 91);
+    std::vector<bool> xbool(static_cast<std::size_t>(m.ncols));
+    for (vidx_t i = 0; i < m.ncols; ++i) {
+      xbool[static_cast<std::size_t>(i)] =
+          xb[static_cast<std::size_t>(i)] != 0.0f;
+    }
+    dispatch_tile_dim(dim, [&]<int Dim>() {
+      const B2srT<Dim> a = pack_from_csr<Dim>(m);
+      const auto x = PackedVecT<Dim>::from_bools(xbool);
+      const auto mask = PackedVecT<Dim>::from_values(mb);
+      PackedVecT<Dim> unmasked;
+      bmv_bin_bin_bin(a, x, unmasked);
+      PackedVecT<Dim> kept;
+      bmv_bin_bin_bin_masked(a, x, mask, false, kept);
+      PackedVecT<Dim> dropped;
+      bmv_bin_bin_bin_masked(a, x, mask, true, dropped);
+      for (vidx_t r = 0; r < m.nrows; ++r) {
+        EXPECT_EQ(unmasked.get(r), kept.get(r) || dropped.get(r))
+            << "row " << r << " dim=" << Dim;
+      }
+      return 0;
+    });
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllDims, MaskedBmvTest,
                          ::testing::ValuesIn({4, 8, 16, 32}),
                          [](const auto& info) {

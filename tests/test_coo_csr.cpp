@@ -109,10 +109,21 @@ TEST(Csr, TransposeMatchesDenseTranspose) {
 }
 
 TEST(Csr, DoubleTransposeIsIdentity) {
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     const Csr tt = transpose(transpose(m));
     EXPECT_EQ(m.rowptr, tt.rowptr) << name;
     EXPECT_EQ(m.colind, tt.colind) << name;
+  }
+}
+
+TEST(Csr, SymmetrizeIsIdempotentAcrossPatterns) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
+    SCOPED_TRACE(name);
+    const Csr s = symmetrize(m);
+    EXPECT_TRUE(is_symmetric(s));
+    const Csr ss = symmetrize(s);
+    EXPECT_EQ(s.rowptr, ss.rowptr);
+    EXPECT_EQ(s.colind, ss.colind);
   }
 }
 

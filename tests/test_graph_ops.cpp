@@ -75,6 +75,24 @@ TEST(Graph, DegreesMatchRowLengths) {
   }
 }
 
+TEST(Graph, FixturePatternsRoundTripThroughEveryTileDim) {
+  // The facade must keep adjacency and packed form in sync for every
+  // pattern category at every supported tile size.
+  for (const auto& [name, m] : test::small_matrices_cached()) {
+    SCOPED_TRACE(name);
+    for (const int dim : kTileDims) {
+      gb::GraphOptions opts;
+      opts.tile_dim = dim;
+      const gb::Graph g = gb::Graph::from_csr(m, opts);
+      EXPECT_EQ(dim, g.tile_dim());
+      EXPECT_EQ(g.adjacency().nnz(), g.num_edges());
+      const Csr back = unpack_any(g.packed());
+      EXPECT_EQ(g.adjacency().rowptr, back.rowptr) << "dim " << dim;
+      EXPECT_EQ(g.adjacency().colind, back.colind) << "dim " << dim;
+    }
+  }
+}
+
 TEST(Semiring, NamesAndSchemes) {
   using gb::Semiring;
   EXPECT_STREQ("boolean", gb::semiring_name(Semiring::kBoolean));

@@ -58,6 +58,19 @@ TEST(Intrinsics, BrevLowReversesOnlyLowBits) {
   }
 }
 
+TEST(Intrinsics, BrevLowIsInvolutionWithinWidth) {
+  // brev_low must be its own inverse for every sub-width — the nibble
+  // packing relies on this for the 4-bit rows.
+  std::mt19937_64 rng(5);
+  for (const int k : {1, 4, 7, 8, 12, 16}) {
+    for (int i = 0; i < 200; ++i) {
+      const auto w = static_cast<std::uint16_t>(
+          rng() & low_mask<std::uint16_t>(k));
+      EXPECT_EQ(w, brev_low(brev_low(w, k), k)) << "width " << k;
+    }
+  }
+}
+
 TEST(Intrinsics, ClzCtz) {
   EXPECT_EQ(32, clz<std::uint32_t>(0));
   EXPECT_EQ(32, ctz<std::uint32_t>(0));

@@ -1,5 +1,8 @@
 // Unit tests for the Matrix Market reader/writer.
+#include "sparse/convert.hpp"
 #include "sparse/matrix_market.hpp"
+
+#include "test_util.hpp"
 
 #include <gtest/gtest.h>
 
@@ -100,6 +103,23 @@ TEST(MatrixMarket, WriteReadRoundTripPattern) {
   EXPECT_EQ(a.row, b.row);
   EXPECT_EQ(a.col, b.col);
   EXPECT_TRUE(b.is_binary());
+}
+
+TEST(MatrixMarket, WriteReadRoundTripAcrossFixturePatterns) {
+  // Every pattern category (including empty and dense) survives a trip
+  // through the text format.
+  for (const auto& [name, m] : test::small_matrices_cached()) {
+    SCOPED_TRACE(name);
+    const Coo a = csr_to_coo(m);
+    std::ostringstream out;
+    write_matrix_market(out, a);
+    std::istringstream in(out.str());
+    const Coo b = read_matrix_market(in);
+    EXPECT_EQ(m.nrows, b.nrows);
+    EXPECT_EQ(m.ncols, b.ncols);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.col, b.col);
+  }
 }
 
 TEST(MatrixMarket, WriteReadRoundTripWeighted) {

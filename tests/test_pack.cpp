@@ -17,8 +17,7 @@ class PackRoundTrip
 
 TEST_P(PackRoundTrip, UnpackOfPackEqualsOriginal) {
   const auto [dim, mi] = GetParam();
-  const auto mats = test::small_matrices();
-  const auto& [name, m] = mats[static_cast<std::size_t>(mi)];
+  const auto& [name, m] = test::small_matrix(mi);
 
   const B2srAny b = pack_any(m, dim);
   const Csr back = unpack_any(b);
@@ -28,8 +27,7 @@ TEST_P(PackRoundTrip, UnpackOfPackEqualsOriginal) {
 
 TEST_P(PackRoundTrip, PackedFormatSatisfiesInvariants) {
   const auto [dim, mi] = GetParam();
-  const auto mats = test::small_matrices();
-  const auto& [name, m] = mats[static_cast<std::size_t>(mi)];
+  const auto& [name, m] = test::small_matrix(mi);
 
   const B2srAny b = pack_any(m, dim);
   const bool ok = b.visit([](const auto& t) { return t.validate(); });
@@ -41,8 +39,7 @@ TEST_P(PackRoundTrip, PackedFormatSatisfiesInvariants) {
 
 TEST_P(PackRoundTrip, TileCountMatchesPackedTiles) {
   const auto [dim, mi] = GetParam();
-  const auto mats = test::small_matrices();
-  const auto& [name, m] = mats[static_cast<std::size_t>(mi)];
+  const auto& [name, m] = test::small_matrix(mi);
   EXPECT_EQ(count_nonempty_tiles(m, dim), pack_any(m, dim).nnz_tiles())
       << name << " dim=" << dim;
 }
@@ -50,10 +47,12 @@ TEST_P(PackRoundTrip, TileCountMatchesPackedTiles) {
 INSTANTIATE_TEST_SUITE_P(
     AllDimsAllPatterns, PackRoundTrip,
     ::testing::Combine(::testing::ValuesIn({4, 8, 16, 32}),
-                       ::testing::Range(0, 12)),
+                       ::testing::Range(0, test::kSmallMatrixCount)),
     [](const auto& info) {
-      return "dim" + std::to_string(std::get<0>(info.param)) + "_m" +
-             std::to_string(std::get<1>(info.param));
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_" +
+             test::kSmallMatrixOracle[static_cast<std::size_t>(
+                                          std::get<1>(info.param))]
+                 .name;
     });
 
 TEST(Pack, EmptyMatrixPacksToNoTiles) {
@@ -79,8 +78,7 @@ TEST(Pack, SingleEntryLandsInRightTile) {
 
 TEST(Pack, TailTilesCarryNoOutOfRangeBits) {
   // 33x33 dense: with dim 32 the edge tiles are 1 wide/tall.
-  const auto mats = test::small_matrices();
-  const Csr& dense33 = mats[11].second;
+  const Csr& dense33 = test::small_matrix_by_name("dense_33");
   ASSERT_EQ(33, dense33.nrows);
   const B2sr32 b = pack_from_csr<32>(dense33);
   EXPECT_TRUE(b.validate());  // validate() rejects out-of-range bits
@@ -125,7 +123,7 @@ TEST(PackDispatch, RejectsUnsupportedDim) {
 // --- nibble-packed B2SR-4 (paper §III-B 4-bit packing) ---
 
 TEST(NibblePack, RoundTripThroughNibbleForm) {
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     const B2sr4 b = pack_from_csr<4>(m);
     const NibbleB2sr4 n = to_nibble4(b);
     const B2sr4 back = from_nibble4(n);

@@ -72,6 +72,19 @@ TYPED_TEST(PackedVecTest, ClearBitsKeepsSize) {
   EXPECT_FALSE(v.any());
 }
 
+TYPED_TEST(PackedVecTest, FromBoolsAndFromValuesKeepTailZero) {
+  // The kernels AND whole words, so conversion constructors must leave
+  // the invalid tail of the last word clear just like set() does.
+  const vidx_t n = 2 * TypeParam::dim + 3;
+  std::vector<bool> b(static_cast<std::size_t>(n), true);
+  std::vector<value_t> f(static_cast<std::size_t>(n), 1.0f);
+  using W = typename TypeParam::word_t;
+  const W tail_mask = low_mask<W>(3);
+  EXPECT_EQ(tail_mask, TypeParam::from_bools(b).words.back());
+  EXPECT_EQ(tail_mask, TypeParam::from_values(f).words.back());
+  EXPECT_EQ(n, TypeParam::from_bools(b).count());
+}
+
 TYPED_TEST(PackedVecTest, TailBitsStayZero) {
   // Setting only valid positions never dirties the tail of the last
   // word (the kernels rely on this).

@@ -137,6 +137,21 @@ TEST_P(PropertyTest, MaskedBmmIsSubsetOfUnmaskedMass) {
   });
 }
 
+TEST_P(PropertyTest, NibblePackingAgreesWithPlainB2sr4) {
+  // The nibble form is an alternate encoding of the same tiles: both
+  // construction paths (direct from CSR, via B2SR-4) must agree, and
+  // the round trip back to B2SR-4 must be exact.
+  const Csr m = random_matrix(static_cast<std::uint64_t>(GetParam()) + 7000);
+  const B2sr4 b = pack_from_csr<4>(m);
+  const NibbleB2sr4 direct = pack_nibble4(m);
+  const NibbleB2sr4 via = to_nibble4(b);
+  EXPECT_EQ(direct.tile_rowptr, via.tile_rowptr);
+  EXPECT_EQ(direct.tile_colind, via.tile_colind);
+  EXPECT_EQ(direct.bytes, via.bytes);
+  const B2sr4 back = from_nibble4(direct);
+  EXPECT_EQ(b.bits, back.bits);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(0, 12),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);

@@ -1,0 +1,107 @@
+// Property tests: pack -> unpack is the identity on the sparsity
+// pattern, for every tile size and every pattern category in
+// small_matrices().  Unlike test_pack (which compares CSR arrays
+// exactly), these tests compare dense pattern expansions, so they hold
+// independently of how the round-tripped CSR happens to lay out its
+// arrays — and they anchor the fixture itself against the oracle table.
+#include "core/pack.hpp"
+#include "core/tile_traits.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitgb {
+namespace {
+
+using test::dense_pattern;
+
+// The fixture matrices must match the oracle table before any
+// Range-parameterized suite below (or in the other test binaries)
+// trusts its indices.
+TEST(SmallMatrices, MatchOracleTable) {
+  test::expect_small_matrices_match_oracle();
+}
+
+TEST(SmallMatrices, IndexAccessorRejectsOutOfRange) {
+  EXPECT_THROW(test::small_matrix(-1), std::out_of_range);
+  EXPECT_THROW(test::small_matrix(test::kSmallMatrixCount),
+               std::out_of_range);
+  EXPECT_THROW(test::small_matrix_by_name("no_such_matrix"),
+               std::out_of_range);
+  // In-range access agrees with the oracle's naming.
+  for (int mi = 0; mi < test::kSmallMatrixCount; ++mi) {
+    EXPECT_EQ(test::kSmallMatrixOracle[static_cast<std::size_t>(mi)].name,
+              test::small_matrix(mi).first);
+  }
+}
+
+class RoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RoundTrip, PackUnpackPreservesSparsityPattern) {
+  const auto [dim, mi] = GetParam();
+  const auto& [name, m] = test::small_matrix(mi);
+  const Csr back = unpack_any(pack_any(m, dim));
+  ASSERT_EQ(m.nrows, back.nrows) << name;
+  ASSERT_EQ(m.ncols, back.ncols) << name;
+  EXPECT_TRUE(back.validate()) << name;
+  EXPECT_TRUE(back.is_binary()) << name;
+  EXPECT_EQ(dense_pattern(m), dense_pattern(back)) << name << " dim=" << dim;
+}
+
+TEST_P(RoundTrip, PackIsIdempotentOnUnpackedForm) {
+  // pack(unpack(pack(m))) sees a binary CSR instead of the original
+  // (possibly valued) one; the packed image must be identical.
+  const auto [dim, mi] = GetParam();
+  const auto& [name, m] = test::small_matrix(mi);
+  const B2srAny b1 = pack_any(m, dim);
+  const B2srAny b2 = pack_any(unpack_any(b1), dim);
+  EXPECT_EQ(b1.nnz(), b2.nnz()) << name;
+  EXPECT_EQ(b1.nnz_tiles(), b2.nnz_tiles()) << name;
+  EXPECT_EQ(dense_pattern(unpack_any(b2)), dense_pattern(m))
+      << name << " dim=" << dim;
+}
+
+TEST_P(RoundTrip, DoubleTransposePreservesPattern) {
+  const auto [dim, mi] = GetParam();
+  const auto& [name, m] = test::small_matrix(mi);
+  dispatch_tile_dim(dim, [&]<int Dim>() {
+    const B2srT<Dim> a = pack_from_csr<Dim>(m);
+    const B2srT<Dim> att = transpose(transpose(a));
+    EXPECT_EQ(dense_pattern(m), dense_pattern(unpack_to_csr(att)))
+        << name << " dim=" << Dim;
+    return 0;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDimsAllPatterns, RoundTrip,
+    ::testing::Combine(::testing::ValuesIn(kTileDims),
+                       ::testing::Range(0, test::kSmallMatrixCount)),
+    [](const auto& info) {
+      return "dim" + std::to_string(std::get<0>(info.param)) + "_" +
+             test::kSmallMatrixOracle[static_cast<std::size_t>(
+                                          std::get<1>(info.param))]
+                 .name;
+    });
+
+class NibbleRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(NibbleRoundTrip, NibblePathPreservesSparsityPattern) {
+  const auto& [name, m] = test::small_matrix(GetParam());
+  const Csr back = unpack_to_csr(from_nibble4(pack_nibble4(m)));
+  EXPECT_EQ(dense_pattern(m), dense_pattern(back)) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, NibbleRoundTrip,
+                         ::testing::Range(0, test::kSmallMatrixCount),
+                         [](const auto& info) {
+                           return std::string(
+                               test::kSmallMatrixOracle
+                                   [static_cast<std::size_t>(info.param)]
+                                       .name);
+                         });
+
+}  // namespace
+}  // namespace bitgb

@@ -14,7 +14,7 @@ namespace {
 TEST(Sampling, FullSampleReproducesExactFootprints) {
   // Sampling every row covers every tile-row window, so the estimator
   // must reproduce the exact packer's tile count and byte size.
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     if (m.nnz() == 0) continue;
     const SamplingProfile prof = sample_profile(m, m.nrows, 1);
     const auto exact = all_footprints(m);

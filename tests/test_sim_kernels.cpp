@@ -16,7 +16,8 @@ namespace bitgb {
 namespace {
 
 TEST(SimKernels, Listing1BmvBinBinFullMatchesPortable) {
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
+    SCOPED_TRACE(name);
     const B2sr32 a = pack_from_csr<32>(m);
     const auto xf = test::random_vector(m.ncols, 0.5, 100);
     const auto x = PackedVec32::from_values(xf);
@@ -30,7 +31,7 @@ TEST(SimKernels, Listing1BmvBinBinFullMatchesPortable) {
 }
 
 TEST(SimKernels, BooleanWarpProgramMatchesPortable) {
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     const B2sr32 a = pack_from_csr<32>(m);
     const auto xf = test::random_vector(m.ncols, 0.5, 101);
     const auto x = PackedVec32::from_values(xf);
@@ -44,7 +45,7 @@ TEST(SimKernels, BooleanWarpProgramMatchesPortable) {
 }
 
 TEST(SimKernels, Listing2BmmSumMatchesPortable) {
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     const B2sr32 a = pack_from_csr<32>(m);
     EXPECT_EQ(bmm_bin_bin_sum(a, a), sim::bmm_bin_bin_sum_sim(a, a)) << name;
   }

@@ -100,6 +100,21 @@ TEST(Stats, OptimalTileDimMinimizesBytes) {
   }
 }
 
+TEST(Stats, EmptyMatrixHasZeroTilesAtEveryDim) {
+  // Degenerate input the figure sweeps must survive: no tiles, no
+  // division blow-ups, and the index-only B2SR stays below float CSR.
+  const Csr& empty = test::small_matrix_by_name("empty");
+  ASSERT_EQ(0, empty.nnz());
+  const auto fps = all_footprints(empty);
+  for (const auto& fp : fps) {
+    EXPECT_EQ(0, fp.nonempty_tiles) << "dim " << fp.dim;
+    EXPECT_LT(fp.compression_pct, 100.0) << "dim " << fp.dim;
+  }
+  for (const int dim : kTileDims) {
+    EXPECT_DOUBLE_EQ(0.0, nonempty_tile_ratio_pct(empty, dim));
+  }
+}
+
 TEST(Stats, TrafficModelReductionForDenseBand) {
   // §VI-C narrative: B2SR reads far fewer bytes than CSR for
   // well-packed matrices (mycielskian8-style 4x reduction).

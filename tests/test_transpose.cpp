@@ -47,7 +47,7 @@ class B2srTransposeTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(B2srTransposeTest, EqualsPackOfCsrTranspose) {
   const int dim = GetParam();
-  for (const auto& [name, m] : test::small_matrices()) {
+  for (const auto& [name, m] : test::small_matrices_cached()) {
     const B2srAny direct = pack_any(transpose(m), dim);
     const B2srAny via_b2sr = transpose_any(pack_any(m, dim));
     // Compare through unpacking (canonical form).

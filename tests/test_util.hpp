@@ -9,10 +9,39 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 namespace bitgb::test {
+
+/// Expected shape of every entry in small_matrices(), in order.  This is
+/// the oracle the suite checks the fixture against (see
+/// expect_small_matrices_match_oracle): parameterized tests index into
+/// small_matrices() by position, so an entry added, removed, reordered, or
+/// regenerated differently must update this table — otherwise Range-based
+/// parameterizations silently skip (or read past) entries.
+struct SmallMatrixOracle {
+  const char* name;
+  vidx_t nrows;
+  vidx_t ncols;
+  eidx_t nnz;
+};
+
+inline constexpr SmallMatrixOracle kSmallMatrixOracle[] = {
+    {"empty", 64, 64, 0},         {"single", 65, 65, 1},
+    {"random_61", 61, 61, 300},   {"random_128", 128, 128, 2000},
+    {"band_100", 100, 100, 661},  {"band_129", 129, 129, 1158},
+    {"block_96", 96, 96, 593},    {"stripe_90", 90, 90, 226},
+    {"road_10x7", 70, 70, 246},   {"hybrid_120", 120, 120, 562},
+    {"mycielskian6", 47, 47, 472}, {"dense_33", 33, 33, 1056},
+};
+
+/// Number of fixture matrices — use this (not a literal) as the exclusive
+/// upper bound of ::testing::Range over matrix indices.
+inline constexpr int kSmallMatrixCount =
+    static_cast<int>(std::size(kSmallMatrixOracle));
 
 /// A spread of small matrices covering the pattern categories plus the
 /// awkward shapes (empty, single entry, dense, non-multiple-of-dim).
@@ -44,6 +73,85 @@ inline std::vector<std::pair<std::string, Csr>> small_matrices() {
     out.emplace_back("dense_33", coo_to_csr(dense));
   }
   return out;
+}
+
+/// The fixture set, generated once per process.  Parameterized suites draw
+/// from this instead of regenerating all twelve matrices per test case.
+inline const std::vector<std::pair<std::string, Csr>>&
+small_matrices_cached() {
+  static const auto mats = small_matrices();
+  return mats;
+}
+
+/// Bounds-checked access by parameter index.  Throwing (rather than UB on
+/// a raw mats[mi]) turns a stale Range(0, N) parameterization into a
+/// clean test failure naming the bad index.
+inline const std::pair<std::string, Csr>& small_matrix(int mi) {
+  const auto& mats = small_matrices_cached();
+  if (mi < 0 || static_cast<std::size_t>(mi) >= mats.size()) {
+    throw std::out_of_range("small_matrix index " + std::to_string(mi) +
+                            " outside [0, " + std::to_string(mats.size()) +
+                            ") — update kSmallMatrixOracle and the Range() "
+                            "parameterizations together");
+  }
+  return mats[static_cast<std::size_t>(mi)];
+}
+
+/// Lookup by oracle name; throws if the fixture no longer carries it.
+inline const Csr& small_matrix_by_name(const std::string& name) {
+  for (const auto& [n, m] : small_matrices_cached()) {
+    if (n == name) return m;
+  }
+  throw std::out_of_range("small_matrices() has no entry named " + name);
+}
+
+/// Dense row-major pattern expansion of a CSR matrix (small only).
+inline std::vector<bool> dense_pattern(const Csr& m) {
+  std::vector<bool> cell(static_cast<std::size_t>(m.nrows) *
+                         static_cast<std::size_t>(m.ncols));
+  for (vidx_t r = 0; r < m.nrows; ++r) {
+    for (const vidx_t c : m.row_cols(r)) {
+      cell[static_cast<std::size_t>(r) * static_cast<std::size_t>(m.ncols) +
+           static_cast<std::size_t>(c)] = true;
+    }
+  }
+  return cell;
+}
+
+/// Dense-reference nnz recount: expand the CSR into a dense bitmap and
+/// count set cells.  Catches duplicate or out-of-range column indices
+/// that a plain colind.size() would miss.
+inline eidx_t dense_recount_nnz(const Csr& m) {
+  eidx_t n = 0;
+  for (const bool b : dense_pattern(m)) n += b ? 1 : 0;
+  return n;
+}
+
+/// Oracle check: small_matrices() matches kSmallMatrixOracle entry for
+/// entry (count, order, names, dims, dense-recounted nnz) and every
+/// matrix satisfies the CSR structural invariants.  Call this from any
+/// suite that parameterizes over matrix indices.
+inline void expect_small_matrices_match_oracle() {
+  const auto& mats = small_matrices_cached();
+  ASSERT_EQ(static_cast<std::size_t>(kSmallMatrixCount), mats.size())
+      << "small_matrices() and kSmallMatrixOracle disagree on the entry "
+         "count; update the oracle and every Range(0, kSmallMatrixCount) "
+         "parameterization together";
+  for (int i = 0; i < kSmallMatrixCount; ++i) {
+    const auto& oracle = kSmallMatrixOracle[static_cast<std::size_t>(i)];
+    const auto& [name, m] = mats[static_cast<std::size_t>(i)];
+    EXPECT_EQ(oracle.name, name) << "entry " << i;
+    EXPECT_EQ(oracle.nrows, m.nrows) << name;
+    EXPECT_EQ(oracle.ncols, m.ncols) << name;
+    EXPECT_TRUE(m.validate()) << name;
+    EXPECT_EQ(m.nnz(), dense_recount_nnz(m)) << name;
+#ifdef __GLIBCXX__
+    // The exact nnz fingerprints come from std::uniform_* draws, whose
+    // sequences are implementation-defined; they are pinned for
+    // libstdc++ (what CI runs) and skipped on other standard libraries.
+    EXPECT_EQ(oracle.nnz, m.nnz()) << name;
+#endif
+  }
 }
 
 /// Deterministic float vector with the given fraction of zeros (BMV

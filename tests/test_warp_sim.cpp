@@ -1,6 +1,7 @@
 // Unit tests for the warp execution model (platform/warp_sim.hpp) —
 // the CUDA-intrinsics substitute must reproduce __ballot_sync /
 // __shfl_sync semantics exactly for full-mask convergent use.
+#include "platform/intrinsics.hpp"
 #include "platform/warp_sim.hpp"
 
 #include <gtest/gtest.h>
@@ -70,11 +71,14 @@ TEST(WarpSim, AtomicAnalogs) {
 TEST(WarpSim, BallotComposesWithBrevLikeThePaperPacking) {
   // The paper packs with __brev(__ballot_sync(...)): lane L's predicate
   // lands at bit (31-L) after brev.  Validate that composition here so
-  // the packing tests can rely on it.
+  // the packing tests can rely on it — for every lane, not just one.
   Warp warp;
-  const std::uint32_t ballot =
-      warp.ballot([](int lane) { return lane == 3; });
-  EXPECT_EQ(1u << 3, ballot);
+  for (int target = 0; target < kWarpSize; ++target) {
+    const std::uint32_t ballot =
+        warp.ballot([&](int lane) { return lane == target; });
+    EXPECT_EQ(1u << target, ballot);
+    EXPECT_EQ(1u << (31 - target), brev(ballot)) << "lane " << target;
+  }
 }
 
 }  // namespace
