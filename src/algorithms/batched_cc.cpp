@@ -1,0 +1,44 @@
+#include "algorithms/batched_cc.hpp"
+
+#include "algorithms/msbfs.hpp"
+
+#include <limits>
+
+namespace bitgb::algo {
+
+BatchedCcResult batched_cc(const gb::Graph& g, gb::Backend backend) {
+  constexpr vidx_t kUnassigned = std::numeric_limits<vidx_t>::max();
+  const vidx_t n = g.num_vertices();
+
+  BatchedCcResult res;
+  res.component.assign(static_cast<std::size_t>(n), kUnassigned);
+
+  std::vector<vidx_t> seeds;
+  vidx_t cursor = 0;  // every vertex below it is assigned or seeded
+  while (cursor < n) {
+    seeds.clear();
+    while (cursor < n &&
+           seeds.size() < static_cast<std::size_t>(FrontierBatch::kMaxBatch)) {
+      if (res.component[static_cast<std::size_t>(cursor)] == kUnassigned) {
+        seeds.push_back(cursor);
+      }
+      ++cursor;
+    }
+    if (seeds.empty()) break;
+
+    const FrontierBatch reach = batched_reach(g, seeds, backend);
+    ++res.waves;
+    for (vidx_t v = 0; v < n; ++v) {
+      const FrontierBatch::word_t w = reach.rows[static_cast<std::size_t>(v)];
+      if (w != 0 && res.component[static_cast<std::size_t>(v)] == kUnassigned) {
+        // Seeds are ascending, so the lowest set lane is the smallest
+        // seed reaching v — the component's minimum vertex id.
+        res.component[static_cast<std::size_t>(v)] =
+            seeds[static_cast<std::size_t>(ctz(w))];
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace bitgb::algo

@@ -1,0 +1,149 @@
+#include "algorithms/msbfs.hpp"
+
+#include "graphblas/ops.hpp"
+
+#include <algorithm>
+
+namespace bitgb::algo {
+
+namespace {
+
+/// Direction choice for the batch (bit backend): push while the rows
+/// holding live frontier words occupy fewer than half the tile-rows.
+/// The pull sweep costs one pass over every stored tile plus an O(n)
+/// store; the push costs only the active tile-rows' tiles — on
+/// long-diameter graphs (band / road) the union of 64 thin wavefronts
+/// still touches a small fraction of the matrix, and push keeps the
+/// whole batched traversal frontier-proportional, exactly as the
+/// direction-optimized single-source BFS.
+bool use_push(std::size_t active_tile_rows, vidx_t n_tile_rows) {
+  return static_cast<vidx_t>(active_tile_rows) < n_tile_rows / 2;
+}
+
+/// The shared traversal loop.  On return `visited` is the reach
+/// bit-matrix (bit (v, b) set iff sources[b] reaches v) — msbfs drops
+/// it, batched_reach returns it.
+MsBfsResult run_msbfs(const gb::Graph& g, const std::vector<vidx_t>& sources,
+                      gb::Backend backend, FrontierBatch& visited) {
+  const vidx_t n = g.num_vertices();
+  FrontierBatch frontier = FrontierBatch::from_sources(n, sources);
+  const int batch = frontier.batch;
+  visited = frontier;
+  FrontierBatch next(n, batch);
+
+  MsBfsResult res;
+  res.batch = batch;
+  res.levels.assign(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(batch),
+      kUnreached);
+  for (int b = 0; b < batch; ++b) {
+    res.levels[static_cast<std::size_t>(sources[static_cast<std::size_t>(b)]) *
+                   static_cast<std::size_t>(batch) +
+               static_cast<std::size_t>(b)] = 0;
+  }
+
+  // Rows currently holding a live frontier word, and their tile-rows
+  // (rebuilt per level; both stay frontier-proportional on the push
+  // path).
+  std::vector<vidx_t> frontier_rows(sources);
+  std::sort(frontier_rows.begin(), frontier_rows.end());
+  frontier_rows.erase(
+      std::unique(frontier_rows.begin(), frontier_rows.end()),
+      frontier_rows.end());
+  std::vector<vidx_t> touched;
+  std::vector<vidx_t> active_tr;
+  const int dim = g.tile_dim();
+  const vidx_t n_tile_rows = (n + dim - 1) / dim;
+
+  std::int32_t level = 0;
+  while (!frontier_rows.empty()) {
+    ++level;
+    touched.clear();
+    // One batched expansion per level: every live frontier advances one
+    // hop.  The pull forms consume A^T (vxm(f, A) == mxv(A^T, f)); the
+    // push form consumes A itself and costs only the active tile-rows.
+    active_tr.clear();
+    if (backend == gb::Backend::kBit) {
+      for (const vidx_t v : frontier_rows) active_tr.push_back(v / dim);
+      std::sort(active_tr.begin(), active_tr.end());
+      active_tr.erase(std::unique(active_tr.begin(), active_tr.end()),
+                      active_tr.end());
+    }
+    if (backend == gb::Backend::kReference) {
+      gb::ref_mxm_frontier_masked(g.adjacency_t(), frontier, visited, next);
+      for (vidx_t v = 0; v < n; ++v) {
+        if (next.rows[static_cast<std::size_t>(v)] != 0) touched.push_back(v);
+      }
+    } else if (use_push(active_tr.size(), n_tile_rows)) {
+      KernelTimerScope timer;
+      dispatch_tile_dim(dim, [&]<int Dim>() {
+        bmm_frontier_push_masked(g.packed().as<Dim>(), frontier, active_tr,
+                                 visited, /*complement=*/true, next, touched);
+        return 0;
+      });
+    } else {
+      dispatch_tile_dim(dim, [&]<int Dim>() {
+        gb::bit_mxm_frontier_masked<Dim>(g.packed_t().as<Dim>(), frontier,
+                                         visited, next);
+        return 0;
+      });
+      for (vidx_t v = 0; v < n; ++v) {
+        if (next.rows[static_cast<std::size_t>(v)] != 0) touched.push_back(v);
+      }
+    }
+
+    // Scatter the newly reached (vertex, lane) pairs, fold them into
+    // visited, and rotate next into frontier — clearing only the rows
+    // that are actually dirty, so a sparse level stays sparse-priced.
+    for (const vidx_t v : frontier_rows) {
+      frontier.rows[static_cast<std::size_t>(v)] = 0;
+    }
+    for (const vidx_t v : touched) {
+      const FrontierBatch::word_t w = next.rows[static_cast<std::size_t>(v)];
+      next.rows[static_cast<std::size_t>(v)] = 0;
+      frontier.rows[static_cast<std::size_t>(v)] = w;
+      visited.rows[static_cast<std::size_t>(v)] |= w;
+      for_each_set_bit(w, [&](int b) {
+        res.levels[static_cast<std::size_t>(v) *
+                       static_cast<std::size_t>(batch) +
+                   static_cast<std::size_t>(b)] = level;
+      });
+    }
+    std::swap(frontier_rows, touched);
+    if (!frontier_rows.empty()) res.iterations = level;
+  }
+  return res;
+}
+
+}  // namespace
+
+MsBfsResult msbfs(const gb::Graph& g, const std::vector<vidx_t>& sources,
+                  gb::Backend backend) {
+  FrontierBatch visited;
+  return run_msbfs(g, sources, backend, visited);
+}
+
+FrontierBatch batched_reach(const gb::Graph& g,
+                            const std::vector<vidx_t>& sources,
+                            gb::Backend backend) {
+  FrontierBatch visited;
+  (void)run_msbfs(g, sources, backend, visited);
+  return visited;
+}
+
+std::vector<std::int32_t> msbfs_gold(const Csr& a,
+                                     const std::vector<vidx_t>& sources) {
+  const auto batch = sources.size();
+  std::vector<std::int32_t> levels(static_cast<std::size_t>(a.nrows) * batch,
+                                   kUnreached);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto col = bfs_gold(a, sources[b]);
+    for (vidx_t v = 0; v < a.nrows; ++v) {
+      levels[static_cast<std::size_t>(v) * batch + b] =
+          col[static_cast<std::size_t>(v)];
+    }
+  }
+  return levels;
+}
+
+}  // namespace bitgb::algo

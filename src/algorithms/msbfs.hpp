@@ -1,0 +1,68 @@
+// Multi-source BFS — the batched traversal engine's flagship algorithm.
+//
+// Up to 64 BFS traversals run concurrently, their frontiers packed as
+// the bit-columns of a FrontierBatch.  Per level the whole batch is
+// expanded by ONE masked BMM sweep over the B2SR tiles of A^T (bit
+// backend) or by one masked pull per column (reference backend) — the
+// same §V output-store masking as single-source BFS, lifted from a bit
+// vector to a bit matrix.  One traversal of the adjacency structure is
+// thereby amortized across the whole batch: the bit backend's cost per
+// level is one 64-bit OR per adjacency bit regardless of how many of
+// the 64 frontiers are live — the "serve many concurrent queries"
+// scaling batched frameworks (Gunrock's batched workloads, GraphBLAST's
+// frontier-matrix mxm) get from batching, executed at the bit level.
+//
+// Output: the level *matrix* — levels[v * batch + b] is the BFS level
+// of vertex v from sources[b] (0 at the source, kUnreached if never
+// visited), bit-for-bit equal to `batch` independent single-source
+// bfs() runs.
+#pragma once
+
+#include "algorithms/bfs.hpp"
+#include "core/frontier_batch.hpp"
+#include "graphblas/graph.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bitgb::algo {
+
+struct MsBfsResult {
+  std::vector<std::int32_t> levels;  ///< n * batch, row-major by vertex
+  int batch = 0;
+  int iterations = 0;  ///< deepest non-empty level across the batch
+
+  /// Level of vertex v in the traversal from sources[b].
+  [[nodiscard]] std::int32_t level(vidx_t v, int b) const {
+    return levels[static_cast<std::size_t>(v) *
+                      static_cast<std::size_t>(batch) +
+                  static_cast<std::size_t>(b)];
+  }
+
+  /// Extract column b as a single-source bfs()-shaped level vector.
+  [[nodiscard]] std::vector<std::int32_t> column(vidx_t n, int b) const {
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n));
+    for (vidx_t v = 0; v < n; ++v) out[static_cast<std::size_t>(v)] = level(v, b);
+    return out;
+  }
+};
+
+/// Batched BFS from 1..64 sources (throws std::invalid_argument on an
+/// empty or oversized batch, or an out-of-range source).
+[[nodiscard]] MsBfsResult msbfs(const gb::Graph& g,
+                                const std::vector<vidx_t>& sources,
+                                gb::Backend backend);
+
+/// Batched reachability: bit b of row v answers "does sources[b] reach
+/// v?" (a source reaches itself).  This is msbfs's visited matrix —
+/// the Boolean closure the batch engine hands to batched_cc.
+[[nodiscard]] FrontierBatch batched_reach(const gb::Graph& g,
+                                          const std::vector<vidx_t>& sources,
+                                          gb::Backend backend);
+
+/// Gold reference: `batch` independent serial queue-BFS runs, assembled
+/// into the same row-major level matrix.
+[[nodiscard]] std::vector<std::int32_t> msbfs_gold(
+    const Csr& a, const std::vector<vidx_t>& sources);
+
+}  // namespace bitgb::algo

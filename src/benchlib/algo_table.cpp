@@ -2,11 +2,13 @@
 
 #include "algorithms/bfs.hpp"
 #include "algorithms/cc.hpp"
+#include "algorithms/msbfs.hpp"
 #include "algorithms/pagerank.hpp"
 #include "algorithms/sssp.hpp"
 #include "algorithms/tc.hpp"
 #include "platform/timer.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 namespace bitgb::bench {
@@ -18,8 +20,20 @@ const char* algo_name(TableAlgo a) {
     case TableAlgo::kPr: return "PR";
     case TableAlgo::kCc: return "CC";
     case TableAlgo::kTc: return "TC";
+    case TableAlgo::kMsBfs: return "MSBFS";
   }
   return "?";
+}
+
+std::vector<vidx_t> batch_sources(vidx_t n) {
+  const int batch = static_cast<int>(
+      std::min<vidx_t>(n, FrontierBatch::kMaxBatch));
+  std::vector<vidx_t> sources(static_cast<std::size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    sources[static_cast<std::size_t>(b)] =
+        static_cast<vidx_t>(static_cast<std::int64_t>(b) * n / batch);
+  }
+  return sources;
 }
 
 namespace {
@@ -52,6 +66,12 @@ SplitTiming measure(const gb::Graph& g, TableAlgo algo, gb::Backend backend) {
           [&] { (void)algo::connected_components(g, backend); });
     case TableAlgo::kTc:
       return time_split_ms([&] { (void)algo::triangle_count(g, backend); });
+    case TableAlgo::kMsBfs: {
+      if (g.num_vertices() == 0) return {};  // no sources to batch
+      return time_split_ms([&, srcs = batch_sources(g.num_vertices())] {
+        (void)algo::msbfs(g, srcs, backend);
+      });
+    }
   }
   return {};
 }
@@ -87,7 +107,8 @@ std::vector<AlgoRow> run_algo_table(const std::vector<CorpusEntry>& matrices,
 void print_spmv_algorithm_table(std::ostream& os, const std::string& title,
                                 const std::vector<CorpusEntry>& matrices) {
   for (const TableAlgo algo :
-       {TableAlgo::kBfs, TableAlgo::kSssp, TableAlgo::kPr, TableAlgo::kCc}) {
+       {TableAlgo::kBfs, TableAlgo::kSssp, TableAlgo::kPr, TableAlgo::kCc,
+        TableAlgo::kMsBfs}) {
     print_algo_table(os, title, algo_name(algo),
                      run_algo_table(matrices, algo));
   }

@@ -13,9 +13,15 @@
 
 namespace bitgb::bench {
 
-enum class TableAlgo { kBfs, kSssp, kPr, kCc, kTc };
+enum class TableAlgo { kBfs, kSssp, kPr, kCc, kTc, kMsBfs };
 
 [[nodiscard]] const char* algo_name(TableAlgo a);
+
+/// The deterministic source batch the MSBFS row measures: up to 64
+/// evenly spaced vertex ids (bench_batched_traversal reuses it, so both
+/// harnesses time the same workload shape; the concurrent-queries
+/// example instead draws random sources to simulate live traffic).
+[[nodiscard]] std::vector<vidx_t> batch_sources(vidx_t n);
 
 /// Measure one algorithm over the given matrices under the currently
 /// active device profile.  Format conversion / transposes are warmed

@@ -17,6 +17,7 @@
 
 #include "core/bmv.hpp"
 #include "core/bmm.hpp"
+#include "core/frontier_batch.hpp"
 #include "graphblas/graph.hpp"
 #include "platform/timer.hpp"
 
@@ -104,6 +105,18 @@ void ref_vxm_bool_pull(const Csr& at,
 /// Direction-optimization threshold: push while |frontier| < n / this.
 inline constexpr vidx_t kPushPullDenominator = 32;
 
+/// Batched Boolean frontier expansion, reference backend: one masked
+/// dense pull per bit-column of the batch (the GraphBLAST-substitute
+/// serves concurrent traversals as independent mxv sweeps — the very
+/// N-sweeps cost the bit backend's single BMM sweep amortizes away).
+/// `at` is the matrix whose rows are scanned: pass A^T for the vxm-style
+/// frontier expansion, exactly as ref_vxm_bool_pull does.  Per column b:
+/// next(r, b) = 1 iff visited(r, b) == 0 and some in-neighbour of r is
+/// in frontier b (early exit on the first hit, GraphBLAST pull style).
+void ref_mxm_frontier_masked(const Csr& at, const FrontierBatch& f,
+                             const FrontierBatch& visited,
+                             FrontierBatch& next);
+
 // ---------------------------------------------------------------------
 // Bit (B2SR) backend — thin instrumented wrappers over src/core
 // ---------------------------------------------------------------------
@@ -151,6 +164,18 @@ template <int Dim>
                                               const B2srT<Dim>& mask) {
   KernelTimerScope timer;
   return bmm_bin_bin_sum_masked(a, b, mask);
+}
+
+/// Batched Boolean frontier expansion, bit backend: ONE BMM sweep over
+/// the B2SR tiles of A^T expands all <= 64 frontiers of the batch at
+/// once — next = (A^T (.) F) & ~visited, the visited complement AND-ed
+/// at the output store (§V masking, lifted to the batch).
+template <int Dim>
+void bit_mxm_frontier_masked(const B2srT<Dim>& at, const FrontierBatch& f,
+                             const FrontierBatch& visited,
+                             FrontierBatch& next) {
+  KernelTimerScope timer;
+  bmm_frontier_masked(at, f, visited, /*complement=*/true, next);
 }
 
 }  // namespace bitgb::gb

@@ -1,0 +1,272 @@
+// Batched-oracle tests: the multi-source engine against independent
+// single-source runs.
+//
+// The contract under test is ISSUE-level: msbfs over a batch must equal
+// the same number of independent single-source bfs() runs bit-for-bit —
+// including sources living in the tail tile of a non-multiple-of-Dim
+// matrix and batches narrower than the 64-bit lane word — and
+// batched_cc must equal the gold component labelling exactly.
+#include "algorithms/batched_cc.hpp"
+#include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/msbfs.hpp"
+#include "graphblas/ops.hpp"
+#include "sparse/convert.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace bitgb {
+namespace {
+
+/// Deterministic batch of `batch` sources spread over [0, n), always
+/// including the last vertex (the tail-tile source) when batch > 1.
+std::vector<vidx_t> spread_sources(vidx_t n, int batch) {
+  std::vector<vidx_t> s(static_cast<std::size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    s[static_cast<std::size_t>(b)] =
+        static_cast<vidx_t>(static_cast<std::int64_t>(b) * n / batch);
+  }
+  if (batch > 1) s.back() = n - 1;
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// FrontierBatch unit behaviour
+// ---------------------------------------------------------------------
+
+TEST(FrontierBatch, FromSourcesSetsOneBitPerColumn) {
+  const std::vector<vidx_t> sources = {3, 0, 3, 61};  // duplicates allowed
+  const auto f = FrontierBatch::from_sources(62, sources);
+  EXPECT_TRUE(f.validate());
+  EXPECT_EQ(4, f.batch);
+  EXPECT_EQ(4, f.count());
+  for (int b = 0; b < f.batch; ++b) {
+    EXPECT_EQ(1, f.column_count(b)) << b;
+    EXPECT_TRUE(f.get(sources[static_cast<std::size_t>(b)], b)) << b;
+  }
+}
+
+TEST(FrontierBatch, FromSourcesRejectsBadBatches) {
+  EXPECT_THROW((void)FrontierBatch::from_sources(10, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)FrontierBatch::from_sources(10, {10}),
+               std::invalid_argument);
+  EXPECT_THROW((void)FrontierBatch::from_sources(10, {-1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)FrontierBatch::from_sources(100, std::vector<vidx_t>(65, 1)),
+      std::invalid_argument);
+}
+
+TEST(FrontierBatch, ValidateCatchesLaneTailBits) {
+  FrontierBatch f(8, 3);
+  f.set(2, 1);
+  EXPECT_TRUE(f.validate());
+  f.rows[2] |= FrontierBatch::word_t{1} << 3;  // beyond batch: invalid
+  EXPECT_FALSE(f.validate());
+  f.reset(2, 3);
+  EXPECT_TRUE(f.validate());
+}
+
+TEST(FrontierBatch, SetResetCountColumn) {
+  FrontierBatch f(70, 64);
+  f.set(69, 63);
+  f.set(0, 0);
+  EXPECT_EQ(2, f.count());
+  EXPECT_EQ(1, f.column_count(63));
+  const auto col = f.column(63);
+  EXPECT_TRUE(col[69]);
+  EXPECT_FALSE(col[0]);
+  f.reset(69, 63);
+  EXPECT_FALSE(f.get(69, 63));
+  EXPECT_EQ(1, f.count());
+}
+
+// ---------------------------------------------------------------------
+// Batched ops: ref column loop == bit BMM sweep == dense reference
+// ---------------------------------------------------------------------
+
+class BatchedOpTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BatchedOpTest, RefAndBitExpansionAgree) {
+  const auto [dim, mi] = GetParam();
+  const auto& [name, csr] = test::small_matrix(mi);
+  gb::GraphOptions opts;
+  opts.tile_dim = dim;
+  const gb::Graph g = gb::Graph::from_csr(csr, opts);
+  const vidx_t n = g.num_vertices();
+  if (n == 0) return;
+
+  const int batch = 17;  // narrower than the 64-bit lane word
+  const auto sources = spread_sources(n, std::min<int>(batch, n));
+  const FrontierBatch f = FrontierBatch::from_sources(n, sources);
+  FrontierBatch visited = f;
+
+  FrontierBatch next_ref;
+  FrontierBatch next_bit;
+  gb::ref_mxm_frontier_masked(g.adjacency_t(), f, visited, next_ref);
+  dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+    gb::bit_mxm_frontier_masked<Dim>(g.packed_t().as<Dim>(), f, visited,
+                                     next_bit);
+    return 0;
+  });
+  ASSERT_TRUE(next_ref.validate()) << name;
+  ASSERT_TRUE(next_bit.validate()) << name;
+  EXPECT_EQ(next_ref.rows, next_bit.rows) << name;
+
+  // Dense column-by-column reference: next(., b) = (A^T x f_b) & ~vis_b.
+  for (int b = 0; b < f.batch; ++b) {
+    const auto expect = test::ref_bool_mxv(g.adjacency_t(), f.column(b));
+    for (vidx_t v = 0; v < n; ++v) {
+      const bool want =
+          expect[static_cast<std::size_t>(v)] && !visited.get(v, b);
+      EXPECT_EQ(want, next_bit.get(v, b)) << name << " v=" << v << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDims, BatchedOpTest,
+    ::testing::Combine(::testing::ValuesIn(kTileDims),
+                       ::testing::Range(0, test::kSmallMatrixCount)));
+
+// ---------------------------------------------------------------------
+// msbfs == independent single-source bfs, bit for bit
+// ---------------------------------------------------------------------
+
+class MsBfsTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  gb::Graph make_graph() const {
+    const auto [dim, mi] = GetParam();
+    gb::GraphOptions opts;
+    opts.tile_dim = dim;
+    return gb::Graph::from_csr(test::small_matrix(mi).second, opts);
+  }
+};
+
+TEST_P(MsBfsTest, FullWidthBatchMatchesSingleSourceRuns) {
+  const gb::Graph g = make_graph();
+  const vidx_t n = g.num_vertices();
+  if (n == 0) return;
+  const int batch = static_cast<int>(
+      std::min<vidx_t>(n, FrontierBatch::kMaxBatch));
+  // Includes n - 1: a tail-tile source whenever n % Dim != 0.
+  const auto sources = spread_sources(n, batch);
+
+  const auto gold = algo::msbfs_gold(g.adjacency(), sources);
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::msbfs(g, sources, backend);
+    ASSERT_EQ(batch, res.batch);
+    EXPECT_EQ(gold, res.levels) << gb::backend_name(backend);
+    // Column extraction must equal the single-source bfs() result.
+    for (int b = 0; b < batch; b += 13) {
+      const auto single =
+          algo::bfs(g, sources[static_cast<std::size_t>(b)], backend);
+      EXPECT_EQ(single.levels, res.column(n, b))
+          << gb::backend_name(backend) << " column " << b;
+    }
+  }
+}
+
+TEST_P(MsBfsTest, NarrowBatchMatchesSingleSourceRuns) {
+  const gb::Graph g = make_graph();
+  const vidx_t n = g.num_vertices();
+  if (n == 0) return;
+  // Batches narrower than the word width, including a lone column.
+  for (const int batch : {1, 3, 17}) {
+    if (batch > n) continue;
+    const auto sources = spread_sources(n, batch);
+    const auto gold = algo::msbfs_gold(g.adjacency(), sources);
+    for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+      const auto res = algo::msbfs(g, sources, backend);
+      EXPECT_EQ(gold, res.levels)
+          << gb::backend_name(backend) << " batch=" << batch;
+    }
+  }
+}
+
+TEST_P(MsBfsTest, BatchedReachMatchesLevels) {
+  const gb::Graph g = make_graph();
+  const vidx_t n = g.num_vertices();
+  if (n == 0) return;
+  const auto sources = spread_sources(n, std::min<int>(5, n));
+  const auto res = algo::msbfs(g, sources, gb::Backend::kBit);
+  const auto reach = algo::batched_reach(g, sources, gb::Backend::kBit);
+  ASSERT_TRUE(reach.validate());
+  for (vidx_t v = 0; v < n; ++v) {
+    for (int b = 0; b < res.batch; ++b) {
+      EXPECT_EQ(res.level(v, b) != algo::kUnreached, reach.get(v, b))
+          << "v=" << v << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDims, MsBfsTest,
+    ::testing::Combine(::testing::ValuesIn(kTileDims),
+                       ::testing::Range(0, test::kSmallMatrixCount)));
+
+TEST(MsBfs, RejectsBadBatches) {
+  const gb::Graph g =
+      gb::Graph::from_csr(test::small_matrix_by_name("random_61"));
+  EXPECT_THROW((void)algo::msbfs(g, {}, gb::Backend::kBit),
+               std::invalid_argument);
+  EXPECT_THROW((void)algo::msbfs(g, {61}, gb::Backend::kBit),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)algo::msbfs(g, std::vector<vidx_t>(65, 0), gb::Backend::kBit),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// batched_cc == FastSV == union-find gold
+// ---------------------------------------------------------------------
+
+class BatchedCcTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BatchedCcTest, MatchesGoldAndFastSv) {
+  const auto [dim, mi] = GetParam();
+  gb::GraphOptions opts;
+  opts.tile_dim = dim;
+  const gb::Graph g =
+      gb::Graph::from_csr(test::small_matrix(mi).second, opts);
+  if (g.num_vertices() == 0) return;
+  const auto gold = algo::cc_gold(g.adjacency());
+  for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
+    const auto res = algo::batched_cc(g, backend);
+    EXPECT_EQ(gold, res.component) << gb::backend_name(backend);
+    EXPECT_GE(res.waves, 1);
+    const auto fastsv = algo::connected_components(g, backend);
+    EXPECT_EQ(fastsv.component, res.component) << gb::backend_name(backend);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDims, BatchedCcTest,
+    ::testing::Combine(::testing::ValuesIn(kTileDims),
+                       ::testing::Range(0, test::kSmallMatrixCount)));
+
+// batched_cc amortization: an all-isolated-vertex graph of 130 vertices
+// needs ceil(130 / 64) = 3 reach waves, not 130.
+TEST(BatchedCc, WavesAmortizeAcrossComponents) {
+  const Csr empty = coo_to_csr(Coo{130, 130, {}, {}, {}});
+  const gb::Graph g = gb::Graph::from_csr(empty);
+  const auto res = algo::batched_cc(g, gb::Backend::kBit);
+  EXPECT_EQ(3, res.waves);
+  EXPECT_EQ(algo::cc_gold(g.adjacency()), res.component);
+}
+
+TEST(Batched, FixtureOracleIntact) {
+  test::expect_small_matrices_match_oracle();
+}
+
+}  // namespace
+}  // namespace bitgb
