@@ -58,4 +58,53 @@ void print_algo_table(std::ostream& os, const std::string& title,
 /// Format "12.3x" style speedup.
 [[nodiscard]] std::string speedup_str(double baseline, double ours);
 
+// ---------------------------------------------------------------------
+// Kernel micro-bench trajectory (BENCH_kernels.json)
+// ---------------------------------------------------------------------
+//
+// bench_micro_kernels emits a machine-readable record of per-kernel
+// throughput for every (kernel, tile dim, variant) cell so each PR
+// leaves a comparable perf point behind.  Schema ("bitgb-kernel-bench-v1",
+// documented in BUILDING.md): host provenance (SIMD backend, threads,
+// fixture), the raw records, the simd-vs-scalar speedup of every
+// matched pair, and the per-tile-dim geomean of those speedups.
+
+/// One measured cell of the kernel micro-bench.
+struct KernelBenchRecord {
+  std::string kernel;    ///< e.g. "bmv_bin_bin_bin"
+  int tile_dim = 0;      ///< 4/8/16/32 (0 = tile-size-independent)
+  std::string variant;   ///< "scalar" / "simd" / "csr-baseline"
+  double ms_per_op = 0.0;  ///< average wall-clock per kernel call
+  double gteps = 0.0;      ///< giga traversed edges (nnz) per second
+};
+
+/// Speedup of the "simd" cell over the "scalar" cell with the same
+/// (kernel, tile_dim); cells without a matched pair are skipped.
+struct KernelSpeedup {
+  std::string kernel;
+  int tile_dim = 0;
+  double speedup = 0.0;  ///< scalar ms / simd ms
+};
+
+[[nodiscard]] std::vector<KernelSpeedup> kernel_speedups(
+    const std::vector<KernelBenchRecord>& records);
+
+/// Geometric mean of the speedups recorded for one tile dim (0 when the
+/// dim has none).
+[[nodiscard]] double geomean_speedup_for_dim(
+    const std::vector<KernelSpeedup>& speedups, int tile_dim);
+
+/// Write the v1 JSON document.  `simd_backend` / `threads` / `fixture`
+/// are provenance; speedups and per-dim geomeans are derived here so
+/// every emitter agrees on the math.
+void write_kernel_bench_json(const std::string& path,
+                             const std::string& simd_backend, int threads,
+                             const std::string& fixture,
+                             const std::vector<KernelBenchRecord>& records);
+
+/// Print the same content as an aligned table (the human-readable twin
+/// of the JSON dump).
+void print_kernel_bench(std::ostream& os,
+                        const std::vector<KernelBenchRecord>& records);
+
 }  // namespace bitgb::bench

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "core/tile_traits.hpp"
+#include "platform/aligned_alloc.hpp"
 #include "sparse/types.hpp"
 
 #include <cstddef>
@@ -31,13 +32,19 @@ namespace bitgb {
 template <int Dim>
 struct B2srT {
   using word_t = typename TileTraits<Dim>::word_t;
+  /// The tile store starts on a 64-byte boundary, so tile offsets are
+  /// cache-line-deterministic and line splits in the SIMD engine's
+  /// streaming loads are minimized.  The engine still uses unaligned
+  /// loads throughout: an individual tile's offset (t * Dim words) is
+  /// not itself line-aligned in general.
+  using bits_vector = std::vector<word_t, AlignedAllocator<word_t, kTileStoreAlign>>;
   static constexpr int dim = Dim;
 
   vidx_t nrows = 0;  ///< rows of the original matrix
   vidx_t ncols = 0;  ///< columns of the original matrix
   std::vector<vidx_t> tile_rowptr;  ///< size n_tile_rows()+1 (TileRowPtr)
   std::vector<vidx_t> tile_colind;  ///< size nnz_tiles() (TileColInd)
-  std::vector<word_t> bits;         ///< nnz_tiles()*Dim words (BitTiles)
+  bits_vector bits;                 ///< nnz_tiles()*Dim words (BitTiles)
 
   /// nTileRow = (nRows + tileDim - 1) / tileDim (paper §III-A).
   [[nodiscard]] vidx_t n_tile_rows() const {

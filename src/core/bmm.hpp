@@ -29,22 +29,28 @@
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/simd.hpp"
 
 #include <cstdint>
 
 namespace bitgb {
 
+// Both kernels take a trailing KernelVariant (platform/simd.hpp)
+// selecting the scalar or SIMD inner loop; the reductions are integer
+// sums, so the variants are bit-identical.
+
 /// Sum over the counting product A*B (requires a.ncols == b.nrows).
 template <int Dim>
-[[nodiscard]] std::int64_t bmm_bin_bin_sum(const B2srT<Dim>& a,
-                                           const B2srT<Dim>& b);
+[[nodiscard]] std::int64_t bmm_bin_bin_sum(
+    const B2srT<Dim>& a, const B2srT<Dim>& b,
+    KernelVariant variant = KernelVariant::kAuto);
 
 /// Masked dot-product sum: sum_{(i,j): M(i,j)=1} (A * B^T)(i,j).
 /// Requires a.ncols == b.ncols (shared inner dimension) and
 /// mask.nrows == a.nrows, mask.ncols == b.nrows.
 template <int Dim>
-[[nodiscard]] std::int64_t bmm_bin_bin_sum_masked(const B2srT<Dim>& a,
-                                                  const B2srT<Dim>& b,
-                                                  const B2srT<Dim>& mask);
+[[nodiscard]] std::int64_t bmm_bin_bin_sum_masked(
+    const B2srT<Dim>& a, const B2srT<Dim>& b, const B2srT<Dim>& mask,
+    KernelVariant variant = KernelVariant::kAuto);
 
 }  // namespace bitgb

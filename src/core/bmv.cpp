@@ -1,26 +1,35 @@
 #include "core/bmv.hpp"
 
+#include "platform/simd.hpp"
+
 namespace bitgb {
 
 template <int Dim>
 void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
-                     PackedVecT<Dim>& y) {
+                     PackedVecT<Dim>& y, KernelVariant variant) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.ncols);
   y.resize(a.nrows);
+  const bool use_simd =
+      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  const vidx_t* colind = a.tile_colind.data();
+  const word_t* tiles = a.bits.data();
+  const word_t* xw = x.words.data();
   parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    const vidx_t lo = rowptr[tr];
+    const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
     word_t out = 0;
-    for (vidx_t t = lo; t < hi; ++t) {
-      const word_t xw =
-          x.words[static_cast<std::size_t>(a.tile_colind[static_cast<std::size_t>(t)])];
-      if (xw == 0) continue;
-      const auto words = a.tile(t);
-      for (int r = 0; r < Dim; ++r) {
-        if ((words[static_cast<std::size_t>(r)] & xw) != 0) {
-          out = set_bit(out, r);
+    if (use_simd) {
+      out = simd::bbb_row_or<Dim>(tiles, colind, xw, lo, hi);
+    } else {
+      for (vidx_t t = lo; t < hi; ++t) {
+        const word_t xword = xw[static_cast<std::size_t>(colind[t])];
+        if (xword == 0) continue;
+        const word_t* words = tiles + static_cast<std::size_t>(t) * Dim;
+        for (int r = 0; r < Dim; ++r) {
+          if ((words[r] & xword) != 0) out = set_bit(out, r);
         }
       }
     }
@@ -31,24 +40,31 @@ void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
 template <int Dim>
 void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
                             const PackedVecT<Dim>& mask, bool complement,
-                            PackedVecT<Dim>& y) {
+                            PackedVecT<Dim>& y, KernelVariant variant) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.ncols);
   assert(mask.n == a.nrows);
   y.resize(a.nrows);
+  const bool use_simd =
+      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  const vidx_t* colind = a.tile_colind.data();
+  const word_t* tiles = a.bits.data();
+  const word_t* xw = x.words.data();
   parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    const vidx_t lo = rowptr[tr];
+    const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
     word_t out = 0;
-    for (vidx_t t = lo; t < hi; ++t) {
-      const word_t xw =
-          x.words[static_cast<std::size_t>(a.tile_colind[static_cast<std::size_t>(t)])];
-      if (xw == 0) continue;
-      const auto words = a.tile(t);
-      for (int r = 0; r < Dim; ++r) {
-        if ((words[static_cast<std::size_t>(r)] & xw) != 0) {
-          out = set_bit(out, r);
+    if (use_simd) {
+      out = simd::bbb_row_or<Dim>(tiles, colind, xw, lo, hi);
+    } else {
+      for (vidx_t t = lo; t < hi; ++t) {
+        const word_t xword = xw[static_cast<std::size_t>(colind[t])];
+        if (xword == 0) continue;
+        const word_t* words = tiles + static_cast<std::size_t>(t) * Dim;
+        for (int r = 0; r < Dim; ++r) {
+          if ((words[r] & xword) != 0) out = set_bit(out, r);
         }
       }
     }
@@ -75,20 +91,22 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
   assert(x.n == a.nrows);  // vxm: x selects rows of A
   assert(mask.n == a.ncols);
   y.resize(a.ncols);
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  const vidx_t* colind = a.tile_colind.data();
+  const word_t* tiles = a.bits.data();
   parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
     const word_t fw = x.words[static_cast<std::size_t>(tr)];
     if (fw == 0) return;  // no frontier vertex in this tile-row
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    const vidx_t lo = rowptr[tr];
+    const vidx_t hi = rowptr[tr + 1];
     for (vidx_t t = lo; t < hi; ++t) {
-      const auto words = a.tile(t);
+      const word_t* words = tiles + static_cast<std::size_t>(t) * Dim;
       word_t out = 0;
       for_each_set_bit(fw, [&](int r) {
-        out = static_cast<word_t>(out | words[static_cast<std::size_t>(r)]);
+        out = static_cast<word_t>(out | words[r]);
       });
       if (out == 0) continue;
-      const auto j = static_cast<std::size_t>(
-          a.tile_colind[static_cast<std::size_t>(t)]);
+      const auto j = static_cast<std::size_t>(colind[t]);
       word_t mword = mask.words[j];
       if (complement) mword = static_cast<word_t>(~mword);
       out = static_cast<word_t>(out & mword);
@@ -121,20 +139,22 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
       (a.ncols % Dim != 0) ? low_mask<word_t>(a.ncols % Dim)
                            : static_cast<word_t>(~word_t{0});
   const auto last_word = y.words.size() - 1;
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  const vidx_t* colind = a.tile_colind.data();
+  const word_t* tiles = a.bits.data();
   for (const vidx_t tr : active) {
     const word_t fw = x.words[static_cast<std::size_t>(tr)];
     if (fw == 0) continue;
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    const vidx_t lo = rowptr[tr];
+    const vidx_t hi = rowptr[tr + 1];
     for (vidx_t t = lo; t < hi; ++t) {
-      const auto words = a.tile(t);
+      const word_t* words = tiles + static_cast<std::size_t>(t) * Dim;
       word_t out = 0;
       for_each_set_bit(fw, [&](int r) {
-        out = static_cast<word_t>(out | words[static_cast<std::size_t>(r)]);
+        out = static_cast<word_t>(out | words[r]);
       });
       if (out == 0) continue;
-      const auto j = static_cast<std::size_t>(
-          a.tile_colind[static_cast<std::size_t>(t)]);
+      const auto j = static_cast<std::size_t>(colind[t]);
       word_t mword = mask.words[j];
       if (complement) mword = static_cast<word_t>(~mword);
       if (j == last_word) mword = static_cast<word_t>(mword & tail_mask);
@@ -151,24 +171,32 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
 
 template <int Dim>
 void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
-                      std::vector<value_t>& y) {
+                      std::vector<value_t>& y, KernelVariant variant) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.ncols);
   y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
+  const bool use_simd =
+      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  const vidx_t* colind = a.tile_colind.data();
+  const word_t* tiles = a.bits.data();
+  const word_t* xw = x.words.data();
   parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    const vidx_t lo = rowptr[tr];
+    const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
     std::int32_t acc[Dim] = {};
-    for (vidx_t t = lo; t < hi; ++t) {
-      const word_t xw =
-          x.words[static_cast<std::size_t>(a.tile_colind[static_cast<std::size_t>(t)])];
-      if (xw == 0) continue;
-      const auto words = a.tile(t);
-      for (int r = 0; r < Dim; ++r) {
-        // The paper's core identity: c_i = __popc(A_i & b).
-        acc[r] += popcount(
-            static_cast<word_t>(words[static_cast<std::size_t>(r)] & xw));
+    if (use_simd) {
+      simd::bbf_row_accum<Dim>(tiles, colind, xw, lo, hi, acc);
+    } else {
+      for (vidx_t t = lo; t < hi; ++t) {
+        const word_t xword = xw[static_cast<std::size_t>(colind[t])];
+        if (xword == 0) continue;
+        const word_t* words = tiles + static_cast<std::size_t>(t) * Dim;
+        for (int r = 0; r < Dim; ++r) {
+          // The paper's core identity: c_i = __popc(A_i & b).
+          acc[r] += popcount(static_cast<word_t>(words[r] & xword));
+        }
       }
     }
     const vidx_t r0 = tr * Dim;
@@ -182,24 +210,32 @@ void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
 template <int Dim>
 void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
                              const PackedVecT<Dim>& mask, bool complement,
-                             std::vector<value_t>& y) {
+                             std::vector<value_t>& y, KernelVariant variant) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.ncols);
   assert(mask.n == a.nrows);
   assert(static_cast<vidx_t>(y.size()) == a.nrows);
+  const bool use_simd =
+      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  const vidx_t* colind = a.tile_colind.data();
+  const word_t* tiles = a.bits.data();
+  const word_t* xw = x.words.data();
   parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    const vidx_t lo = rowptr[tr];
+    const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
     std::int32_t acc[Dim] = {};
-    for (vidx_t t = lo; t < hi; ++t) {
-      const word_t xw =
-          x.words[static_cast<std::size_t>(a.tile_colind[static_cast<std::size_t>(t)])];
-      if (xw == 0) continue;
-      const auto words = a.tile(t);
-      for (int r = 0; r < Dim; ++r) {
-        acc[r] += popcount(
-            static_cast<word_t>(words[static_cast<std::size_t>(r)] & xw));
+    if (use_simd) {
+      simd::bbf_row_accum<Dim>(tiles, colind, xw, lo, hi, acc);
+    } else {
+      for (vidx_t t = lo; t < hi; ++t) {
+        const word_t xword = xw[static_cast<std::size_t>(colind[t])];
+        if (xword == 0) continue;
+        const word_t* words = tiles + static_cast<std::size_t>(t) * Dim;
+        for (int r = 0; r < Dim; ++r) {
+          acc[r] += popcount(static_cast<word_t>(words[r] & xword));
+        }
       }
     }
     word_t mword = mask.words[static_cast<std::size_t>(tr)];
@@ -217,10 +253,10 @@ void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
 #define BITGB_INSTANTIATE_BMV(Dim)                                          \
   template void bmv_bin_bin_bin<Dim>(const B2srT<Dim>&,                     \
                                      const PackedVecT<Dim>&,                \
-                                     PackedVecT<Dim>&);                     \
+                                     PackedVecT<Dim>&, KernelVariant);      \
   template void bmv_bin_bin_bin_masked<Dim>(                                \
       const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
-      bool, PackedVecT<Dim>&);                                              \
+      bool, PackedVecT<Dim>&, KernelVariant);                               \
   template void bmv_bin_bin_bin_push_masked<Dim>(                           \
       const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
       bool, PackedVecT<Dim>&);                                              \
@@ -230,10 +266,10 @@ void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
       std::vector<vidx_t>&);                                                \
   template void bmv_bin_bin_full<Dim>(const B2srT<Dim>&,                    \
                                       const PackedVecT<Dim>&,               \
-                                      std::vector<value_t>&);               \
+                                      std::vector<value_t>&, KernelVariant);\
   template void bmv_bin_bin_full_masked<Dim>(                               \
       const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
-      bool, std::vector<value_t>&)
+      bool, std::vector<value_t>&, KernelVariant)
 
 BITGB_INSTANTIATE_BMV(4);
 BITGB_INSTANTIATE_BMV(8);

@@ -28,6 +28,7 @@
 #include "core/packed_vector.hpp"
 #include "core/semiring_ops.hpp"
 #include "platform/parallel.hpp"
+#include "platform/simd.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -35,17 +36,26 @@
 
 namespace bitgb {
 
+// The pull-direction kernels take a trailing KernelVariant selecting the
+// scalar or SIMD inner loop (platform/simd.hpp); kAuto follows the
+// process-wide variant set by set_kernel_variant / ProfileScope.  Both
+// variants are bit-identical (integer-exact reductions); the push-
+// direction kernels are frontier-proportional scatter loops and stay
+// scalar by design.
+
 // --- bin x bin -> bin (Boolean semiring; BFS frontier expansion) ---
 
 template <int Dim>
 void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
-                     PackedVecT<Dim>& y);
+                     PackedVecT<Dim>& y,
+                     KernelVariant variant = KernelVariant::kAuto);
 
 /// Masked: y_bits &= (complement ? ~mask : mask) at store time.
 template <int Dim>
 void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
                             const PackedVecT<Dim>& mask, bool complement,
-                            PackedVecT<Dim>& y);
+                            PackedVecT<Dim>& y,
+                            KernelVariant variant = KernelVariant::kAuto);
 
 /// Push-direction boolean vxm: y = x^T (.) A == OR of A's bit-rows
 /// selected by x, visiting only tile-rows whose frontier word is
@@ -78,12 +88,14 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
 
 template <int Dim>
 void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
-                      std::vector<value_t>& y);
+                      std::vector<value_t>& y,
+                      KernelVariant variant = KernelVariant::kAuto);
 
 template <int Dim>
 void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
                              const PackedVecT<Dim>& mask, bool complement,
-                             std::vector<value_t>& y);
+                             std::vector<value_t>& y,
+                             KernelVariant variant = KernelVariant::kAuto);
 
 // --- bin x full -> full (general semiring Op; SSSP/PR/CC) ---
 

@@ -1,6 +1,7 @@
 #include "core/frontier_batch.hpp"
 
 #include "platform/parallel.hpp"
+#include "platform/simd.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -45,19 +46,29 @@ namespace {
 // Shared tile sweep: accumulate OR_{j in adj(i)} f.rows[j] for the Dim
 // rows of one tile-row into acc.  Set bits of a tail tile-column never
 // exceed ncols (the B2SR zero-tail invariant), so f.rows[base + j] is
-// always in range.
+// always in range.  The SIMD path streams the tile words through the
+// engine's bit-to-lane OR accumulation (platform/simd.hpp).
 template <int Dim>
 inline void accumulate_tile_row(const B2srT<Dim>& a, const FrontierBatch& f,
-                                vidx_t tr, FrontierBatch::word_t* acc) {
-  const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-  const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+                                vidx_t tr, bool use_simd,
+                                FrontierBatch::word_t* acc) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  const vidx_t lo = rowptr[tr];
+  const vidx_t hi = rowptr[tr + 1];
+  if (use_simd) {
+    simd::frontier_row_accum<Dim>(a.bits.data(), a.tile_colind.data(), lo, hi,
+                                  f.rows.data(), f.rows.size(), acc);
+    return;
+  }
+  const vidx_t* colind = a.tile_colind.data();
+  const word_t* tiles = a.bits.data();
   for (vidx_t t = lo; t < hi; ++t) {
-    const auto base = static_cast<std::size_t>(
-                          a.tile_colind[static_cast<std::size_t>(t)]) *
+    const auto base = static_cast<std::size_t>(colind[t]) *
                       static_cast<std::size_t>(Dim);
-    const auto words = a.tile(t);
+    const word_t* words = tiles + static_cast<std::size_t>(t) * Dim;
     for (int r = 0; r < Dim; ++r) {
-      const auto w = words[static_cast<std::size_t>(r)];
+      const auto w = words[r];
       if (w == 0) continue;
       for_each_set_bit(w, [&](int j) {
         acc[r] |= f.rows[base + static_cast<std::size_t>(j)];
@@ -70,16 +81,18 @@ inline void accumulate_tile_row(const B2srT<Dim>& a, const FrontierBatch& f,
 
 template <int Dim>
 void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
-                  FrontierBatch& next) {
+                  FrontierBatch& next, KernelVariant variant) {
   assert(f.n == a.ncols);
   next.resize(a.nrows, f.batch);
+  const bool use_simd =
+      resolve_kernel_variant(variant) == KernelVariant::kSimd;
   const FrontierBatch::word_t lanes = f.lane_mask();
   parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
     const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
     const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
     if (lo == hi) return;
     FrontierBatch::word_t acc[Dim] = {};
-    accumulate_tile_row<Dim>(a, f, tr, acc);
+    accumulate_tile_row<Dim>(a, f, tr, use_simd, acc);
     const vidx_t r0 = tr * Dim;
     const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
     for (vidx_t r = r0; r < rend; ++r) {
@@ -91,18 +104,20 @@ void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
 template <int Dim>
 void bmm_frontier_masked(const B2srT<Dim>& a, const FrontierBatch& f,
                          const FrontierBatch& mask, bool complement,
-                         FrontierBatch& next) {
+                         FrontierBatch& next, KernelVariant variant) {
   assert(f.n == a.ncols);
   assert(mask.n == a.nrows);
   assert(mask.batch == f.batch);
   next.resize(a.nrows, f.batch);
+  const bool use_simd =
+      resolve_kernel_variant(variant) == KernelVariant::kSimd;
   const FrontierBatch::word_t lanes = f.lane_mask();
   parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
     const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
     const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
     if (lo == hi) return;
     FrontierBatch::word_t acc[Dim] = {};
-    accumulate_tile_row<Dim>(a, f, tr, acc);
+    accumulate_tile_row<Dim>(a, f, tr, use_simd, acc);
     const vidx_t r0 = tr * Dim;
     const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
     for (vidx_t r = r0; r < rend; ++r) {
@@ -121,26 +136,29 @@ void bmm_frontier_push_masked(const B2srT<Dim>& a, const FrontierBatch& f,
                               const FrontierBatch& mask, bool complement,
                               FrontierBatch& next,
                               std::vector<vidx_t>& touched) {
+  using word_t = typename TileTraits<Dim>::word_t;
   assert(f.n == a.nrows);
   assert(mask.n == a.ncols);
   assert(next.n == a.ncols && next.batch == f.batch);
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  const vidx_t* colind = a.tile_colind.data();
+  const word_t* tiles = a.bits.data();
   for (const vidx_t tr : active) {
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+    const vidx_t lo = rowptr[tr];
+    const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) continue;
     const vidx_t v0 = tr * Dim;
     const int rows_here = static_cast<int>(
         std::min<vidx_t>(a.nrows - v0, static_cast<vidx_t>(Dim)));
     for (vidx_t t = lo; t < hi; ++t) {
-      const auto words = a.tile(t);
-      const auto base = static_cast<std::size_t>(
-                            a.tile_colind[static_cast<std::size_t>(t)]) *
+      const word_t* words = tiles + static_cast<std::size_t>(t) * Dim;
+      const auto base = static_cast<std::size_t>(colind[t]) *
                         static_cast<std::size_t>(Dim);
       for (int r = 0; r < rows_here; ++r) {
         const FrontierBatch::word_t fw =
             f.rows[static_cast<std::size_t>(v0) + static_cast<std::size_t>(r)];
         if (fw == 0) continue;
-        const auto w = words[static_cast<std::size_t>(r)];
+        const auto w = words[r];
         if (w == 0) continue;
         for_each_set_bit(w, [&](int j) {
           const std::size_t c = base + static_cast<std::size_t>(j);
@@ -163,11 +181,11 @@ void bmm_frontier_push_masked(const B2srT<Dim>& a, const FrontierBatch& f,
 
 #define BITGB_INSTANTIATE_BMM_FRONTIER(Dim)                                \
   template void bmm_frontier<Dim>(const B2srT<Dim>&, const FrontierBatch&, \
-                                  FrontierBatch&);                         \
+                                  FrontierBatch&, KernelVariant);          \
   template void bmm_frontier_masked<Dim>(const B2srT<Dim>&,                \
                                          const FrontierBatch&,             \
                                          const FrontierBatch&, bool,       \
-                                         FrontierBatch&);                  \
+                                         FrontierBatch&, KernelVariant);   \
   template void bmm_frontier_push_masked<Dim>(                             \
       const B2srT<Dim>&, const FrontierBatch&, const std::vector<vidx_t>&, \
       const FrontierBatch&, bool, FrontierBatch&, std::vector<vidx_t>&)

@@ -26,6 +26,7 @@
 
 #include "core/b2sr.hpp"
 #include "platform/intrinsics.hpp"
+#include "platform/simd.hpp"
 #include "sparse/types.hpp"
 
 #include <cstdint>
@@ -123,9 +124,14 @@ struct FrontierBatch {
 // disjoint, so no atomics.  Requires f.n == a.ncols; next is resized to
 // a.nrows with f's batch width.
 
+/// The pull kernels take a trailing KernelVariant (platform/simd.hpp)
+/// selecting the scalar or SIMD accumulation; the reduction is a 64-bit
+/// OR, so the variants are bit-identical.  The push kernel is a
+/// frontier-proportional scatter and stays scalar by design.
 template <int Dim>
 void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
-                  FrontierBatch& next);
+                  FrontierBatch& next,
+                  KernelVariant variant = KernelVariant::kAuto);
 
 /// Masked form: the mask row word is AND-ed right before the output
 /// store (the paper's §V masking design lifted to the batch), so
@@ -136,7 +142,8 @@ void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
 template <int Dim>
 void bmm_frontier_masked(const B2srT<Dim>& a, const FrontierBatch& f,
                          const FrontierBatch& mask, bool complement,
-                         FrontierBatch& next);
+                         FrontierBatch& next,
+                         KernelVariant variant = KernelVariant::kAuto);
 
 /// Push-direction batched expansion (the batch analog of the BMV
 /// active-list push): work proportional to the frontier's tile-rows

@@ -1,0 +1,50 @@
+// Cache-line-aligned allocation for the B2SR tile store.
+//
+// The SIMD kernel engine (platform/simd.hpp) streams a tile-row's tiles
+// through vector registers with 16/32-byte loads.  Aligning the `bits`
+// array to 64 bytes makes every tile's cache-line phase deterministic
+// (offset t*Dim words from a line boundary), which minimizes — not
+// eliminates — line-straddling loads; the engine therefore always
+// issues unaligned (loadu) vector loads.  The allocator is a drop-in
+// std::vector allocator: value-equality with any other instance of
+// itself, so vectors move/swap freely.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace bitgb {
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two no weaker than alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// B2SR tile words live on 64-byte boundaries (one x86 cache line).
+inline constexpr std::size_t kTileStoreAlign = 64;
+
+}  // namespace bitgb

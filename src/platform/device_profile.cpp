@@ -14,23 +14,41 @@ int hardware_threads() {
 }  // namespace
 
 DeviceProfile pascal_analog() {
-  return DeviceProfile{"pascal-analog", "NVIDIA GTX 1080 (Pascal)", 1};
+  return DeviceProfile{"pascal-analog", "NVIDIA GTX 1080 (Pascal)", 1,
+                       KernelVariant::kAuto};
 }
 
 DeviceProfile volta_analog() {
   return DeviceProfile{"volta-analog", "NVIDIA Titan V (Volta)",
-                       hardware_threads()};
+                       hardware_threads(), KernelVariant::kAuto};
 }
 
 std::vector<DeviceProfile> all_profiles() {
   return {pascal_analog(), volta_analog()};
 }
 
-ProfileScope::ProfileScope(const DeviceProfile& p)
-    : previous_threads_(max_threads()) {
-  set_threads(p.num_threads);
+DeviceProfile with_variant(DeviceProfile p, KernelVariant v) {
+  p.variant = v;
+  p.name += std::string("+") + kernel_variant_name(v);
+  return p;
 }
 
-ProfileScope::~ProfileScope() { set_threads(previous_threads_); }
+std::string simd_summary() {
+  return std::string("simd engine: ") +
+         simd::backend_name(simd::active_backend()) +
+         " (runtime-verified), variant: " +
+         kernel_variant_name(kernel_variant());
+}
+
+ProfileScope::ProfileScope(const DeviceProfile& p)
+    : previous_threads_(max_threads()), previous_variant_(kernel_variant()) {
+  set_threads(p.num_threads);
+  if (p.variant != KernelVariant::kAuto) set_kernel_variant(p.variant);
+}
+
+ProfileScope::~ProfileScope() {
+  set_threads(previous_threads_);
+  set_kernel_variant(previous_variant_);
+}
 
 }  // namespace bitgb

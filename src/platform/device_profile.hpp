@@ -13,7 +13,15 @@
 // reproduce: Volta's independent-thread-scheduling cost on __shfl_sync /
 // __ballot_sync that the paper cites for its slightly lower bit-kernel
 // gains on Volta (§VI-E, last paragraph); EXPERIMENTS.md notes this.
+//
+// Profiles also carry the kernel variant (scalar vs SIMD inner loops,
+// platform/simd.hpp): activating a profile pins the process-wide
+// variant, which is how the benches ablate the SIMD engine on identical
+// inputs (with_variant below).  The SIMD backend itself is CPUID-
+// verified at runtime; simd_summary() reports what this host runs.
 #pragma once
+
+#include "platform/simd.hpp"
 
 #include <string>
 #include <vector>
@@ -24,6 +32,9 @@ struct DeviceProfile {
   std::string name;        ///< e.g. "pascal-analog"
   std::string paper_gpu;   ///< the GPU this profile stands in for
   int num_threads = 1;     ///< host worker threads while active
+  /// Kernel variant while active (kAuto = leave the process-wide
+  /// setting untouched).
+  KernelVariant variant = KernelVariant::kAuto;
 };
 
 /// The GTX 1080 stand-in: minimum parallel width.
@@ -35,8 +46,19 @@ struct DeviceProfile {
 /// All profiles, in paper order (Pascal first).
 [[nodiscard]] std::vector<DeviceProfile> all_profiles();
 
-/// RAII activation: sets the runtime thread count on construction and
-/// restores the previous count on destruction.
+/// Copy of `p` pinned to the given kernel variant, named
+/// "<name>+scalar" / "<name>+simd" — the ablation axis of the kernel
+/// micro-bench.
+[[nodiscard]] DeviceProfile with_variant(DeviceProfile p, KernelVariant v);
+
+/// One-line description of the host's SIMD state, e.g.
+/// "simd engine: avx2 (runtime-verified), variant: simd" — printed by
+/// the bench harnesses so recorded numbers carry their provenance.
+[[nodiscard]] std::string simd_summary();
+
+/// RAII activation: sets the runtime thread count (and, when the
+/// profile pins one, the kernel variant) on construction and restores
+/// the previous state on destruction.
 class ProfileScope {
  public:
   explicit ProfileScope(const DeviceProfile& p);
@@ -46,6 +68,7 @@ class ProfileScope {
 
  private:
   int previous_threads_;
+  KernelVariant previous_variant_;
 };
 
 }  // namespace bitgb

@@ -1,0 +1,1044 @@
+// SIMD multi-tile kernel engine — implementation.
+//
+// Three backends, one contract (bit-identical integer reductions):
+//
+//   * kAvx2  — hand-written intrinsics.  256-bit loads stream 8 B2SR-4
+//     or 4 B2SR-8 tiles (one B2SR-16 tile, a quarter B2SR-32 tile) per
+//     instruction; compare+movemask materializes Boolean row results,
+//     and byte-lane popcount uses the Mula pshufb nibble-LUT.
+//   * kSse42 — the portable SWAR/scalar bodies recompiled with
+//     target("sse4.2,popcnt"): hardware popcnt plus whatever the
+//     auto-vectorizer finds, without requiring -march at configure
+//     time.
+//   * kScalar — portable SWAR fallback: 64-bit words emulate the
+//     vector lanes (per-byte popcount, byte-nonzero movemask), so even
+//     ISA-less hosts keep most of the multi-tile batching.
+//
+// Every path is compiled in one translation unit behind gcc/clang
+// function target attributes; active_backend() CPUID-probes the host
+// once (__builtin_cpu_supports) and the dispatchers branch on the
+// cached result, so a binary built without -march still runs AVX2
+// inner loops on an AVX2 host and degrades gracefully elsewhere.
+#include "platform/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(BITGB_SIMD_DISABLE)
+#define BITGB_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define BITGB_SIMD_X86 0
+#endif
+
+namespace bitgb {
+
+namespace {
+
+KernelVariant builtin_default_variant() {
+  if (const char* e = std::getenv("BITGB_KERNEL_VARIANT")) {
+    const std::string s(e);
+    if (s == "scalar") return KernelVariant::kScalar;
+    if (s == "simd") return KernelVariant::kSimd;
+  }
+  // kSimd is always safe: the engine's own fallback is scalar-exact.
+  return KernelVariant::kSimd;
+}
+
+std::atomic<KernelVariant>& variant_state() {
+  static std::atomic<KernelVariant> v{builtin_default_variant()};
+  return v;
+}
+
+}  // namespace
+
+KernelVariant kernel_variant() {
+  return variant_state().load(std::memory_order_relaxed);
+}
+
+void set_kernel_variant(KernelVariant v) {
+  variant_state().store(v == KernelVariant::kAuto ? builtin_default_variant()
+                                                  : v,
+                        std::memory_order_relaxed);
+}
+
+KernelVariant resolve_kernel_variant(KernelVariant requested) {
+  return requested == KernelVariant::kAuto ? kernel_variant() : requested;
+}
+
+const char* kernel_variant_name(KernelVariant v) {
+  switch (v) {
+    case KernelVariant::kAuto: return "auto";
+    case KernelVariant::kScalar: return "scalar";
+    case KernelVariant::kSimd: return "simd";
+  }
+  return "?";
+}
+
+namespace simd {
+
+namespace {
+
+Backend detect_backend() {
+#if BITGB_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt")) {
+    return Backend::kSse42;
+  }
+#endif
+  return Backend::kScalar;
+}
+
+// =====================================================================
+// SWAR primitives — 64-bit words as poor-man's vector lanes.
+// =====================================================================
+
+/// Per-byte popcount of a 64-bit word (each byte counts its own bits).
+[[gnu::always_inline]] inline std::uint64_t swar_popcnt_bytes(
+    std::uint64_t v) {
+  v = v - ((v >> 1) & 0x5555555555555555ull);
+  v = (v & 0x3333333333333333ull) + ((v >> 2) & 0x3333333333333333ull);
+  return (v + (v >> 4)) & 0x0F0F0F0F0F0F0F0Full;
+}
+
+/// Movemask: bit r of the result = (byte r of v != 0).
+[[gnu::always_inline]] inline std::uint32_t swar_bytes_nonzero_mask(
+    std::uint64_t v) {
+  const std::uint64_t hi =
+      (v | ((v & 0x7F7F7F7F7F7F7F7Full) + 0x7F7F7F7F7F7F7F7Full)) &
+      0x8080808080808080ull;
+  return static_cast<std::uint32_t>(((hi >> 7) * 0x0102040810204080ull) >> 56);
+}
+
+/// Expand bit c of `bits` (c < 8) into byte c = 0xFF / 0x00.
+[[gnu::always_inline]] inline std::uint64_t swar_bits_to_byte_mask(
+    unsigned bits) {
+  const std::uint64_t spread =
+      (bits * 0x0101010101010101ull) & 0x8040201008040201ull;
+  const std::uint64_t hi =
+      (spread | ((spread & 0x7F7F7F7F7F7F7F7Full) + 0x7F7F7F7F7F7F7F7Full)) &
+      0x8080808080808080ull;
+  return (hi - (hi >> 7)) | hi;  // 0x80 -> 0xFF per selected byte
+}
+
+/// Load one B2SR-8 tile (8 bytes) as a word, byte r = bit-row r.
+[[gnu::always_inline]] inline std::uint64_t load_tile8(
+    const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Load one B2SR-4 tile (4 bytes) as a word, byte r = bit-row r.
+[[gnu::always_inline]] inline std::uint32_t load_tile4(
+    const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// =====================================================================
+// Portable bodies.  These are the kScalar backend and, recompiled with
+// target("sse4.2,popcnt"), the kSse42 backend; marked always_inline so
+// the SSE wrappers regenerate them under the wider ISA.
+// =====================================================================
+
+template <int Dim>
+[[gnu::always_inline]] inline typename TileTraits<Dim>::word_t bbb_row_or_body(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  word_t out = 0;
+  if constexpr (Dim == 8) {
+    for (vidx_t t = lo; t < hi; ++t) {
+      const std::uint64_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const std::uint64_t v = load_tile8(tiles + static_cast<std::size_t>(t) * 8) &
+                              (xw * 0x0101010101010101ull);
+      out = static_cast<word_t>(out | swar_bytes_nonzero_mask(v));
+    }
+  } else if constexpr (Dim == 4) {
+    for (vidx_t t = lo; t < hi; ++t) {
+      const std::uint32_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const std::uint32_t v =
+          load_tile4(tiles + static_cast<std::size_t>(t) * 4) &
+          (xw * 0x01010101u);
+      const std::uint32_t hi4 =
+          (v | ((v & 0x7F7F7F7Fu) + 0x7F7F7F7Fu)) & 0x80808080u;
+      out = static_cast<word_t>(out | (((hi4 >> 7) * 0x01020408u) >> 24));
+    }
+  } else {
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const word_t* w = tiles + static_cast<std::size_t>(t) * Dim;
+      for (int r = 0; r < Dim; ++r) {
+        if ((w[r] & xw) != 0) out = set_bit(out, r);
+      }
+    }
+  }
+  return out;
+}
+
+template <int Dim>
+[[gnu::always_inline]] inline void bbf_row_accum_body(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi,
+    std::int32_t* acc) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 8 || Dim == 4) {
+    // Byte-lane accumulation with periodic flush: per tile each byte
+    // gains at most Dim counts, so 255 / 8 = 31 tiles fit for Dim == 8
+    // (more for Dim == 4; 31 is safe for both).
+    std::uint64_t byte_acc = 0;
+    int pending = 0;
+    const auto flush = [&] {
+      for (int r = 0; r < 8; ++r) {
+        const auto c = static_cast<std::int32_t>((byte_acc >> (8 * r)) & 0xFF);
+        if constexpr (Dim == 4) {
+          acc[r & 3] += c;
+        } else {
+          acc[r] += c;
+        }
+      }
+      byte_acc = 0;
+      pending = 0;
+    };
+    vidx_t t = lo;
+    if constexpr (Dim == 4) {
+      for (; t + 2 <= hi; t += 2) {
+        const std::uint64_t x0 = xwords[static_cast<std::size_t>(colind[t])];
+        const std::uint64_t x1 =
+            xwords[static_cast<std::size_t>(colind[t + 1])];
+        if ((x0 | x1) == 0) continue;
+        std::uint64_t pair;
+        std::memcpy(&pair, tiles + static_cast<std::size_t>(t) * 4,
+                    sizeof pair);
+        const std::uint64_t xrep =
+            x0 * 0x0000000001010101ull | (x1 * 0x0101010100000000ull);
+        byte_acc += swar_popcnt_bytes(pair & xrep);
+        if (++pending == 31) flush();
+      }
+      for (; t < hi; ++t) {
+        const std::uint32_t xw = xwords[static_cast<std::size_t>(colind[t])];
+        if (xw == 0) continue;
+        byte_acc += swar_popcnt_bytes(
+            static_cast<std::uint64_t>(
+                load_tile4(tiles + static_cast<std::size_t>(t) * 4)) &
+            (static_cast<std::uint64_t>(xw) * 0x01010101ull));
+        if (++pending == 31) flush();
+      }
+    } else {
+      for (; t < hi; ++t) {
+        const std::uint64_t xw = xwords[static_cast<std::size_t>(colind[t])];
+        if (xw == 0) continue;
+        byte_acc += swar_popcnt_bytes(
+            load_tile8(tiles + static_cast<std::size_t>(t) * 8) &
+            (xw * 0x0101010101010101ull));
+        if (++pending == 31) flush();
+      }
+    }
+    if (pending != 0) flush();
+  } else {
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const word_t* w = tiles + static_cast<std::size_t>(t) * Dim;
+      for (int r = 0; r < Dim; ++r) {
+        acc[r] += popcount(static_cast<word_t>(w[r] & xw));
+      }
+    }
+  }
+}
+
+template <int Dim>
+[[gnu::always_inline]] inline void rows_pop_accum_body(
+    const typename TileTraits<Dim>::word_t* tiles, vidx_t lo, vidx_t hi,
+    std::int32_t* pop) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 8 || Dim == 4) {
+    std::uint64_t byte_acc = 0;
+    int pending = 0;
+    const auto flush = [&] {
+      for (int r = 0; r < 8; ++r) {
+        const auto c = static_cast<std::int32_t>((byte_acc >> (8 * r)) & 0xFF);
+        if constexpr (Dim == 4) {
+          pop[r & 3] += c;
+        } else {
+          pop[r] += c;
+        }
+      }
+      byte_acc = 0;
+      pending = 0;
+    };
+    vidx_t t = lo;
+    if constexpr (Dim == 4) {
+      for (; t + 2 <= hi; t += 2) {
+        std::uint64_t pair;
+        std::memcpy(&pair, tiles + static_cast<std::size_t>(t) * 4,
+                    sizeof pair);
+        byte_acc += swar_popcnt_bytes(pair);
+        if (++pending == 31) flush();
+      }
+      for (; t < hi; ++t) {
+        byte_acc += swar_popcnt_bytes(static_cast<std::uint64_t>(
+            load_tile4(tiles + static_cast<std::size_t>(t) * 4)));
+        if (++pending == 31) flush();
+      }
+    } else {
+      for (; t < hi; ++t) {
+        byte_acc += swar_popcnt_bytes(
+            load_tile8(tiles + static_cast<std::size_t>(t) * 8));
+        if (++pending == 31) flush();
+      }
+    }
+    if (pending != 0) flush();
+  } else {
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t* w = tiles + static_cast<std::size_t>(t) * Dim;
+      for (int r = 0; r < Dim; ++r) pop[r] += popcount(w[r]);
+    }
+  }
+}
+
+template <int Dim>
+[[gnu::always_inline]] inline std::int64_t masked_pair_dot_body(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    const typename TileTraits<Dim>::word_t* mwords) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  std::int64_t sum = 0;
+  if constexpr (Dim == 8 || Dim == 4) {
+    // Whole-row dot in one word: broadcast A's bit-row over the byte
+    // lanes, AND with the B tile (byte c = B bit-row c), knock out the
+    // unmasked lanes, popcount once.
+    std::uint64_t btile;
+    if constexpr (Dim == 8) {
+      btile = load_tile8(bwords);
+    } else {
+      btile = static_cast<std::uint64_t>(load_tile4(bwords));
+    }
+    constexpr std::uint64_t ones =
+        Dim == 8 ? 0x0101010101010101ull : 0x0000000001010101ull;
+    for (int r = 0; r < Dim; ++r) {
+      const word_t mrow = mwords[r];
+      if (mrow == 0) continue;
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      const std::uint64_t sel = swar_bits_to_byte_mask(mrow);
+      sum += popcount((static_cast<std::uint64_t>(arow) * ones) & btile & sel);
+    }
+  } else {
+    for (int r = 0; r < Dim; ++r) {
+      const word_t mrow = mwords[r];
+      if (mrow == 0) continue;
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      for_each_set_bit(mrow, [&](int c) {
+        sum += popcount(static_cast<word_t>(arow & bwords[c]));
+      });
+    }
+  }
+  return sum;
+}
+
+template <int Dim>
+[[gnu::always_inline]] inline void frontier_row_accum_body(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    vidx_t lo, vidx_t hi, const std::uint64_t* frows, std::size_t /*nfrows*/,
+    std::uint64_t* acc) {
+  for (vidx_t t = lo; t < hi; ++t) {
+    const auto base = static_cast<std::size_t>(colind[t]) *
+                      static_cast<std::size_t>(Dim);
+    const auto* w = tiles + static_cast<std::size_t>(t) * Dim;
+    for (int r = 0; r < Dim; ++r) {
+      if (w[r] == 0) continue;
+      for_each_set_bit(w[r], [&](int j) {
+        acc[r] |= frows[base + static_cast<std::size_t>(j)];
+      });
+    }
+  }
+}
+
+// =====================================================================
+// Backend wrappers.
+// =====================================================================
+
+template <int Dim>
+typename TileTraits<Dim>::word_t bbb_row_or_scalar(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi) {
+  return bbb_row_or_body<Dim>(tiles, colind, xwords, lo, hi);
+}
+
+template <int Dim>
+void bbf_row_accum_scalar(const typename TileTraits<Dim>::word_t* tiles,
+                          const vidx_t* colind,
+                          const typename TileTraits<Dim>::word_t* xwords,
+                          vidx_t lo, vidx_t hi, std::int32_t* acc) {
+  bbf_row_accum_body<Dim>(tiles, colind, xwords, lo, hi, acc);
+}
+
+template <int Dim>
+void rows_pop_accum_scalar(const typename TileTraits<Dim>::word_t* tiles,
+                           vidx_t lo, vidx_t hi, std::int32_t* pop) {
+  rows_pop_accum_body<Dim>(tiles, lo, hi, pop);
+}
+
+template <int Dim>
+std::int64_t masked_pair_dot_scalar(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    const typename TileTraits<Dim>::word_t* mwords) {
+  return masked_pair_dot_body<Dim>(awords, bwords, mwords);
+}
+
+template <int Dim>
+void frontier_row_accum_scalar(const typename TileTraits<Dim>::word_t* tiles,
+                               const vidx_t* colind, vidx_t lo, vidx_t hi,
+                               const std::uint64_t* frows, std::size_t nfrows,
+                               std::uint64_t* acc) {
+  frontier_row_accum_body<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
+}
+
+#if BITGB_SIMD_X86
+
+#define BITGB_TGT_SSE __attribute__((target("sse4.2,popcnt")))
+#define BITGB_TGT_AVX2 __attribute__((target("avx2,popcnt")))
+
+// --- SSE4.2: the portable bodies under the wider ISA (hardware popcnt
+// plus auto-vectorization), regenerated here by always_inline. ---
+
+template <int Dim>
+BITGB_TGT_SSE typename TileTraits<Dim>::word_t bbb_row_or_sse(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi) {
+  return bbb_row_or_body<Dim>(tiles, colind, xwords, lo, hi);
+}
+
+template <int Dim>
+BITGB_TGT_SSE void bbf_row_accum_sse(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi,
+    std::int32_t* acc) {
+  bbf_row_accum_body<Dim>(tiles, colind, xwords, lo, hi, acc);
+}
+
+template <int Dim>
+BITGB_TGT_SSE void rows_pop_accum_sse(
+    const typename TileTraits<Dim>::word_t* tiles, vidx_t lo, vidx_t hi,
+    std::int32_t* pop) {
+  rows_pop_accum_body<Dim>(tiles, lo, hi, pop);
+}
+
+template <int Dim>
+BITGB_TGT_SSE std::int64_t masked_pair_dot_sse(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    const typename TileTraits<Dim>::word_t* mwords) {
+  return masked_pair_dot_body<Dim>(awords, bwords, mwords);
+}
+
+template <int Dim>
+BITGB_TGT_SSE void frontier_row_accum_sse(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    vidx_t lo, vidx_t hi, const std::uint64_t* frows, std::size_t nfrows,
+    std::uint64_t* acc) {
+  frontier_row_accum_body<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
+}
+
+// --- AVX2: hand-written intrinsics. ---
+
+/// Mula byte-lane popcount (pshufb nibble LUT).
+BITGB_TGT_AVX2 inline __m256i avx2_popcnt_epi8(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+/// Per-32-bit-lane popcount: byte counts folded pairwise twice.
+BITGB_TGT_AVX2 inline __m256i avx2_popcnt_epi32(__m256i v) {
+  const __m256i c8 = avx2_popcnt_epi8(v);
+  const __m256i c16 = _mm256_maddubs_epi16(c8, _mm256_set1_epi8(1));
+  return _mm256_madd_epi16(c16, _mm256_set1_epi16(1));
+}
+
+/// Horizontal sum of 8 32-bit lanes.
+BITGB_TGT_AVX2 inline std::int32_t avx2_hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// Horizontal OR of 4 64-bit lanes.
+BITGB_TGT_AVX2 inline std::uint64_t avx2_hor_epi64(__m256i v) {
+  __m128i o = _mm_or_si128(_mm256_castsi256_si128(v),
+                           _mm256_extracti128_si256(v, 1));
+  o = _mm_or_si128(o, _mm_unpackhi_epi64(o, o));
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(o));
+}
+
+template <int Dim>
+BITGB_TGT_AVX2 typename TileTraits<Dim>::word_t bbb_row_or_avx2(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  const __m256i zero = _mm256_setzero_si256();
+  if constexpr (Dim == 8) {
+    // 4 tiles (32 bytes) per iteration; each tile's 8 rows land in one
+    // byte group of the movemask, OR-folded into the shared out word.
+    std::uint32_t out4 = 0;
+    vidx_t t = lo;
+    for (; t + 4 <= hi; t += 4) {
+      const std::uint64_t b0 = xwords[static_cast<std::size_t>(colind[t])];
+      const std::uint64_t b1 = xwords[static_cast<std::size_t>(colind[t + 1])];
+      const std::uint64_t b2 = xwords[static_cast<std::size_t>(colind[t + 2])];
+      const std::uint64_t b3 = xwords[static_cast<std::size_t>(colind[t + 3])];
+      if ((b0 | b1 | b2 | b3) == 0) continue;
+      const __m256i xv = _mm256_set_epi64x(
+          static_cast<long long>(b3 * 0x0101010101010101ull),
+          static_cast<long long>(b2 * 0x0101010101010101ull),
+          static_cast<long long>(b1 * 0x0101010101010101ull),
+          static_cast<long long>(b0 * 0x0101010101010101ull));
+      const __m256i tv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          tiles + static_cast<std::size_t>(t) * 8));
+      const __m256i z = _mm256_cmpeq_epi8(_mm256_and_si256(tv, xv), zero);
+      out4 |= ~static_cast<std::uint32_t>(_mm256_movemask_epi8(z));
+    }
+    out4 |= out4 >> 16;
+    out4 |= out4 >> 8;
+    auto out = static_cast<word_t>(out4 & 0xFF);
+    for (; t < hi; ++t) {
+      const std::uint64_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const std::uint64_t v =
+          load_tile8(tiles + static_cast<std::size_t>(t) * 8) &
+          (xw * 0x0101010101010101ull);
+      out = static_cast<word_t>(out | swar_bytes_nonzero_mask(v));
+    }
+    return out;
+  } else if constexpr (Dim == 4) {
+    // 8 tiles (32 bytes) per iteration, 4 movemask bits per tile.
+    std::uint32_t out8 = 0;
+    vidx_t t = lo;
+    for (; t + 8 <= hi; t += 8) {
+      std::uint32_t d[8];
+      std::uint32_t any = 0;
+      for (int i = 0; i < 8; ++i) {
+        const std::uint32_t b = xwords[static_cast<std::size_t>(colind[t + i])];
+        any |= b;
+        d[i] = b * 0x01010101u;
+      }
+      if (any == 0) continue;
+      const __m256i xv = _mm256_setr_epi32(
+          static_cast<int>(d[0]), static_cast<int>(d[1]),
+          static_cast<int>(d[2]), static_cast<int>(d[3]),
+          static_cast<int>(d[4]), static_cast<int>(d[5]),
+          static_cast<int>(d[6]), static_cast<int>(d[7]));
+      const __m256i tv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          tiles + static_cast<std::size_t>(t) * 4));
+      const __m256i z = _mm256_cmpeq_epi8(_mm256_and_si256(tv, xv), zero);
+      out8 |= ~static_cast<std::uint32_t>(_mm256_movemask_epi8(z));
+    }
+    out8 |= out8 >> 16;
+    out8 |= out8 >> 8;
+    out8 |= out8 >> 4;
+    auto out = static_cast<word_t>(out8 & 0xF);
+    for (; t < hi; ++t) {
+      const std::uint32_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const std::uint32_t v =
+          load_tile4(tiles + static_cast<std::size_t>(t) * 4) &
+          (xw * 0x01010101u);
+      const std::uint32_t hi4 =
+          (v | ((v & 0x7F7F7F7Fu) + 0x7F7F7F7Fu)) & 0x80808080u;
+      out = static_cast<word_t>(out | (((hi4 >> 7) * 0x01020408u) >> 24));
+    }
+    return out;
+  } else if constexpr (Dim == 16) {
+    // One tile (16 uint16 rows) per 256-bit load.
+    word_t out = 0;
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const __m256i xv = _mm256_set1_epi16(static_cast<short>(xw));
+      const __m256i tv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          tiles + static_cast<std::size_t>(t) * 16));
+      const __m256i z = _mm256_cmpeq_epi16(_mm256_and_si256(tv, xv), zero);
+      const __m128i packed = _mm_packs_epi16(
+          _mm256_castsi256_si128(z), _mm256_extracti128_si256(z, 1));
+      out = static_cast<word_t>(
+          out | static_cast<word_t>(~_mm_movemask_epi8(packed)));
+    }
+    return out;
+  } else {
+    // One tile = 32 uint32 rows = four 256-bit loads, 8 mask bits each.
+    word_t out = 0;
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const __m256i xv = _mm256_set1_epi32(static_cast<int>(xw));
+      const auto* base = tiles + static_cast<std::size_t>(t) * 32;
+      std::uint32_t m = 0;
+      for (int k = 0; k < 4; ++k) {
+        const __m256i tv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(base + 8 * k));
+        const __m256i z = _mm256_cmpeq_epi32(_mm256_and_si256(tv, xv), zero);
+        const auto zk = static_cast<std::uint32_t>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(z)));
+        m |= (~zk & 0xFFu) << (8 * k);
+      }
+      out |= m;
+    }
+    return out;
+  }
+}
+
+template <int Dim>
+BITGB_TGT_AVX2 void bbf_row_accum_avx2(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi,
+    std::int32_t* acc) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 8) {
+    __m256i accv = _mm256_setzero_si256();  // 8 x int32, one per bit-row
+    vidx_t t = lo;
+    for (; t + 4 <= hi; t += 4) {
+      const std::uint64_t b0 = xwords[static_cast<std::size_t>(colind[t])];
+      const std::uint64_t b1 = xwords[static_cast<std::size_t>(colind[t + 1])];
+      const std::uint64_t b2 = xwords[static_cast<std::size_t>(colind[t + 2])];
+      const std::uint64_t b3 = xwords[static_cast<std::size_t>(colind[t + 3])];
+      if ((b0 | b1 | b2 | b3) == 0) continue;
+      const __m256i xv = _mm256_set_epi64x(
+          static_cast<long long>(b3 * 0x0101010101010101ull),
+          static_cast<long long>(b2 * 0x0101010101010101ull),
+          static_cast<long long>(b1 * 0x0101010101010101ull),
+          static_cast<long long>(b0 * 0x0101010101010101ull));
+      const __m256i tv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          tiles + static_cast<std::size_t>(t) * 8));
+      const __m256i c = avx2_popcnt_epi8(_mm256_and_si256(tv, xv));
+      const __m128i c_lo = _mm256_castsi256_si128(c);
+      const __m128i c_hi = _mm256_extracti128_si256(c, 1);
+      accv = _mm256_add_epi32(accv, _mm256_cvtepu8_epi32(c_lo));
+      accv = _mm256_add_epi32(accv,
+                              _mm256_cvtepu8_epi32(_mm_srli_si128(c_lo, 8)));
+      accv = _mm256_add_epi32(accv, _mm256_cvtepu8_epi32(c_hi));
+      accv = _mm256_add_epi32(accv,
+                              _mm256_cvtepu8_epi32(_mm_srli_si128(c_hi, 8)));
+    }
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), accv);
+    for (int r = 0; r < 8; ++r) acc[r] += lanes[r];
+    for (; t < hi; ++t) {
+      const std::uint64_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const std::uint64_t counts = swar_popcnt_bytes(
+          load_tile8(tiles + static_cast<std::size_t>(t) * 8) &
+          (xw * 0x0101010101010101ull));
+      for (int r = 0; r < 8; ++r) {
+        acc[r] += static_cast<std::int32_t>((counts >> (8 * r)) & 0xFF);
+      }
+    }
+  } else if constexpr (Dim == 16) {
+    __m256i acc_lo = _mm256_setzero_si256();  // rows 0..7
+    __m256i acc_hi = _mm256_setzero_si256();  // rows 8..15
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const __m256i xv = _mm256_set1_epi16(static_cast<short>(xw));
+      const __m256i tv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          tiles + static_cast<std::size_t>(t) * 16));
+      const __m256i c16 = _mm256_maddubs_epi16(
+          avx2_popcnt_epi8(_mm256_and_si256(tv, xv)), _mm256_set1_epi8(1));
+      acc_lo = _mm256_add_epi32(
+          acc_lo, _mm256_cvtepu16_epi32(_mm256_castsi256_si128(c16)));
+      acc_hi = _mm256_add_epi32(
+          acc_hi, _mm256_cvtepu16_epi32(_mm256_extracti128_si256(c16, 1)));
+    }
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc_lo);
+    for (int r = 0; r < 8; ++r) acc[r] += lanes[r];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc_hi);
+    for (int r = 0; r < 8; ++r) acc[8 + r] += lanes[r];
+  } else if constexpr (Dim == 32) {
+    __m256i accv[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                       _mm256_setzero_si256(), _mm256_setzero_si256()};
+    for (vidx_t t = lo; t < hi; ++t) {
+      const word_t xw = xwords[static_cast<std::size_t>(colind[t])];
+      if (xw == 0) continue;
+      const __m256i xv = _mm256_set1_epi32(static_cast<int>(xw));
+      const auto* base = tiles + static_cast<std::size_t>(t) * 32;
+      for (int k = 0; k < 4; ++k) {
+        const __m256i tv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(base + 8 * k));
+        accv[k] = _mm256_add_epi32(
+            accv[k], avx2_popcnt_epi32(_mm256_and_si256(tv, xv)));
+      }
+    }
+    alignas(32) std::int32_t lanes[8];
+    for (int k = 0; k < 4; ++k) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), accv[k]);
+      for (int r = 0; r < 8; ++r) acc[8 * k + r] += lanes[r];
+    }
+  } else {
+    bbf_row_accum_body<Dim>(tiles, colind, xwords, lo, hi, acc);
+  }
+}
+
+template <int Dim>
+BITGB_TGT_AVX2 void rows_pop_accum_avx2(
+    const typename TileTraits<Dim>::word_t* tiles, vidx_t lo, vidx_t hi,
+    std::int32_t* pop) {
+  if constexpr (Dim == 8) {
+    __m256i accv = _mm256_setzero_si256();
+    vidx_t t = lo;
+    for (; t + 4 <= hi; t += 4) {
+      const __m256i tv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          tiles + static_cast<std::size_t>(t) * 8));
+      const __m256i c = avx2_popcnt_epi8(tv);
+      const __m128i c_lo = _mm256_castsi256_si128(c);
+      const __m128i c_hi = _mm256_extracti128_si256(c, 1);
+      accv = _mm256_add_epi32(accv, _mm256_cvtepu8_epi32(c_lo));
+      accv = _mm256_add_epi32(accv,
+                              _mm256_cvtepu8_epi32(_mm_srli_si128(c_lo, 8)));
+      accv = _mm256_add_epi32(accv, _mm256_cvtepu8_epi32(c_hi));
+      accv = _mm256_add_epi32(accv,
+                              _mm256_cvtepu8_epi32(_mm_srli_si128(c_hi, 8)));
+    }
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), accv);
+    for (int r = 0; r < 8; ++r) pop[r] += lanes[r];
+    for (; t < hi; ++t) {
+      const std::uint64_t counts = swar_popcnt_bytes(
+          load_tile8(tiles + static_cast<std::size_t>(t) * 8));
+      for (int r = 0; r < 8; ++r) {
+        pop[r] += static_cast<std::int32_t>((counts >> (8 * r)) & 0xFF);
+      }
+    }
+  } else if constexpr (Dim == 16) {
+    __m256i acc_lo = _mm256_setzero_si256();
+    __m256i acc_hi = _mm256_setzero_si256();
+    for (vidx_t t = lo; t < hi; ++t) {
+      const __m256i tv = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          tiles + static_cast<std::size_t>(t) * 16));
+      const __m256i c16 =
+          _mm256_maddubs_epi16(avx2_popcnt_epi8(tv), _mm256_set1_epi8(1));
+      acc_lo = _mm256_add_epi32(
+          acc_lo, _mm256_cvtepu16_epi32(_mm256_castsi256_si128(c16)));
+      acc_hi = _mm256_add_epi32(
+          acc_hi, _mm256_cvtepu16_epi32(_mm256_extracti128_si256(c16, 1)));
+    }
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc_lo);
+    for (int r = 0; r < 8; ++r) pop[r] += lanes[r];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc_hi);
+    for (int r = 0; r < 8; ++r) pop[8 + r] += lanes[r];
+  } else if constexpr (Dim == 32) {
+    __m256i accv[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                       _mm256_setzero_si256(), _mm256_setzero_si256()};
+    for (vidx_t t = lo; t < hi; ++t) {
+      const auto* base = tiles + static_cast<std::size_t>(t) * 32;
+      for (int k = 0; k < 4; ++k) {
+        const __m256i tv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(base + 8 * k));
+        accv[k] = _mm256_add_epi32(accv[k], avx2_popcnt_epi32(tv));
+      }
+    }
+    alignas(32) std::int32_t lanes[8];
+    for (int k = 0; k < 4; ++k) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), accv[k]);
+      for (int r = 0; r < 8; ++r) pop[8 * k + r] += lanes[r];
+    }
+  } else {
+    rows_pop_accum_body<Dim>(tiles, lo, hi, pop);
+  }
+}
+
+template <int Dim>
+BITGB_TGT_AVX2 std::int64_t masked_pair_dot_avx2(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    const typename TileTraits<Dim>::word_t* mwords) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 16) {
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bwords));
+    __m256i bitsel = _mm256_setr_epi16(
+        static_cast<short>(1u << 0), static_cast<short>(1u << 1),
+        static_cast<short>(1u << 2), static_cast<short>(1u << 3),
+        static_cast<short>(1u << 4), static_cast<short>(1u << 5),
+        static_cast<short>(1u << 6), static_cast<short>(1u << 7),
+        static_cast<short>(1u << 8), static_cast<short>(1u << 9),
+        static_cast<short>(1u << 10), static_cast<short>(1u << 11),
+        static_cast<short>(1u << 12), static_cast<short>(1u << 13),
+        static_cast<short>(1u << 14), static_cast<short>(1u << 15));
+    __m256i acc16 = _mm256_setzero_si256();  // per-column sums (<= 256)
+    std::int64_t scalar_sum = 0;
+    for (int r = 0; r < 16; ++r) {
+      const word_t mrow = mwords[r];
+      if (mrow == 0) continue;
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      if (popcount(mrow) < 4) {
+        for_each_set_bit(mrow, [&](int c) {
+          scalar_sum += popcount(static_cast<word_t>(arow & bwords[c]));
+        });
+        continue;
+      }
+      const __m256i sel = _mm256_cmpeq_epi16(
+          _mm256_and_si256(_mm256_set1_epi16(static_cast<short>(mrow)),
+                           bitsel),
+          bitsel);
+      const __m256i anded =
+          _mm256_and_si256(_mm256_set1_epi16(static_cast<short>(arow)), bv);
+      const __m256i c16 =
+          _mm256_maddubs_epi16(avx2_popcnt_epi8(anded), _mm256_set1_epi8(1));
+      acc16 = _mm256_add_epi16(acc16, _mm256_and_si256(c16, sel));
+    }
+    return scalar_sum +
+           avx2_hsum_epi32(_mm256_madd_epi16(acc16, _mm256_set1_epi16(1)));
+  } else if constexpr (Dim == 32) {
+    __m256i bv[4];
+    __m256i bitsel[4];
+    for (int k = 0; k < 4; ++k) {
+      bv[k] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(bwords + 8 * k));
+      bitsel[k] = _mm256_setr_epi32(
+          static_cast<int>(1u << (8 * k + 0)),
+          static_cast<int>(1u << (8 * k + 1)),
+          static_cast<int>(1u << (8 * k + 2)),
+          static_cast<int>(1u << (8 * k + 3)),
+          static_cast<int>(1u << (8 * k + 4)),
+          static_cast<int>(1u << (8 * k + 5)),
+          static_cast<int>(1u << (8 * k + 6)),
+          static_cast<int>(1u << (8 * k + 7)));
+    }
+    __m256i acc32 = _mm256_setzero_si256();
+    std::int64_t scalar_sum = 0;
+    for (int r = 0; r < 32; ++r) {
+      const word_t mrow = mwords[r];
+      if (mrow == 0) continue;
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      if (popcount(mrow) < 8) {
+        for_each_set_bit(mrow, [&](int c) {
+          scalar_sum += popcount(static_cast<word_t>(arow & bwords[c]));
+        });
+        continue;
+      }
+      const __m256i av = _mm256_set1_epi32(static_cast<int>(arow));
+      const __m256i mv = _mm256_set1_epi32(static_cast<int>(mrow));
+      for (int k = 0; k < 4; ++k) {
+        const __m256i sel = _mm256_cmpeq_epi32(
+            _mm256_and_si256(mv, bitsel[k]), bitsel[k]);
+        const __m256i dot = avx2_popcnt_epi32(_mm256_and_si256(av, bv[k]));
+        acc32 = _mm256_add_epi32(acc32, _mm256_and_si256(dot, sel));
+      }
+    }
+    return scalar_sum + avx2_hsum_epi32(acc32);
+  } else {
+    return masked_pair_dot_body<Dim>(awords, bwords, mwords);
+  }
+}
+
+template <int Dim>
+BITGB_TGT_AVX2 void frontier_row_accum_avx2(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    vidx_t lo, vidx_t hi, const std::uint64_t* frows, std::size_t nfrows,
+    std::uint64_t* acc) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 32) {
+    // 32 batch words per tile block; per-bit OR is already competitive
+    // and the block gather would dominate — keep the scalar walk.
+    frontier_row_accum_body<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
+  } else {
+    constexpr int kGroups = Dim / 4;  // 64-bit lanes per 256-bit register
+    __m256i bitsel[kGroups];
+    for (int g = 0; g < kGroups; ++g) {
+      bitsel[g] = _mm256_set_epi64x(
+          static_cast<long long>(1u << (4 * g + 3)),
+          static_cast<long long>(1u << (4 * g + 2)),
+          static_cast<long long>(1u << (4 * g + 1)),
+          static_cast<long long>(1u << (4 * g + 0)));
+    }
+    for (vidx_t t = lo; t < hi; ++t) {
+      const auto base = static_cast<std::size_t>(colind[t]) *
+                        static_cast<std::size_t>(Dim);
+      const word_t* w = tiles + static_cast<std::size_t>(t) * Dim;
+      if (base + Dim > nfrows) {
+        // Tail tile-column: the frontier block is cut short; set bits
+        // never point past nfrows (B2SR zero-tail invariant), so walk
+        // them scalar.
+        for (int r = 0; r < Dim; ++r) {
+          if (w[r] == 0) continue;
+          for_each_set_bit(w[r], [&](int j) {
+            acc[r] |= frows[base + static_cast<std::size_t>(j)];
+          });
+        }
+        continue;
+      }
+      __m256i fv[kGroups];
+      for (int g = 0; g < kGroups; ++g) {
+        fv[g] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(frows + base + 4 * g));
+      }
+      for (int r = 0; r < Dim; ++r) {
+        if (w[r] == 0) continue;
+        const __m256i wv = _mm256_set1_epi64x(static_cast<long long>(w[r]));
+        __m256i red = _mm256_setzero_si256();
+        for (int g = 0; g < kGroups; ++g) {
+          const __m256i sel = _mm256_cmpeq_epi64(
+              _mm256_and_si256(wv, bitsel[g]), bitsel[g]);
+          red = _mm256_or_si256(red, _mm256_and_si256(fv[g], sel));
+        }
+        acc[r] |= avx2_hor_epi64(red);
+      }
+    }
+  }
+}
+
+#endif  // BITGB_SIMD_X86
+
+}  // namespace
+
+Backend active_backend() {
+  static const Backend b = detect_backend();
+  return b;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kAvx2: return "avx2";
+    case Backend::kSse42: return "sse4.2";
+    case Backend::kScalar: return "scalar";
+  }
+  return "?";
+}
+
+bool vector_backend_available() {
+  return active_backend() != Backend::kScalar;
+}
+
+// ---------------------------------------------------------------------
+// Public dispatchers: one branch on the cached backend per tile-row.
+// ---------------------------------------------------------------------
+
+template <int Dim>
+typename TileTraits<Dim>::word_t bbb_row_or(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi) {
+#if BITGB_SIMD_X86
+  switch (active_backend()) {
+    case Backend::kAvx2:
+      return bbb_row_or_avx2<Dim>(tiles, colind, xwords, lo, hi);
+    case Backend::kSse42:
+      return bbb_row_or_sse<Dim>(tiles, colind, xwords, lo, hi);
+    case Backend::kScalar: break;
+  }
+#endif
+  return bbb_row_or_scalar<Dim>(tiles, colind, xwords, lo, hi);
+}
+
+template <int Dim>
+void bbf_row_accum(const typename TileTraits<Dim>::word_t* tiles,
+                   const vidx_t* colind,
+                   const typename TileTraits<Dim>::word_t* xwords, vidx_t lo,
+                   vidx_t hi, std::int32_t* acc) {
+#if BITGB_SIMD_X86
+  switch (active_backend()) {
+    case Backend::kAvx2:
+      bbf_row_accum_avx2<Dim>(tiles, colind, xwords, lo, hi, acc);
+      return;
+    case Backend::kSse42:
+      bbf_row_accum_sse<Dim>(tiles, colind, xwords, lo, hi, acc);
+      return;
+    case Backend::kScalar: break;
+  }
+#endif
+  bbf_row_accum_scalar<Dim>(tiles, colind, xwords, lo, hi, acc);
+}
+
+template <int Dim>
+void rows_pop_accum(const typename TileTraits<Dim>::word_t* tiles, vidx_t lo,
+                    vidx_t hi, std::int32_t* pop) {
+#if BITGB_SIMD_X86
+  switch (active_backend()) {
+    case Backend::kAvx2: rows_pop_accum_avx2<Dim>(tiles, lo, hi, pop); return;
+    case Backend::kSse42: rows_pop_accum_sse<Dim>(tiles, lo, hi, pop); return;
+    case Backend::kScalar: break;
+  }
+#endif
+  rows_pop_accum_scalar<Dim>(tiles, lo, hi, pop);
+}
+
+template <int Dim>
+std::int64_t masked_pair_dot(const typename TileTraits<Dim>::word_t* awords,
+                             const typename TileTraits<Dim>::word_t* bwords,
+                             const typename TileTraits<Dim>::word_t* mwords) {
+#if BITGB_SIMD_X86
+  switch (active_backend()) {
+    case Backend::kAvx2: return masked_pair_dot_avx2<Dim>(awords, bwords, mwords);
+    case Backend::kSse42: return masked_pair_dot_sse<Dim>(awords, bwords, mwords);
+    case Backend::kScalar: break;
+  }
+#endif
+  return masked_pair_dot_scalar<Dim>(awords, bwords, mwords);
+}
+
+template <int Dim>
+void frontier_row_accum(const typename TileTraits<Dim>::word_t* tiles,
+                        const vidx_t* colind, vidx_t lo, vidx_t hi,
+                        const std::uint64_t* frows, std::size_t nfrows,
+                        std::uint64_t* acc) {
+#if BITGB_SIMD_X86
+  switch (active_backend()) {
+    case Backend::kAvx2:
+      frontier_row_accum_avx2<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
+      return;
+    case Backend::kSse42:
+      frontier_row_accum_sse<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
+      return;
+    case Backend::kScalar: break;
+  }
+#endif
+  frontier_row_accum_scalar<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
+}
+
+#define BITGB_INSTANTIATE_SIMD(Dim)                                           \
+  template TileTraits<Dim>::word_t bbb_row_or<Dim>(                           \
+      const TileTraits<Dim>::word_t*, const vidx_t*,                         \
+      const TileTraits<Dim>::word_t*, vidx_t, vidx_t);                        \
+  template void bbf_row_accum<Dim>(const TileTraits<Dim>::word_t*,            \
+                                   const vidx_t*,                             \
+                                   const TileTraits<Dim>::word_t*, vidx_t,    \
+                                   vidx_t, std::int32_t*);                    \
+  template void rows_pop_accum<Dim>(const TileTraits<Dim>::word_t*, vidx_t,   \
+                                    vidx_t, std::int32_t*);                   \
+  template std::int64_t masked_pair_dot<Dim>(                                 \
+      const TileTraits<Dim>::word_t*, const TileTraits<Dim>::word_t*,         \
+      const TileTraits<Dim>::word_t*);                                        \
+  template void frontier_row_accum<Dim>(const TileTraits<Dim>::word_t*,       \
+                                        const vidx_t*, vidx_t, vidx_t,        \
+                                        const std::uint64_t*, std::size_t,    \
+                                        std::uint64_t*)
+
+BITGB_INSTANTIATE_SIMD(4);
+BITGB_INSTANTIATE_SIMD(8);
+BITGB_INSTANTIATE_SIMD(16);
+BITGB_INSTANTIATE_SIMD(32);
+
+#undef BITGB_INSTANTIATE_SIMD
+
+}  // namespace simd
+}  // namespace bitgb

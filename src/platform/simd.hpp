@@ -1,0 +1,128 @@
+// SIMD multi-tile kernel engine — the CPU analog of the paper's
+// one-warp-per-tile-row mapping (§IV, warp-consolidation model).
+//
+// On the GPU a warp processes a whole B2SR tile per instruction; on the
+// host the same data-level parallelism comes from streaming a tile-row's
+// contiguous tile words through vector registers: 8 B2SR-4 tiles or
+// 4 B2SR-8 tiles per 256-bit AVX2 load, one B2SR-16 tile per load, a
+// quarter B2SR-32 tile per load.  The per-row reductions map onto
+//   * compare-with-zero + movemask for the Boolean OR-AND kernels
+//     (the whole tile-row output word materializes as a mask register),
+//   * byte-lane popcount via the Mula pshufb nibble-LUT approach with
+//     per-row accumulation in integer lanes for the counting kernels,
+//   * bit-to-lane mask expansion + lane-wise OR for the 64-wide
+//     FrontierBatch accumulation.
+//
+// Backend selection is two-staged, as a GPU build is:
+//   * build time: AVX2 and SSE4.2 code paths are compiled whenever the
+//     toolchain supports function target attributes (gcc/clang on
+//     x86-64) and BITGB_SIMD is ON; no -march flag is required, though
+//     -march=native lets the *scalar* paths vectorize too (see
+//     BUILDING.md);
+//   * run time: the first kernel call CPUID-probes the host
+//     (__builtin_cpu_supports) and caches the strongest supported
+//     backend; a machine without AVX2/SSE4.2 silently runs the portable
+//     SWAR/scalar fallback.
+//
+// Every helper is integer-exact (OR / popcount-add are associative and
+// commutative), so each backend is bit-for-bit identical to the scalar
+// kernels — asserted over the oracle corpus by test_simd_parity.
+//
+// Kernel-variant plumbing: kernels take a trailing KernelVariant
+// argument defaulting to kAuto, which resolves through the process-wide
+// variant (set_kernel_variant / ProfileScope) so benchmarks can ablate
+// scalar vs SIMD on identical inputs, and tests can pin either side.
+#pragma once
+
+#include "core/tile_traits.hpp"
+#include "sparse/types.hpp"
+
+#include <cstdint>
+
+namespace bitgb {
+
+/// Which implementation of a hot kernel to run.  kAuto defers to the
+/// process-wide setting (set_kernel_variant, default kSimd); the
+/// explicit values pin one side regardless of the global state.
+enum class KernelVariant { kAuto = 0, kScalar, kSimd };
+
+/// Resolve a requested variant to kScalar or kSimd.  kAuto resolves to
+/// the process-wide variant, which defaults to kSimd (the engine's own
+/// scalar fallback makes that safe on any host) and can be overridden
+/// by set_kernel_variant() or the BITGB_KERNEL_VARIANT environment
+/// variable ("scalar" / "simd", read once at first use).
+[[nodiscard]] KernelVariant resolve_kernel_variant(KernelVariant requested);
+
+/// Set the process-wide variant (kAuto restores the built-in default).
+void set_kernel_variant(KernelVariant v);
+
+/// The currently resolved process-wide variant (never kAuto).
+[[nodiscard]] KernelVariant kernel_variant();
+
+[[nodiscard]] const char* kernel_variant_name(KernelVariant v);
+
+namespace simd {
+
+/// Instruction-set backend of the engine, strongest first.
+enum class Backend { kAvx2, kSse42, kScalar };
+
+/// Runtime-verified backend: the strongest compiled-in backend the host
+/// CPU actually supports (CPUID-checked once, then cached).
+[[nodiscard]] Backend active_backend();
+
+[[nodiscard]] const char* backend_name(Backend b);
+
+/// True when active_backend() is a vector backend (not kScalar).
+[[nodiscard]] bool vector_backend_available();
+
+// ---------------------------------------------------------------------
+// Tile-row inner loops.  All take raw pointers into the B2SR arrays:
+// `tiles` is the contiguous tile-word store (tile t occupies
+// tiles[t*Dim .. t*Dim+Dim)), `colind` the tile-column index array,
+// and [lo, hi) the tile range of one tile-row.  Results are exactly the
+// scalar kernels' (integer-exact reductions).
+// ---------------------------------------------------------------------
+
+/// Boolean pull BMV inner loop: the output word of one tile-row,
+///   out bit r = OR_t ((tiles[t][r] & xwords[colind[t]]) != 0).
+template <int Dim>
+[[nodiscard]] typename TileTraits<Dim>::word_t bbb_row_or(
+    const typename TileTraits<Dim>::word_t* tiles, const vidx_t* colind,
+    const typename TileTraits<Dim>::word_t* xwords, vidx_t lo, vidx_t hi);
+
+/// Counting pull BMV inner loop: acc[r] += popc(tiles[t][r] &
+/// xwords[colind[t]]) over the tile range.
+template <int Dim>
+void bbf_row_accum(const typename TileTraits<Dim>::word_t* tiles,
+                   const vidx_t* colind,
+                   const typename TileTraits<Dim>::word_t* xwords, vidx_t lo,
+                   vidx_t hi, std::int32_t* acc);
+
+/// BMM row-popcount accumulation: pop[r] += popc(tiles[t][r]) over a
+/// contiguous tile range (B's tile-row in bmm_bin_bin_sum).
+template <int Dim>
+void rows_pop_accum(const typename TileTraits<Dim>::word_t* tiles, vidx_t lo,
+                    vidx_t hi, std::int32_t* pop);
+
+/// Masked BMM tile-pair dot: sum over rows r and set bits c of
+/// mwords[r] of popc(awords[r] & bwords[c]) — one aligned (A, B^T, M)
+/// tile triple of bmm_bin_bin_sum_masked.
+template <int Dim>
+[[nodiscard]] std::int64_t masked_pair_dot(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    const typename TileTraits<Dim>::word_t* mwords);
+
+/// FrontierBatch pull accumulation over one tile-row:
+///   acc[r] |= frows[colind[t]*Dim + j] for every set bit (r, j),
+/// where acc holds Dim batch words.  `nfrows` is the frontier row
+/// count; tail tile-columns whose block would read past it take the
+/// scalar per-bit path (set bits never point past nfrows).
+template <int Dim>
+void frontier_row_accum(const typename TileTraits<Dim>::word_t* tiles,
+                        const vidx_t* colind, vidx_t lo, vidx_t hi,
+                        const std::uint64_t* frows, std::size_t nfrows,
+                        std::uint64_t* acc);
+
+}  // namespace simd
+}  // namespace bitgb
