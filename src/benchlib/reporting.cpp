@@ -99,11 +99,13 @@ std::vector<KernelSpeedup> kernel_speedups(
     if (scalar.variant != "scalar" || scalar.ms_per_op <= 0.0) continue;
     for (const auto& simd : records) {
       if (simd.variant != "simd" || simd.kernel != scalar.kernel ||
-          simd.tile_dim != scalar.tile_dim || simd.ms_per_op <= 0.0) {
+          simd.tile_dim != scalar.tile_dim ||
+          simd.threads != scalar.threads || simd.ms_per_op <= 0.0) {
         continue;
       }
       out.push_back(KernelSpeedup{scalar.kernel, scalar.tile_dim,
-                                  scalar.ms_per_op / simd.ms_per_op});
+                                  scalar.ms_per_op / simd.ms_per_op,
+                                  scalar.threads});
       break;
     }
   }
@@ -114,7 +116,9 @@ double geomean_speedup_for_dim(const std::vector<KernelSpeedup>& speedups,
                                int tile_dim) {
   std::vector<double> xs;
   for (const auto& s : speedups) {
-    if (s.tile_dim == tile_dim && s.speedup > 0.0) xs.push_back(s.speedup);
+    if (s.tile_dim == tile_dim && s.threads == 1 && s.speedup > 0.0) {
+      xs.push_back(s.speedup);
+    }
   }
   return geomean(xs);
 }
@@ -127,7 +131,7 @@ void write_kernel_bench_json(const std::string& path,
   if (!f) return;  // best-effort, like write_sweep_csv
   const auto speedups = kernel_speedups(records);
   f << "{\n";
-  f << "  \"schema\": \"bitgb-kernel-bench-v1\",\n";
+  f << "  \"schema\": \"bitgb-kernel-bench-v2\",\n";
   f << "  \"host\": {\"simd_backend\": \"" << simd_backend
     << "\", \"threads\": " << threads << "},\n";
   f << "  \"fixture\": \"" << fixture << "\",\n";
@@ -136,7 +140,8 @@ void write_kernel_bench_json(const std::string& path,
     const auto& r = records[i];
     f << "    {\"kernel\": \"" << r.kernel << "\", \"tile_dim\": "
       << r.tile_dim << ", \"variant\": \"" << r.variant
-      << "\", \"ms_per_op\": " << r.ms_per_op << ", \"gteps\": " << r.gteps
+      << "\", \"threads\": " << r.threads
+      << ", \"ms_per_op\": " << r.ms_per_op << ", \"gteps\": " << r.gteps
       << '}' << (i + 1 < records.size() ? "," : "") << '\n';
   }
   f << "  ],\n";
@@ -144,7 +149,8 @@ void write_kernel_bench_json(const std::string& path,
   for (std::size_t i = 0; i < speedups.size(); ++i) {
     const auto& s = speedups[i];
     f << "    {\"kernel\": \"" << s.kernel << "\", \"tile_dim\": "
-      << s.tile_dim << ", \"speedup\": " << s.speedup << '}'
+      << s.tile_dim << ", \"threads\": " << s.threads
+      << ", \"speedup\": " << s.speedup << '}'
       << (i + 1 < speedups.size() ? "," : "") << '\n';
   }
   f << "  ],\n";
@@ -163,16 +169,17 @@ void write_kernel_bench_json(const std::string& path,
 void print_kernel_bench(std::ostream& os,
                         const std::vector<KernelBenchRecord>& records) {
   os << std::left << std::setw(26) << "kernel" << std::setw(6) << "dim"
-     << std::setw(14) << "variant" << std::right << std::setw(12)
-     << "ms/op" << std::setw(10) << "GTEPS" << "\n";
+     << std::setw(14) << "variant" << std::right << std::setw(9) << "threads"
+     << std::setw(12) << "ms/op" << std::setw(10) << "GTEPS" << "\n";
   for (const auto& r : records) {
     os << std::left << std::setw(26) << r.kernel << std::setw(6) << r.tile_dim
-       << std::setw(14) << r.variant << std::right << std::setw(12)
-       << std::fixed << std::setprecision(4) << r.ms_per_op << std::setw(10)
-       << std::setprecision(3) << r.gteps << "\n";
+       << std::setw(14) << r.variant << std::right << std::setw(9)
+       << r.threads << std::setw(12) << std::fixed << std::setprecision(4)
+       << r.ms_per_op << std::setw(10) << std::setprecision(3) << r.gteps
+       << "\n";
   }
   const auto speedups = kernel_speedups(records);
-  os << "\nsimd over scalar, geomean by tile dim:";
+  os << "\nsimd over scalar, geomean by tile dim (threads=1):";
   for (const int dim : {4, 8, 16, 32}) {
     const double g = geomean_speedup_for_dim(speedups, dim);
     if (g <= 0.0) continue;

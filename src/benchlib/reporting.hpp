@@ -63,11 +63,14 @@ void print_algo_table(std::ostream& os, const std::string& title,
 // ---------------------------------------------------------------------
 //
 // bench_micro_kernels emits a machine-readable record of per-kernel
-// throughput for every (kernel, tile dim, variant) cell so each PR
-// leaves a comparable perf point behind.  Schema ("bitgb-kernel-bench-v1",
-// documented in BUILDING.md): host provenance (SIMD backend, threads,
-// fixture), the raw records, the simd-vs-scalar speedup of every
-// matched pair, and the per-tile-dim geomean of those speedups.
+// throughput for every (kernel, tile dim, variant, threads) cell so
+// each PR leaves a comparable perf point behind.  Schema
+// ("bitgb-kernel-bench-v2", documented in BUILDING.md): host
+// provenance (SIMD backend, hardware threads, fixture), the raw
+// records — each carrying the worker-thread count it ran under — the
+// simd-vs-scalar speedup of every matched pair, and the per-tile-dim
+// geomean of the single-threaded speedups (the trajectory headline,
+// kept thread-independent so it stays comparable with the v1 history).
 
 /// One measured cell of the kernel micro-bench.
 struct KernelBenchRecord {
@@ -76,27 +79,30 @@ struct KernelBenchRecord {
   std::string variant;   ///< "scalar" / "simd" / "csr-baseline"
   double ms_per_op = 0.0;  ///< average wall-clock per kernel call
   double gteps = 0.0;      ///< giga traversed edges (nnz) per second
+  int threads = 1;         ///< worker threads the cell ran under
 };
 
 /// Speedup of the "simd" cell over the "scalar" cell with the same
-/// (kernel, tile_dim); cells without a matched pair are skipped.
+/// (kernel, tile_dim, threads); cells without a matched pair are
+/// skipped.
 struct KernelSpeedup {
   std::string kernel;
   int tile_dim = 0;
   double speedup = 0.0;  ///< scalar ms / simd ms
+  int threads = 1;
 };
 
 [[nodiscard]] std::vector<KernelSpeedup> kernel_speedups(
     const std::vector<KernelBenchRecord>& records);
 
-/// Geometric mean of the speedups recorded for one tile dim (0 when the
-/// dim has none).
+/// Geometric mean of the single-threaded (threads == 1) speedups
+/// recorded for one tile dim (0 when the dim has none).
 [[nodiscard]] double geomean_speedup_for_dim(
     const std::vector<KernelSpeedup>& speedups, int tile_dim);
 
-/// Write the v1 JSON document.  `simd_backend` / `threads` / `fixture`
-/// are provenance; speedups and per-dim geomeans are derived here so
-/// every emitter agrees on the math.
+/// Write the v2 JSON document.  `simd_backend` / `threads` (the host's
+/// hardware width) / `fixture` are provenance; speedups and per-dim
+/// geomeans are derived here so every emitter agrees on the math.
 void write_kernel_bench_json(const std::string& path,
                              const std::string& simd_backend, int threads,
                              const std::string& fixture,

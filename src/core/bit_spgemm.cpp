@@ -1,9 +1,11 @@
 #include "core/bit_spgemm.hpp"
 
 #include "platform/parallel.hpp"
+#include "platform/simd.hpp"
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -35,10 +37,214 @@ TileSpa<Dim>& tls_tile_spa() {
   return spa;
 }
 
+/// One (A, B) tile pair accumulated into the SPA slot:
+///   cacc[r] |= OR_{t set in awords[r]} bwords[t].
+/// For dims 4/8 the whole B tile fits one machine word, so the row OR
+/// selects shifted byte lanes from a register instead of re-loading
+/// bwords[t] per set bit.
+template <int Dim>
+[[gnu::always_inline]] inline void accumulate_tile_pair(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    typename TileTraits<Dim>::word_t* cacc) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 8) {
+    std::uint64_t btile;
+    std::memcpy(&btile, bwords, sizeof btile);
+    if (btile == 0) return;
+    for (int r = 0; r < Dim; ++r) {
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      word_t crow = cacc[r];
+      for_each_set_bit(arow, [&](int t) {
+        crow = static_cast<word_t>(crow | ((btile >> (8 * t)) & 0xFF));
+      });
+      cacc[r] = crow;
+    }
+  } else if constexpr (Dim == 4) {
+    std::uint32_t btile;
+    std::memcpy(&btile, bwords, sizeof btile);
+    if (btile == 0) return;
+    for (int r = 0; r < Dim; ++r) {
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      word_t crow = cacc[r];
+      for_each_set_bit(arow, [&](int t) {
+        crow = static_cast<word_t>(crow | ((btile >> (8 * t)) & 0x0F));
+      });
+      cacc[r] = crow;
+    }
+  } else {
+    for (int r = 0; r < Dim; ++r) {
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      word_t crow = cacc[r];
+      for_each_set_bit(arow, [&](int t) {
+        crow = static_cast<word_t>(crow | bwords[static_cast<std::size_t>(t)]);
+      });
+      cacc[r] = crow;
+    }
+  }
+}
+
+/// True when the Dim accumulator words of one drained tile are all
+/// zero (every product annihilated) — word-OR reduction, whole-tile
+/// loads for the small dims.
+template <int Dim>
+[[gnu::always_inline]] inline bool tile_is_zero(
+    const typename TileTraits<Dim>::word_t* words) {
+  if constexpr (Dim == 8) {
+    std::uint64_t v;
+    std::memcpy(&v, words, sizeof v);
+    return v == 0;
+  } else if constexpr (Dim == 4) {
+    std::uint32_t v;
+    std::memcpy(&v, words, sizeof v);
+    return v == 0;
+  } else {
+    typename TileTraits<Dim>::word_t any = 0;
+    for (int r = 0; r < Dim; ++r) any |= words[r];
+    return any == 0;
+  }
+}
+
 }  // namespace
 
 template <int Dim>
-B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b) {
+B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
+                      KernelVariant variant) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  assert(a.ncols == b.nrows);
+  const bool use_simd =
+      resolve_kernel_variant(variant, HotKernel::kSpgemmAccum, Dim) ==
+      KernelVariant::kSimd;
+
+  const vidx_t ntr = a.n_tile_rows();
+  const vidx_t ntc = b.n_tile_cols();
+  const vidx_t* a_rowptr = a.tile_rowptr.data();
+  const vidx_t* a_colind = a.tile_colind.data();
+  const word_t* a_tiles = a.bits.data();
+  const vidx_t* b_rowptr = b.tile_rowptr.data();
+  const vidx_t* b_colind = b.tile_colind.data();
+  const word_t* b_tiles = b.bits.data();
+
+  // Phase 1 (symbolic): structural upper bound of output tiles per
+  // tile-row — marks only, no bit work.  Tiles that annihilate
+  // numerically are compacted away after the fill.
+  std::vector<vidx_t> upper(static_cast<std::size_t>(ntr), 0);
+  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+    const vidx_t alo = a_rowptr[tr];
+    const vidx_t ahi = a_rowptr[tr + 1];
+    if (alo == ahi) return;  // empty A tile-row: no output
+    auto& spa = tls_tile_spa<Dim>();
+    spa.ensure(ntc);
+    const int g = ++spa.gen;
+    vidx_t count = 0;
+    for (vidx_t ta = alo; ta < ahi; ++ta) {
+      const vidx_t k = a_colind[ta];
+      const vidx_t blo = b_rowptr[k];
+      const vidx_t bhi = b_rowptr[k + 1];
+      for (vidx_t tb = blo; tb < bhi; ++tb) {
+        const auto j = static_cast<std::size_t>(b_colind[tb]);
+        if (spa.mark[j] != g) {
+          spa.mark[j] = g;
+          ++count;
+        }
+      }
+    }
+    upper[static_cast<std::size_t>(tr)] = count;
+  });
+
+  std::vector<vidx_t> offs(static_cast<std::size_t>(ntr) + 1);
+  parallel_exclusive_scan(upper.data(), upper.size(), offs.data());
+  const vidx_t ub_total = offs.back();
+
+  B2srT<Dim> c;
+  c.nrows = a.nrows;
+  c.ncols = b.ncols;
+  c.tile_colind.resize(static_cast<std::size_t>(ub_total));
+  c.bits.assign(static_cast<std::size_t>(ub_total) * Dim, word_t{0});
+  std::vector<vidx_t> actual(static_cast<std::size_t>(ntr), 0);
+
+  // Phase 2 (numeric): Gustavson over tiles into the SPA, then drain
+  // the touched tiles — sorted, annihilated tiles skipped — straight
+  // into this tile-row's pre-sized slot range.
+  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+    const vidx_t alo = a_rowptr[tr];
+    const vidx_t ahi = a_rowptr[tr + 1];
+    if (alo == ahi) return;
+    auto& spa = tls_tile_spa<Dim>();
+    spa.ensure(ntc);
+    const int g = ++spa.gen;
+    spa.touched.clear();
+    for (vidx_t ta = alo; ta < ahi; ++ta) {
+      const vidx_t k = a_colind[ta];
+      const word_t* awords = a_tiles + static_cast<std::size_t>(ta) * Dim;
+      const vidx_t blo = b_rowptr[k];
+      const vidx_t bhi = b_rowptr[k + 1];
+      for (vidx_t tb = blo; tb < bhi; ++tb) {
+        const vidx_t j = b_colind[tb];
+        const auto ji = static_cast<std::size_t>(j);
+        if (spa.mark[ji] != g) {
+          spa.mark[ji] = g;
+          std::fill_n(spa.acc.begin() + static_cast<std::ptrdiff_t>(ji) * Dim,
+                      Dim, word_t{0});
+          spa.touched.push_back(j);
+        }
+        if (use_simd) {
+          simd::spgemm_tile_accum<Dim>(
+              awords, b_tiles + static_cast<std::size_t>(tb) * Dim,
+              spa.acc.data() + ji * Dim);
+        } else {
+          accumulate_tile_pair<Dim>(
+              awords, b_tiles + static_cast<std::size_t>(tb) * Dim,
+              spa.acc.data() + ji * Dim);
+        }
+      }
+    }
+
+    std::sort(spa.touched.begin(), spa.touched.end());
+    const auto base = static_cast<std::size_t>(offs[static_cast<std::size_t>(tr)]);
+    std::size_t out = 0;
+    for (const vidx_t j : spa.touched) {
+      const word_t* cacc = spa.acc.data() + static_cast<std::size_t>(j) * Dim;
+      if (tile_is_zero<Dim>(cacc)) continue;  // all products annihilated
+      c.tile_colind[base + out] = j;
+      std::memcpy(c.bits.data() + (base + out) * Dim, cacc,
+                  sizeof(word_t) * Dim);
+      ++out;
+    }
+    actual[static_cast<std::size_t>(tr)] = static_cast<vidx_t>(out);
+  });
+
+  // Phase 3: final tile_rowptr and left-compaction of the rows whose
+  // annihilated tiles left gaps.  Each row's destination range lies
+  // strictly below every later row's source range, so the per-row
+  // moves are independent.
+  c.tile_rowptr.resize(static_cast<std::size_t>(ntr) + 1);
+  parallel_exclusive_scan(actual.data(), actual.size(), c.tile_rowptr.data());
+  const vidx_t total = c.tile_rowptr.back();
+  if (total != ub_total) {
+    parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+      const auto src = static_cast<std::size_t>(offs[static_cast<std::size_t>(tr)]);
+      const auto dst =
+          static_cast<std::size_t>(c.tile_rowptr[static_cast<std::size_t>(tr)]);
+      const auto n = static_cast<std::size_t>(actual[static_cast<std::size_t>(tr)]);
+      if (n == 0 || src == dst) return;
+      std::copy_n(c.tile_colind.begin() + static_cast<std::ptrdiff_t>(src), n,
+                  c.tile_colind.begin() + static_cast<std::ptrdiff_t>(dst));
+      std::copy_n(c.bits.begin() + static_cast<std::ptrdiff_t>(src * Dim),
+                  n * Dim,
+                  c.bits.begin() + static_cast<std::ptrdiff_t>(dst * Dim));
+    });
+  }
+  c.tile_colind.resize(static_cast<std::size_t>(total));
+  c.bits.resize(static_cast<std::size_t>(total) * Dim);
+  return c;
+}
+
+template <int Dim>
+B2srT<Dim> bit_spgemm_reference(const B2srT<Dim>& a, const B2srT<Dim>& b) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(a.ncols == b.nrows);
 
@@ -128,9 +334,17 @@ B2srAny bit_spgemm_any(const B2srAny& a, const B2srAny& b) {
   });
 }
 
-template B2srT<4> bit_spgemm<4>(const B2srT<4>&, const B2srT<4>&);
-template B2srT<8> bit_spgemm<8>(const B2srT<8>&, const B2srT<8>&);
-template B2srT<16> bit_spgemm<16>(const B2srT<16>&, const B2srT<16>&);
-template B2srT<32> bit_spgemm<32>(const B2srT<32>&, const B2srT<32>&);
+#define BITGB_INSTANTIATE_SPGEMM(Dim)                                     \
+  template B2srT<Dim> bit_spgemm<Dim>(const B2srT<Dim>&,                  \
+                                      const B2srT<Dim>&, KernelVariant);  \
+  template B2srT<Dim> bit_spgemm_reference<Dim>(const B2srT<Dim>&,        \
+                                                const B2srT<Dim>&)
+
+BITGB_INSTANTIATE_SPGEMM(4);
+BITGB_INSTANTIATE_SPGEMM(8);
+BITGB_INSTANTIATE_SPGEMM(16);
+BITGB_INSTANTIATE_SPGEMM(32);
+
+#undef BITGB_INSTANTIATE_SPGEMM
 
 }  // namespace bitgb

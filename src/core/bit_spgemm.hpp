@@ -10,11 +10,28 @@
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/simd.hpp"
 
 namespace bitgb {
 
+/// Two-phase flat-output product: a symbolic pass sizes each tile-row
+/// (structural upper bound), the numeric pass fills pre-sized
+/// tile_rowptr/colind/words arrays straight from the generation-marked
+/// tile SPA — the tile-pair accumulate runs through the SIMD engine's
+/// spgemm_tile_accum behind the usual scalar/simd/auto dispatch — and
+/// a final compaction drops the rare all-annihilated tiles (a stored B
+/// tile can have zero rows, so a structurally reachable output tile
+/// can still come out empty).
 template <int Dim>
-[[nodiscard]] B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b);
+[[nodiscard]] B2srT<Dim> bit_spgemm(
+    const B2srT<Dim>& a, const B2srT<Dim>& b,
+    KernelVariant variant = KernelVariant::kAuto);
+
+/// The pre-rewrite implementation (per-tile-row vector-of-vectors
+/// staging), kept as the differential oracle for test_pack_pipeline.
+template <int Dim>
+[[nodiscard]] B2srT<Dim> bit_spgemm_reference(const B2srT<Dim>& a,
+                                              const B2srT<Dim>& b);
 
 /// Runtime-dim dispatch (both operands must hold the same tile dim).
 [[nodiscard]] B2srAny bit_spgemm_any(const B2srAny& a, const B2srAny& b);

@@ -14,7 +14,8 @@ std::int64_t bmm_bin_bin_sum(const B2srT<Dim>& a, const B2srT<Dim>& b,
   using word_t = typename TileTraits<Dim>::word_t;
   assert(a.ncols == b.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+      resolve_kernel_variant(variant, HotKernel::kBmmBinBinSum, Dim) ==
+      KernelVariant::kSimd;
   const vidx_t* a_rowptr = a.tile_rowptr.data();
   const vidx_t* a_colind = a.tile_colind.data();
   const word_t* a_tiles = a.bits.data();
@@ -24,11 +25,13 @@ std::int64_t bmm_bin_bin_sum(const B2srT<Dim>& a, const B2srT<Dim>& b,
   // allocated per call: integer addition commutes, so the reduction
   // order is irrelevant and the result stays deterministic.
   std::atomic<std::int64_t> total{0};
+  std::atomic<std::int64_t>* totalp = &total;
   // Gustavson over tiles: for A tile (i,k), walk B's tile-row k.  The
   // contribution of the pair to the total is
   //   sum_r sum_{t set in Arow_r} popc(Brow_t)
   // == the register reduction of Listing 2 folded into the sum.
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+  // Value captures only (see parallel.hpp on closure escape).
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t alo = a_rowptr[tr];
     const vidx_t ahi = a_rowptr[tr + 1];
     if (alo == ahi) return;
@@ -55,7 +58,7 @@ std::int64_t bmm_bin_bin_sum(const B2srT<Dim>& a, const B2srT<Dim>& b,
         for_each_set_bit(w, [&](int t) { sum += brow_pop[t]; });
       }
     }
-    total.fetch_add(sum, std::memory_order_relaxed);
+    totalp->fetch_add(sum, std::memory_order_relaxed);
   });
   return total.load(std::memory_order_relaxed);
 }
@@ -69,7 +72,8 @@ std::int64_t bmm_bin_bin_sum_masked(const B2srT<Dim>& a, const B2srT<Dim>& b,
   assert(mask.nrows == a.nrows);
   assert(mask.ncols == b.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+      resolve_kernel_variant(variant, HotKernel::kBmmBinBinSumMasked, Dim) ==
+      KernelVariant::kSimd;
   const vidx_t* a_rowptr = a.tile_rowptr.data();
   const vidx_t* a_colind = a.tile_colind.data();
   const word_t* a_tiles = a.bits.data();
@@ -80,7 +84,8 @@ std::int64_t bmm_bin_bin_sum_masked(const B2srT<Dim>& a, const B2srT<Dim>& b,
   const vidx_t* m_colind = mask.tile_colind.data();
   const word_t* m_tiles = mask.bits.data();
   std::atomic<std::int64_t> total{0};
-  parallel_for(vidx_t{0}, mask.n_tile_rows(), [&](vidx_t tr) {
+  std::atomic<std::int64_t>* totalp = &total;
+  parallel_for(vidx_t{0}, mask.n_tile_rows(), [=](vidx_t tr) {
     // Empty-tile-row early-outs: no mask tiles or no A tiles in this
     // tile-row means no (i, j) pair can contribute.
     const vidx_t mlo = m_rowptr[tr];
@@ -131,7 +136,7 @@ std::int64_t bmm_bin_bin_sum_masked(const B2srT<Dim>& a, const B2srT<Dim>& b,
         }
       }
     }
-    total.fetch_add(sum, std::memory_order_relaxed);
+    totalp->fetch_add(sum, std::memory_order_relaxed);
   });
   return total.load(std::memory_order_relaxed);
 }

@@ -11,12 +11,17 @@ void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
   assert(x.n == a.ncols);
   y.resize(a.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+      resolve_kernel_variant(variant, HotKernel::kBmvBinBinBin, Dim) ==
+      KernelVariant::kSimd;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
   const word_t* tiles = a.bits.data();
   const word_t* xw = x.words.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+  word_t* yw = y.words.data();
+  // Value captures only: a by-reference capture would tie the lambda to
+  // the caller's stack and force the serial path's loads through memory
+  // (see parallel.hpp on closure escape).
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -33,7 +38,7 @@ void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
         }
       }
     }
-    y.words[static_cast<std::size_t>(tr)] = out;
+    yw[static_cast<std::size_t>(tr)] = out;
   });
 }
 
@@ -46,12 +51,15 @@ void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
   assert(mask.n == a.nrows);
   y.resize(a.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+      resolve_kernel_variant(variant, HotKernel::kBmvBinBinBinMasked, Dim) ==
+      KernelVariant::kSimd;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
   const word_t* tiles = a.bits.data();
   const word_t* xw = x.words.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+  const word_t* mw = mask.words.data();
+  word_t* yw = y.words.data();
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -70,9 +78,9 @@ void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
     }
     // Paper §V: no early exit (it would diverge the warp); instead the
     // bitmask is AND-ed right before the output store.
-    word_t mword = mask.words[static_cast<std::size_t>(tr)];
+    word_t mword = mw[static_cast<std::size_t>(tr)];
     if (complement) mword = static_cast<word_t>(~mword);
-    y.words[static_cast<std::size_t>(tr)] = static_cast<word_t>(out & mword);
+    yw[static_cast<std::size_t>(tr)] = static_cast<word_t>(out & mword);
   });
   // Clamp tail bits beyond nrows (complemented masks set them).
   if (a.nrows % Dim != 0 && !y.words.empty()) {
@@ -94,8 +102,11 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
   const word_t* tiles = a.bits.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
-    const word_t fw = x.words[static_cast<std::size_t>(tr)];
+  const word_t* fx = x.words.data();
+  const word_t* mw = mask.words.data();
+  word_t* yw = y.words.data();
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+    const word_t fw = fx[static_cast<std::size_t>(tr)];
     if (fw == 0) return;  // no frontier vertex in this tile-row
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
@@ -107,10 +118,10 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
       });
       if (out == 0) continue;
       const auto j = static_cast<std::size_t>(colind[t]);
-      word_t mword = mask.words[j];
+      word_t mword = mw[j];
       if (complement) mword = static_cast<word_t>(~mword);
       out = static_cast<word_t>(out & mword);
-      if (out != 0) atomic_or_word(&y.words[j], out);
+      if (out != 0) atomic_or_word(&yw[j], out);
     }
   });
   // Clamp tail bits beyond ncols (complemented masks set them).
@@ -176,12 +187,15 @@ void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
   assert(x.n == a.ncols);
   y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
   const bool use_simd =
-      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+      resolve_kernel_variant(variant, HotKernel::kBmvBinBinFull, Dim) ==
+      KernelVariant::kSimd;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
   const word_t* tiles = a.bits.data();
   const word_t* xw = x.words.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+  value_t* yp = y.data();
+  const vidx_t nrows = a.nrows;
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -200,9 +214,9 @@ void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
       }
     }
     const vidx_t r0 = tr * Dim;
-    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    const vidx_t rend = std::min<vidx_t>(nrows, r0 + Dim);
     for (vidx_t r = r0; r < rend; ++r) {
-      y[static_cast<std::size_t>(r)] = static_cast<value_t>(acc[r - r0]);
+      yp[static_cast<std::size_t>(r)] = static_cast<value_t>(acc[r - r0]);
     }
   });
 }
@@ -216,12 +230,16 @@ void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
   assert(mask.n == a.nrows);
   assert(static_cast<vidx_t>(y.size()) == a.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+      resolve_kernel_variant(variant, HotKernel::kBmvBinBinFullMasked, Dim) ==
+      KernelVariant::kSimd;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
   const word_t* tiles = a.bits.data();
   const word_t* xw = x.words.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+  const word_t* mw = mask.words.data();
+  value_t* yp = y.data();
+  const vidx_t nrows = a.nrows;
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -238,13 +256,13 @@ void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
         }
       }
     }
-    word_t mword = mask.words[static_cast<std::size_t>(tr)];
+    word_t mword = mw[static_cast<std::size_t>(tr)];
     if (complement) mword = static_cast<word_t>(~mword);
     const vidx_t r0 = tr * Dim;
-    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    const vidx_t rend = std::min<vidx_t>(nrows, r0 + Dim);
     for (vidx_t r = r0; r < rend; ++r) {
       if (get_bit(mword, static_cast<int>(r - r0)) != 0) {
-        y[static_cast<std::size_t>(r)] = static_cast<value_t>(acc[r - r0]);
+        yp[static_cast<std::size_t>(r)] = static_cast<value_t>(acc[r - r0]);
       }
     }
   });

@@ -129,30 +129,35 @@ void bmv_bin_full_full(const B2srT<Dim>& a, const std::vector<value_t>& x,
                        std::vector<value_t>& y, Op = Op{}) {
   assert(static_cast<vidx_t>(x.size()) == a.ncols);
   y.assign(static_cast<std::size_t>(a.nrows), Op::identity);
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+  const B2srT<Dim>* ap = &a;
+  const value_t* xp_base = x.data();
+  value_t* yp = y.data();
+  const vidx_t nrows = a.nrows;
+  // The rightmost tile column may extend past ncols; it must take the
+  // bit-walking path (its words' tail bits are zero, but the dense
+  // path loads all Dim x elements unconditionally).
+  const vidx_t full_cols = a.ncols / Dim;
+  // Value captures only (see parallel.hpp on closure escape).
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+    const auto lo = ap->tile_rowptr[static_cast<std::size_t>(tr)];
+    const auto hi = ap->tile_rowptr[static_cast<std::size_t>(tr) + 1];
     if (lo == hi) return;
     value_t acc[Dim];
     for (int r = 0; r < Dim; ++r) acc[r] = Op::identity;
-    // The rightmost tile column may extend past ncols; it must take the
-    // bit-walking path (its words' tail bits are zero, but the dense
-    // path loads all Dim x elements unconditionally).
-    const vidx_t full_cols = a.ncols / Dim;
     for (vidx_t t = lo; t < hi; ++t) {
-      const vidx_t tc = a.tile_colind[static_cast<std::size_t>(t)];
-      const value_t* xp = x.data() + static_cast<std::size_t>(tc) * Dim;
+      const vidx_t tc = ap->tile_colind[static_cast<std::size_t>(t)];
+      const value_t* xp = xp_base + static_cast<std::size_t>(tc) * Dim;
       const bool allow_dense = tc < full_cols;
-      const auto words = a.tile(t);
+      const auto words = ap->tile(t);
       for (int r = 0; r < Dim; ++r) {
         fold_bit_row<Dim, Op>(words[static_cast<std::size_t>(r)], xp,
                               allow_dense, acc[r]);
       }
     }
     const vidx_t r0 = tr * Dim;
-    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    const vidx_t rend = std::min<vidx_t>(nrows, r0 + Dim);
     for (vidx_t r = r0; r < rend; ++r) {
-      y[static_cast<std::size_t>(r)] = acc[r - r0];
+      yp[static_cast<std::size_t>(r)] = acc[r - r0];
     }
   });
 }

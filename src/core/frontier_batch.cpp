@@ -85,18 +85,25 @@ void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
   assert(f.n == a.ncols);
   next.resize(a.nrows, f.batch);
   const bool use_simd =
-      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+      resolve_kernel_variant(variant, HotKernel::kFrontierPull, Dim) ==
+      KernelVariant::kSimd;
   const FrontierBatch::word_t lanes = f.lane_mask();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+  // Value captures only (see parallel.hpp on closure escape).
+  const B2srT<Dim>* ap = &a;
+  const FrontierBatch* fp = &f;
+  FrontierBatch::word_t* next_rows = next.rows.data();
+  const vidx_t nrows = a.nrows;
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+    const auto lo = rowptr[tr];
+    const auto hi = rowptr[tr + 1];
     if (lo == hi) return;
     FrontierBatch::word_t acc[Dim] = {};
-    accumulate_tile_row<Dim>(a, f, tr, use_simd, acc);
+    accumulate_tile_row<Dim>(*ap, *fp, tr, use_simd, acc);
     const vidx_t r0 = tr * Dim;
-    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    const vidx_t rend = std::min<vidx_t>(nrows, r0 + Dim);
     for (vidx_t r = r0; r < rend; ++r) {
-      next.rows[static_cast<std::size_t>(r)] = acc[r - r0] & lanes;
+      next_rows[static_cast<std::size_t>(r)] = acc[r - r0] & lanes;
     }
   });
 }
@@ -110,22 +117,29 @@ void bmm_frontier_masked(const B2srT<Dim>& a, const FrontierBatch& f,
   assert(mask.batch == f.batch);
   next.resize(a.nrows, f.batch);
   const bool use_simd =
-      resolve_kernel_variant(variant) == KernelVariant::kSimd;
+      resolve_kernel_variant(variant, HotKernel::kFrontierPullMasked, Dim) ==
+      KernelVariant::kSimd;
   const FrontierBatch::word_t lanes = f.lane_mask();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
-    const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
-    const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
+  const B2srT<Dim>* ap = &a;
+  const FrontierBatch* fp = &f;
+  const FrontierBatch::word_t* mask_rows = mask.rows.data();
+  FrontierBatch::word_t* next_rows = next.rows.data();
+  const vidx_t nrows = a.nrows;
+  const vidx_t* rowptr = a.tile_rowptr.data();
+  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+    const auto lo = rowptr[tr];
+    const auto hi = rowptr[tr + 1];
     if (lo == hi) return;
     FrontierBatch::word_t acc[Dim] = {};
-    accumulate_tile_row<Dim>(a, f, tr, use_simd, acc);
+    accumulate_tile_row<Dim>(*ap, *fp, tr, use_simd, acc);
     const vidx_t r0 = tr * Dim;
-    const vidx_t rend = std::min<vidx_t>(a.nrows, r0 + Dim);
+    const vidx_t rend = std::min<vidx_t>(nrows, r0 + Dim);
     for (vidx_t r = r0; r < rend; ++r) {
       // §V masking lifted to the batch: AND right before the store; the
       // lane mask clamps the tail lanes a complemented mask turns on.
-      FrontierBatch::word_t mword = mask.rows[static_cast<std::size_t>(r)];
+      FrontierBatch::word_t mword = mask_rows[static_cast<std::size_t>(r)];
       if (complement) mword = ~mword;
-      next.rows[static_cast<std::size_t>(r)] = acc[r - r0] & mword & lanes;
+      next_rows[static_cast<std::size_t>(r)] = acc[r - r0] & mword & lanes;
     }
   });
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/simd.hpp"
 #include "sparse/csr.hpp"
 
 #include <cstdint>
@@ -17,17 +18,33 @@
 namespace bitgb {
 
 /// Number of non-empty dim x dim tiles of `a` — the
-/// cusparseXcsr2bsrNnz() substitute.  Cheap (no tile materialization);
-/// the storage statistics (stats.hpp) and Figure 3 trends build on it.
+/// cusparseXcsr2bsrNnz() substitute.  No tiles are materialized and no
+/// bits are packed; the count shares the pack pipeline's run index
+/// (one transient O(nnz) array of tile columns) and its tile-row
+/// merge, so count_nonempty_tiles and pack_from_csr can never
+/// disagree.  The storage statistics (stats.hpp) and Figure 3 trends
+/// build on it.
 [[nodiscard]] vidx_t count_nonempty_tiles(const Csr& a, int dim);
 
 /// Pack a CSR matrix (pattern; values, if any, are ignored — a nonzero
-/// is a 1) into B2SR with the given tile dim.
+/// is a 1) into B2SR with the given tile dim.  Fused count+fill over a
+/// k-way tile-column merge (CSR's sorted columns make each row's tile
+/// sequence pre-sorted); the bit scatter runs through the SIMD engine
+/// behind the usual scalar/simd/auto variant dispatch.
 template <int Dim>
-[[nodiscard]] B2srT<Dim> pack_from_csr(const Csr& a);
+[[nodiscard]] B2srT<Dim> pack_from_csr(
+    const Csr& a, KernelVariant variant = KernelVariant::kAuto);
+
+/// The pre-rewrite packer (per-nonzero sort+unique walk plus
+/// binary-search scatter), kept as the differential oracle: the
+/// rewritten pipeline must be bit-for-bit identical to this
+/// (test_pack_pipeline) and the conversion bench ablates the two.
+template <int Dim>
+[[nodiscard]] B2srT<Dim> pack_from_csr_reference(const Csr& a);
 
 /// Runtime-dim packing.
-[[nodiscard]] B2srAny pack_any(const Csr& a, int dim);
+[[nodiscard]] B2srAny pack_any(const Csr& a, int dim,
+                               KernelVariant variant = KernelVariant::kAuto);
 
 /// Unpack back to a binary CSR (sorted columns).  Round-trips exactly:
 /// unpack(pack(a)) has the same pattern as a.

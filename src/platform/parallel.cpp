@@ -1,19 +1,158 @@
 #include "platform/parallel.hpp"
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace bitgb {
 
 namespace {
-// The kernels allocate plain float/uint32 buffers (to keep the data
-// layout byte-identical to the GPU original); atomic RMW on them is done
-// through std::atomic_ref semantics emulated with compare_exchange on an
-// atomic view.  C++20 guarantees std::atomic_ref<float> is lock-free on
-// this platform's 32-bit cells.
+
+int initial_width() noexcept {
+  if (const char* e = std::getenv("BITGB_THREADS")) {
+    const int n = std::atoi(e);
+    if (n > 0) return n;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+std::atomic<int>& width_state() noexcept {
+  static std::atomic<int> w{initial_width()};
+  return w;
+}
+
+thread_local bool t_in_pool_work = false;
+
+/// Lazily-spawned worker pool.  One job runs at a time (parallel_for is
+/// never nested — in_parallel_region() degrades nested calls to serial);
+/// participants — the calling thread plus the first width-1 workers —
+/// steal fixed-size chunks off a shared atomic cursor until the range
+/// is drained.
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  void run(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+           void (*body)(const void*, std::int64_t, std::int64_t),
+           const void* ctx, int width) {
+    const std::lock_guard<std::mutex> job_lock(job_mutex_);
+    const int helpers =
+        static_cast<int>(std::min<std::int64_t>(width - 1, (end - begin)));
+    ensure_workers(helpers);
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      body_ = body;
+      ctx_ = ctx;
+      end_ = end;
+      chunk_ = chunk < 1 ? 1 : chunk;
+      next_.store(begin, std::memory_order_relaxed);
+      participants_ = std::min(helpers, static_cast<int>(workers_.size()));
+      busy_ = participants_;
+      ++generation_;
+    }
+    cv_.notify_all();
+    t_in_pool_work = true;
+    work();
+    t_in_pool_work = false;
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [&] { return busy_ == 0; });
+  }
+
+ private:
+  WorkerPool() = default;
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void ensure_workers(int target) {
+    while (static_cast<int>(workers_.size()) < target) {
+      const int index = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, index] { worker_loop(index); });
+    }
+  }
+
+  void work() {
+    for (;;) {
+      const std::int64_t lo =
+          next_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (lo >= end_) return;
+      body_(ctx_, lo, std::min(end_, lo + chunk_));
+    }
+  }
+
+  void worker_loop(int index) {
+    t_in_pool_work = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        if (index >= participants_) continue;  // not part of this job
+      }
+      work();
+      {
+        const std::lock_guard<std::mutex> lk(m_);
+        if (--busy_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex job_mutex_;  ///< serializes whole jobs
+  std::mutex m_;          ///< guards the job fields below
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  void (*body_)(const void*, std::int64_t, std::int64_t) = nullptr;
+  const void* ctx_ = nullptr;
+  std::int64_t end_ = 0;
+  std::int64_t chunk_ = 1;
+  std::atomic<std::int64_t> next_{0};
+  std::uint64_t generation_ = 0;
+  int participants_ = 0;
+  int busy_ = 0;
+  bool stop_ = false;
+};
+
 std::atomic<std::uint32_t>& as_atomic_u32(std::uint32_t* p) noexcept {
   return *reinterpret_cast<std::atomic<std::uint32_t>*>(p);
 }
+
 }  // namespace
+
+int max_threads() noexcept {
+  return width_state().load(std::memory_order_relaxed);
+}
+
+void set_threads(int n) noexcept {
+  if (n > 0) width_state().store(n, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+bool in_parallel_region() noexcept { return t_in_pool_work; }
+
+void pool_run(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+              void (*body)(const void*, std::int64_t, std::int64_t),
+              const void* ctx) {
+  WorkerPool::instance().run(begin, end, chunk, body, ctx, max_threads());
+}
+
+}  // namespace detail
 
 void atomic_min_float(float* cell, float v) noexcept {
   std::atomic_ref<float> ref(*cell);

@@ -22,6 +22,7 @@
 #include "platform/simd.hpp"
 
 #include <atomic>
+#include <bit>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -44,8 +45,9 @@ KernelVariant builtin_default_variant() {
     if (s == "scalar") return KernelVariant::kScalar;
     if (s == "simd") return KernelVariant::kSimd;
   }
-  // kSimd is always safe: the engine's own fallback is scalar-exact.
-  return KernelVariant::kSimd;
+  // kAuto = defer to the per-(kernel, dim) preference table.  Both
+  // sides of the table are scalar-exact, so any resolution is safe.
+  return KernelVariant::kAuto;
 }
 
 std::atomic<KernelVariant>& variant_state() {
@@ -65,8 +67,59 @@ void set_kernel_variant(KernelVariant v) {
                         std::memory_order_relaxed);
 }
 
+KernelVariant preferred_variant(HotKernel k, int dim) {
+#if defined(__AVX2__)
+  // The scalar bodies of this translation-unit's callers were compiled
+  // under a wide ISA (-march=...), so the compiler auto-vectorizes
+  // them; the committed BENCH_kernels.json shows them beating the
+  // hand-written engine in these cells (dense per-tile reductions where
+  // the compiler emits full-width popcount code).  Everything else
+  // still prefers the engine.
+  switch (k) {
+    case HotKernel::kBmvBinBinBin:
+    case HotKernel::kBmvBinBinBinMasked:
+      return dim >= 32 ? KernelVariant::kScalar : KernelVariant::kSimd;
+    case HotKernel::kBmvBinBinFull:
+    case HotKernel::kBmvBinBinFullMasked:
+      // The counting per-tile reduction auto-vectorizes outright (the
+      // escape-free serial loops popcount at full width); the baseline
+      // records the scalar side winning at every dim.
+      return KernelVariant::kScalar;
+    case HotKernel::kBmmBinBinSum:
+      // Near-ties throughout; dims 8/32 record the auto-vectorized
+      // scalar ahead, dims 4/16 the engine.
+      return (dim == 8 || dim == 32) ? KernelVariant::kScalar
+                                     : KernelVariant::kSimd;
+    case HotKernel::kBmmBinBinSumMasked:
+    case HotKernel::kFrontierPull:
+    case HotKernel::kFrontierPullMasked:
+    case HotKernel::kPackScatter:
+    case HotKernel::kSpgemmAccum:
+      return KernelVariant::kSimd;
+  }
+  return KernelVariant::kSimd;
+#else
+  // Default build: only the CPUID-dispatched engine paths emit vector
+  // code at all, and the engine wins every recorded cell.
+  (void)k;
+  (void)dim;
+  return KernelVariant::kSimd;
+#endif
+}
+
 KernelVariant resolve_kernel_variant(KernelVariant requested) {
-  return requested == KernelVariant::kAuto ? kernel_variant() : requested;
+  if (requested != KernelVariant::kAuto) return requested;
+  const KernelVariant process = kernel_variant();
+  // No kernel context: an unpinned process keeps the historical
+  // blanket-kSimd default.
+  return process == KernelVariant::kAuto ? KernelVariant::kSimd : process;
+}
+
+KernelVariant resolve_kernel_variant(KernelVariant requested, HotKernel k,
+                                     int dim) {
+  if (requested != KernelVariant::kAuto) return requested;
+  const KernelVariant process = kernel_variant();
+  return process == KernelVariant::kAuto ? preferred_variant(k, dim) : process;
 }
 
 const char* kernel_variant_name(KernelVariant v) {
@@ -364,6 +417,96 @@ template <int Dim>
   }
 }
 
+template <int Dim>
+[[gnu::always_inline]] inline void spgemm_tile_accum_body(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    typename TileTraits<Dim>::word_t* cacc) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 8) {
+    // Column-broadcast SWAR: for each column t of A present anywhere in
+    // the tile, expand bit t of every A row into its byte lane
+    // (m * 0xFF; the lanes are 0/1 so the multiply cannot carry) and OR
+    // in B's bit-row t broadcast across the lanes.
+    std::uint64_t at, bt, ct;
+    std::memcpy(&at, awords, sizeof at);
+    std::memcpy(&bt, bwords, sizeof bt);
+    std::memcpy(&ct, cacc, sizeof ct);
+    std::uint64_t fold = at | (at >> 32);
+    fold |= fold >> 16;
+    fold |= fold >> 8;
+    auto colmask = static_cast<std::uint32_t>(fold & 0xFF);
+    while (colmask != 0) {
+      const int t = std::countr_zero(colmask);
+      colmask &= colmask - 1;
+      const std::uint64_t m = (at >> t) & 0x0101010101010101ull;
+      ct |= (m * 0xFF) & (((bt >> (8 * t)) & 0xFF) * 0x0101010101010101ull);
+    }
+    std::memcpy(cacc, &ct, sizeof ct);
+  } else if constexpr (Dim == 4) {
+    std::uint32_t at, bt, ct;
+    std::memcpy(&at, awords, sizeof at);
+    std::memcpy(&bt, bwords, sizeof bt);
+    std::memcpy(&ct, cacc, sizeof ct);
+    std::uint32_t fold = at | (at >> 16);
+    fold |= fold >> 8;
+    std::uint32_t colmask = fold & 0x0F;
+    while (colmask != 0) {
+      const int t = std::countr_zero(colmask);
+      colmask &= colmask - 1;
+      const std::uint32_t m = (at >> t) & 0x01010101u;
+      ct |= (m * 0xFFu) & (((bt >> (8 * t)) & 0xFFu) * 0x01010101u);
+    }
+    std::memcpy(cacc, &ct, sizeof ct);
+  } else if constexpr (Dim == 16) {
+    // Same broadcast over four 64-bit words of 16-bit lanes (four A
+    // rows per word), gated on the tile-wide column mask.
+    std::uint64_t aw[4], cw[4];
+    std::memcpy(aw, awords, sizeof aw);
+    std::memcpy(cw, cacc, sizeof cw);
+    std::uint64_t fold = aw[0] | aw[1] | aw[2] | aw[3];
+    fold |= fold >> 32;
+    fold |= fold >> 16;
+    auto colmask = static_cast<std::uint32_t>(fold & 0xFFFF);
+    while (colmask != 0) {
+      const int t = std::countr_zero(colmask);
+      colmask &= colmask - 1;
+      const std::uint64_t bcast =
+          static_cast<std::uint64_t>(bwords[t]) * 0x0001000100010001ull;
+      for (int w = 0; w < 4; ++w) {
+        const std::uint64_t m = (aw[w] >> t) & 0x0001000100010001ull;
+        cw[w] |= (m * 0xFFFF) & bcast;
+      }
+    }
+    std::memcpy(cacc, cw, sizeof cw);
+  } else {
+    for (int r = 0; r < Dim; ++r) {
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      word_t crow = cacc[r];
+      for_each_set_bit(arow, [&](int t) {
+        crow = static_cast<word_t>(crow | bwords[static_cast<std::size_t>(t)]);
+      });
+      cacc[r] = crow;
+    }
+  }
+}
+
+template <int Dim>
+[[gnu::always_inline]] inline std::size_t pack_scatter_run_body(
+    const vidx_t* cols, std::size_t i, std::size_t n, vidx_t base,
+    typename TileTraits<Dim>::word_t& w) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  const vidx_t limit = base + Dim;
+  word_t acc = w;
+  while (i < n && cols[i] < limit) {
+    acc = static_cast<word_t>(acc | (word_t{1} << (cols[i] - base)));
+    ++i;
+  }
+  w = acc;
+  return i;
+}
+
 // =====================================================================
 // Backend wrappers.
 // =====================================================================
@@ -403,6 +546,20 @@ void frontier_row_accum_scalar(const typename TileTraits<Dim>::word_t* tiles,
                                const std::uint64_t* frows, std::size_t nfrows,
                                std::uint64_t* acc) {
   frontier_row_accum_body<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
+}
+
+template <int Dim>
+std::size_t pack_scatter_run_scalar(const vidx_t* cols, std::size_t i,
+                                    std::size_t n, vidx_t base,
+                                    typename TileTraits<Dim>::word_t& w) {
+  return pack_scatter_run_body<Dim>(cols, i, n, base, w);
+}
+
+template <int Dim>
+void spgemm_tile_accum_scalar(const typename TileTraits<Dim>::word_t* awords,
+                              const typename TileTraits<Dim>::word_t* bwords,
+                              typename TileTraits<Dim>::word_t* cacc) {
+  spgemm_tile_accum_body<Dim>(awords, bwords, cacc);
 }
 
 #if BITGB_SIMD_X86
@@ -449,6 +606,21 @@ BITGB_TGT_SSE void frontier_row_accum_sse(
     vidx_t lo, vidx_t hi, const std::uint64_t* frows, std::size_t nfrows,
     std::uint64_t* acc) {
   frontier_row_accum_body<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
+}
+
+template <int Dim>
+BITGB_TGT_SSE std::size_t pack_scatter_run_sse(
+    const vidx_t* cols, std::size_t i, std::size_t n, vidx_t base,
+    typename TileTraits<Dim>::word_t& w) {
+  return pack_scatter_run_body<Dim>(cols, i, n, base, w);
+}
+
+template <int Dim>
+BITGB_TGT_SSE void spgemm_tile_accum_sse(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    typename TileTraits<Dim>::word_t* cacc) {
+  spgemm_tile_accum_body<Dim>(awords, bwords, cacc);
 }
 
 // --- AVX2: hand-written intrinsics. ---
@@ -908,6 +1080,123 @@ BITGB_TGT_AVX2 void frontier_row_accum_avx2(
   }
 }
 
+template <int Dim>
+BITGB_TGT_AVX2 std::size_t pack_scatter_run_avx2(
+    const vidx_t* cols, std::size_t i, std::size_t n, vidx_t base,
+    typename TileTraits<Dim>::word_t& w) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 16 || Dim == 32) {
+    // Eight sorted columns per iteration: compare against the tile's
+    // right edge (in-run lanes form a prefix because the input is
+    // sorted), variable-shift 1 << (c - base) per lane, OR-reduce.
+    // Worthwhile only where one tile can hold long runs; dims 4/8 cap
+    // runs at 8 columns and stay on the scalar body.
+    const __m256i vlimit = _mm256_set1_epi32(base + Dim);
+    const __m256i vbase = _mm256_set1_epi32(base);
+    const __m256i ones = _mm256_set1_epi32(1);
+    __m256i accv = _mm256_setzero_si256();
+    while (i + 8 <= n) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(cols + i));
+      // vidx_t is a non-negative int32, so the signed compare is exact.
+      const __m256i in = _mm256_cmpgt_epi32(vlimit, v);
+      const auto m = static_cast<std::uint32_t>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(in)));
+      if (m == 0) break;
+      const __m256i bits = _mm256_sllv_epi32(ones, _mm256_sub_epi32(v, vbase));
+      accv = _mm256_or_si256(accv, _mm256_and_si256(bits, in));
+      i += static_cast<std::size_t>(__builtin_popcount(m));
+      if (m != 0xFFu) break;
+    }
+    __m128i o = _mm_or_si128(_mm256_castsi256_si128(accv),
+                             _mm256_extracti128_si256(accv, 1));
+    o = _mm_or_si128(o, _mm_shuffle_epi32(o, _MM_SHUFFLE(1, 0, 3, 2)));
+    o = _mm_or_si128(o, _mm_shuffle_epi32(o, _MM_SHUFFLE(2, 3, 0, 1)));
+    w = static_cast<word_t>(
+        w | static_cast<std::uint32_t>(_mm_cvtsi128_si32(o)));
+    // Fewer than 8 columns left (or the run already ended, in which
+    // case this is a no-op): finish on the scalar body.
+    return pack_scatter_run_body<Dim>(cols, i, n, base, w);
+  } else {
+    return pack_scatter_run_body<Dim>(cols, i, n, base, w);
+  }
+}
+
+template <int Dim>
+BITGB_TGT_AVX2 void spgemm_tile_accum_avx2(
+    const typename TileTraits<Dim>::word_t* awords,
+    const typename TileTraits<Dim>::word_t* bwords,
+    typename TileTraits<Dim>::word_t* cacc) {
+  using word_t = typename TileTraits<Dim>::word_t;
+  if constexpr (Dim == 16) {
+    // Whole B tile in one register; per A row, bit-to-lane select of
+    // the B rows named by the set bits, lane OR-reduce into the
+    // accumulator row.
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bwords));
+    const __m256i bitsel = _mm256_setr_epi16(
+        static_cast<short>(1u << 0), static_cast<short>(1u << 1),
+        static_cast<short>(1u << 2), static_cast<short>(1u << 3),
+        static_cast<short>(1u << 4), static_cast<short>(1u << 5),
+        static_cast<short>(1u << 6), static_cast<short>(1u << 7),
+        static_cast<short>(1u << 8), static_cast<short>(1u << 9),
+        static_cast<short>(1u << 10), static_cast<short>(1u << 11),
+        static_cast<short>(1u << 12), static_cast<short>(1u << 13),
+        static_cast<short>(1u << 14), static_cast<short>(1u << 15));
+    for (int r = 0; r < 16; ++r) {
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      const __m256i sel = _mm256_cmpeq_epi16(
+          _mm256_and_si256(_mm256_set1_epi16(static_cast<short>(arow)),
+                           bitsel),
+          bitsel);
+      const __m256i red = _mm256_and_si256(bv, sel);
+      __m128i o = _mm_or_si128(_mm256_castsi256_si128(red),
+                               _mm256_extracti128_si256(red, 1));
+      o = _mm_or_si128(o, _mm_shuffle_epi32(o, _MM_SHUFFLE(1, 0, 3, 2)));
+      o = _mm_or_si128(o, _mm_shuffle_epi32(o, _MM_SHUFFLE(2, 3, 0, 1)));
+      o = _mm_or_si128(o, _mm_srli_epi32(o, 16));
+      cacc[r] = static_cast<word_t>(
+          cacc[r] | static_cast<std::uint32_t>(_mm_cvtsi128_si32(o)));
+    }
+  } else if constexpr (Dim == 32) {
+    __m256i bv[4];
+    __m256i bitsel[4];
+    for (int k = 0; k < 4; ++k) {
+      bv[k] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(bwords + 8 * k));
+      bitsel[k] = _mm256_setr_epi32(
+          static_cast<int>(1u << (8 * k + 0)),
+          static_cast<int>(1u << (8 * k + 1)),
+          static_cast<int>(1u << (8 * k + 2)),
+          static_cast<int>(1u << (8 * k + 3)),
+          static_cast<int>(1u << (8 * k + 4)),
+          static_cast<int>(1u << (8 * k + 5)),
+          static_cast<int>(1u << (8 * k + 6)),
+          static_cast<int>(1u << (8 * k + 7)));
+    }
+    for (int r = 0; r < 32; ++r) {
+      const word_t arow = awords[r];
+      if (arow == 0) continue;
+      const __m256i av = _mm256_set1_epi32(static_cast<int>(arow));
+      __m256i red = _mm256_setzero_si256();
+      for (int k = 0; k < 4; ++k) {
+        const __m256i sel =
+            _mm256_cmpeq_epi32(_mm256_and_si256(av, bitsel[k]), bitsel[k]);
+        red = _mm256_or_si256(red, _mm256_and_si256(bv[k], sel));
+      }
+      __m128i o = _mm_or_si128(_mm256_castsi256_si128(red),
+                               _mm256_extracti128_si256(red, 1));
+      o = _mm_or_si128(o, _mm_shuffle_epi32(o, _MM_SHUFFLE(1, 0, 3, 2)));
+      o = _mm_or_si128(o, _mm_shuffle_epi32(o, _MM_SHUFFLE(2, 3, 0, 1)));
+      cacc[r] = static_cast<word_t>(
+          cacc[r] | static_cast<std::uint32_t>(_mm_cvtsi128_si32(o)));
+    }
+  } else {
+    spgemm_tile_accum_body<Dim>(awords, bwords, cacc);
+  }
+}
+
 #endif  // BITGB_SIMD_X86
 
 }  // namespace
@@ -1015,6 +1304,40 @@ void frontier_row_accum(const typename TileTraits<Dim>::word_t* tiles,
   frontier_row_accum_scalar<Dim>(tiles, colind, lo, hi, frows, nfrows, acc);
 }
 
+template <int Dim>
+std::size_t pack_scatter_run(const vidx_t* cols, std::size_t i, std::size_t n,
+                             vidx_t base,
+                             typename TileTraits<Dim>::word_t& w) {
+#if BITGB_SIMD_X86
+  switch (active_backend()) {
+    case Backend::kAvx2:
+      return pack_scatter_run_avx2<Dim>(cols, i, n, base, w);
+    case Backend::kSse42:
+      return pack_scatter_run_sse<Dim>(cols, i, n, base, w);
+    case Backend::kScalar: break;
+  }
+#endif
+  return pack_scatter_run_scalar<Dim>(cols, i, n, base, w);
+}
+
+template <int Dim>
+void spgemm_tile_accum(const typename TileTraits<Dim>::word_t* awords,
+                       const typename TileTraits<Dim>::word_t* bwords,
+                       typename TileTraits<Dim>::word_t* cacc) {
+#if BITGB_SIMD_X86
+  switch (active_backend()) {
+    case Backend::kAvx2:
+      spgemm_tile_accum_avx2<Dim>(awords, bwords, cacc);
+      return;
+    case Backend::kSse42:
+      spgemm_tile_accum_sse<Dim>(awords, bwords, cacc);
+      return;
+    case Backend::kScalar: break;
+  }
+#endif
+  spgemm_tile_accum_scalar<Dim>(awords, bwords, cacc);
+}
+
 #define BITGB_INSTANTIATE_SIMD(Dim)                                           \
   template TileTraits<Dim>::word_t bbb_row_or<Dim>(                           \
       const TileTraits<Dim>::word_t*, const vidx_t*,                         \
@@ -1031,7 +1354,13 @@ void frontier_row_accum(const typename TileTraits<Dim>::word_t* tiles,
   template void frontier_row_accum<Dim>(const TileTraits<Dim>::word_t*,       \
                                         const vidx_t*, vidx_t, vidx_t,        \
                                         const std::uint64_t*, std::size_t,    \
-                                        std::uint64_t*)
+                                        std::uint64_t*);                      \
+  template std::size_t pack_scatter_run<Dim>(const vidx_t*, std::size_t,      \
+                                             std::size_t, vidx_t,             \
+                                             TileTraits<Dim>::word_t&);       \
+  template void spgemm_tile_accum<Dim>(const TileTraits<Dim>::word_t*,        \
+                                       const TileTraits<Dim>::word_t*,        \
+                                       TileTraits<Dim>::word_t*)
 
 BITGB_INSTANTIATE_SIMD(4);
 BITGB_INSTANTIATE_SIMD(8);

@@ -42,21 +42,54 @@
 namespace bitgb {
 
 /// Which implementation of a hot kernel to run.  kAuto defers to the
-/// process-wide setting (set_kernel_variant, default kSimd); the
-/// explicit values pin one side regardless of the global state.
+/// process-wide setting (set_kernel_variant); the explicit values pin
+/// one side regardless of the global state.
 enum class KernelVariant { kAuto = 0, kScalar, kSimd };
 
-/// Resolve a requested variant to kScalar or kSimd.  kAuto resolves to
-/// the process-wide variant, which defaults to kSimd (the engine's own
-/// scalar fallback makes that safe on any host) and can be overridden
-/// by set_kernel_variant() or the BITGB_KERNEL_VARIANT environment
-/// variable ("scalar" / "simd", read once at first use).
-[[nodiscard]] KernelVariant resolve_kernel_variant(KernelVariant requested);
+/// The hot kernels that exist in both variants — the rows of the kAuto
+/// preference table (preferred_variant below).
+enum class HotKernel {
+  kBmvBinBinBin,
+  kBmvBinBinBinMasked,
+  kBmvBinBinFull,
+  kBmvBinBinFullMasked,
+  kBmmBinBinSum,
+  kBmmBinBinSumMasked,
+  kFrontierPull,
+  kFrontierPullMasked,
+  kPackScatter,
+  kSpgemmAccum,
+};
 
-/// Set the process-wide variant (kAuto restores the built-in default).
+/// The variant an unpinned process should run for one (kernel, tile
+/// dim) cell.  When the scalar paths were compiled under a wide ISA
+/// (-march=native on an AVX2+ host) the auto-vectorized scalar loops
+/// beat the hand-written engine in a few cells (the committed
+/// BENCH_kernels.json records which); this table encodes those
+/// measured winners instead of blanket-preferring SIMD.  On a default
+/// build (no -march) the engine wins every cell and the table is
+/// all-kSimd.  Never returns kAuto.
+[[nodiscard]] KernelVariant preferred_variant(HotKernel k, int dim);
+
+/// Resolve a requested variant to kScalar or kSimd.  Explicit values
+/// win; kAuto falls through to the process-wide variant (set by
+/// set_kernel_variant() or the BITGB_KERNEL_VARIANT environment
+/// variable, "scalar" / "simd" / "auto", read once at first use).  An
+/// unpinned process ("auto") resolves through the per-(kernel, dim)
+/// preference table; the overload without kernel context keeps the
+/// historical blanket-kSimd default.
+[[nodiscard]] KernelVariant resolve_kernel_variant(KernelVariant requested);
+[[nodiscard]] KernelVariant resolve_kernel_variant(KernelVariant requested,
+                                                   HotKernel k, int dim);
+
+/// Set the process-wide variant (kAuto restores the built-in default,
+/// i.e. the per-kernel preference table unless the environment pins a
+/// side).
 void set_kernel_variant(KernelVariant v);
 
-/// The currently resolved process-wide variant (never kAuto).
+/// The current process-wide variant.  kAuto means "per-kernel table";
+/// kScalar / kSimd mean a side is pinned (environment, profile, or
+/// set_kernel_variant).
 [[nodiscard]] KernelVariant kernel_variant();
 
 [[nodiscard]] const char* kernel_variant_name(KernelVariant v);
@@ -123,6 +156,29 @@ void frontier_row_accum(const typename TileTraits<Dim>::word_t* tiles,
                         const vidx_t* colind, vidx_t lo, vidx_t hi,
                         const std::uint64_t* frows, std::size_t nfrows,
                         std::uint64_t* acc);
+
+/// Ingest bit-scatter: consume the run of sorted CSR column indices
+/// cols[i..n) that fall inside one tile (base <= c < base + Dim), OR
+/// `1 << (c - base)` for each into `w`, and return the index one past
+/// the run.  The AVX2 path shifts eight columns per iteration
+/// (variable-shift + lane OR-reduce); the scalar body is the per-column
+/// loop.  Exact for any sorted input, including duplicates (OR is
+/// idempotent).
+template <int Dim>
+[[nodiscard]] std::size_t pack_scatter_run(const vidx_t* cols, std::size_t i,
+                                           std::size_t n, vidx_t base,
+                                           typename TileTraits<Dim>::word_t& w);
+
+/// SpGEMM tile-pair accumulate into the SPA slot:
+///   cacc[r] |= OR_{t set in awords[r]} bwords[t]  for r in [0, Dim).
+/// Dims 4/8 run a branch-light SWAR broadcast (whole tile per machine
+/// word, one column of A distributing one B row across the byte
+/// lanes); dims 16/32 use the AVX2 bit-to-lane select OR.  Pure OR
+/// algebra, so every path is bit-identical to the row-walk.
+template <int Dim>
+void spgemm_tile_accum(const typename TileTraits<Dim>::word_t* awords,
+                       const typename TileTraits<Dim>::word_t* bwords,
+                       typename TileTraits<Dim>::word_t* cacc);
 
 }  // namespace simd
 }  // namespace bitgb
