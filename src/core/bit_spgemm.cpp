@@ -217,29 +217,33 @@ B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
     actual[static_cast<std::size_t>(tr)] = static_cast<vidx_t>(out);
   });
 
-  // Phase 3: final tile_rowptr and left-compaction of the rows whose
-  // annihilated tiles left gaps.  Each row's destination range lies
-  // strictly below every later row's source range, so the per-row
-  // moves are independent.
+  // Phase 3: final tile_rowptr and compaction of the rows whose
+  // annihilated tiles left gaps.  An in-place left shift is unsafe to
+  // parallelize (a later row's destination can overlap an earlier
+  // row's still-unread source once slack accumulates), so compact into
+  // fresh arrays: sources and destinations never alias, and each row
+  // owns a disjoint destination range.
   c.tile_rowptr.resize(static_cast<std::size_t>(ntr) + 1);
   parallel_exclusive_scan(actual.data(), actual.size(), c.tile_rowptr.data());
   const vidx_t total = c.tile_rowptr.back();
   if (total != ub_total) {
+    decltype(c.tile_colind) packed_colind(static_cast<std::size_t>(total));
+    decltype(c.bits) packed_bits(static_cast<std::size_t>(total) * Dim);
     parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
       const auto src = static_cast<std::size_t>(offs[static_cast<std::size_t>(tr)]);
       const auto dst =
           static_cast<std::size_t>(c.tile_rowptr[static_cast<std::size_t>(tr)]);
       const auto n = static_cast<std::size_t>(actual[static_cast<std::size_t>(tr)]);
-      if (n == 0 || src == dst) return;
+      if (n == 0) return;
       std::copy_n(c.tile_colind.begin() + static_cast<std::ptrdiff_t>(src), n,
-                  c.tile_colind.begin() + static_cast<std::ptrdiff_t>(dst));
+                  packed_colind.begin() + static_cast<std::ptrdiff_t>(dst));
       std::copy_n(c.bits.begin() + static_cast<std::ptrdiff_t>(src * Dim),
                   n * Dim,
-                  c.bits.begin() + static_cast<std::ptrdiff_t>(dst * Dim));
+                  packed_bits.begin() + static_cast<std::ptrdiff_t>(dst * Dim));
     });
+    c.tile_colind = std::move(packed_colind);
+    c.bits = std::move(packed_bits);
   }
-  c.tile_colind.resize(static_cast<std::size_t>(total));
-  c.bits.resize(static_cast<std::size_t>(total) * Dim);
   return c;
 }
 
