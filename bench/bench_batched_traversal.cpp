@@ -27,6 +27,7 @@
 // engine wins everywhere by 1-2 orders of magnitude.
 #include "algorithms/bfs.hpp"
 #include "algorithms/msbfs.hpp"
+#include "platform/context.hpp"
 #include "benchlib/algo_table.hpp"
 #include "benchlib/reporting.hpp"
 #include "platform/timer.hpp"
@@ -40,6 +41,9 @@
 
 int main() {
   using namespace bitgb;
+
+  const Context bit_ctx;  // bit backend, auto variant, hardware threads
+  const Context ref_ctx = bit_ctx.with_backend(Backend::kReference);
 
   const std::vector<std::pair<std::string, Coo>> graphs = {
       {"rmat_s12", gen_rmat(12, 32768, 1)},
@@ -63,13 +67,13 @@ int main() {
 
     const double seq_ms = time_avg_ms([&] {
       for (const vidx_t s : sources) {
-        (void)algo::bfs(g, s, gb::Backend::kBit);
+        (void)algo::bfs(bit_ctx, g, {s});
       }
     });
     const double batched_ms = time_avg_ms(
-        [&] { (void)algo::msbfs(g, sources, gb::Backend::kBit); });
+        [&] { (void)algo::msbfs(bit_ctx, g, {sources}); });
     const double ref_batched_ms = time_avg_ms(
-        [&] { (void)algo::msbfs(g, sources, gb::Backend::kReference); });
+        [&] { (void)algo::msbfs(ref_ctx, g, {sources}); });
 
     const double speedup = batched_ms > 0.0 ? seq_ms / batched_ms : 0.0;
     speedups.push_back(speedup);

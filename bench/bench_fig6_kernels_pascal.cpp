@@ -18,8 +18,7 @@ int main() {
             << profile.paper_gpu << ", " << profile.num_threads
             << " thread)\n\n";
 
-  ProfileScope scope(profile);
-  const SweepResult r = run_kernel_sweep(SweepOptions{});
+  const SweepResult r = run_kernel_sweep(profile, SweepOptions{});
   print_sweep(std::cout, "Figure 6", r);
 
   write_sweep_csv("fig6a_points.csv", r.bmv_bin_bin_bin);

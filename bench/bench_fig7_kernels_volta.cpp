@@ -19,8 +19,7 @@ int main() {
             << profile.paper_gpu << ", " << profile.num_threads
             << " threads)\n\n";
 
-  ProfileScope scope(profile);
-  const SweepResult r = run_kernel_sweep(SweepOptions{});
+  const SweepResult r = run_kernel_sweep(profile, SweepOptions{});
   print_sweep(std::cout, "Figure 7", r);
 
   write_sweep_csv("fig7a_points.csv", r.bmv_bin_bin_bin);

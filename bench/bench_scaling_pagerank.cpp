@@ -11,6 +11,7 @@
 // cache — the host-side analog of the paper's bandwidth argument.
 #include "algorithms/pagerank.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 #include "platform/timer.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/generators.hpp"
@@ -19,6 +20,9 @@
 
 int main() {
   using namespace bitgb;
+
+  const Context bit_ctx;
+  const Context ref_ctx = bit_ctx.with_backend(Backend::kReference);
 
   std::printf("== scaling: PageRank (10 iters) vs matrix size ==\n");
   std::printf("%-10s %12s %12s %12s %12s %9s\n", "n", "nnz", "CSR(MB)",
@@ -34,9 +38,9 @@ int main() {
     (void)g.degrees();
 
     const double t_ref = time_avg_ms(
-        [&] { (void)algo::pagerank(g, gb::Backend::kReference); }, 3);
+        [&] { (void)algo::pagerank(ref_ctx, g); }, 3);
     const double t_bit = time_avg_ms(
-        [&] { (void)algo::pagerank(g, gb::Backend::kBit); }, 3);
+        [&] { (void)algo::pagerank(bit_ctx, g); }, 3);
 
     std::printf("%-10d %12lld %12.1f %12.2f %12.2f %8.2fx\n", n,
                 static_cast<long long>(g.num_edges()),

@@ -16,8 +16,7 @@ int main() {
   const DeviceProfile profile = pascal_analog();
   std::cout << "device profile: " << profile.name << " (stand-in for "
             << profile.paper_gpu << ")\n\n";
-  ProfileScope scope(profile);
-  print_spmv_algorithm_table(std::cout, "Table VII (pascal-analog)",
+  print_spmv_algorithm_table(std::cout, profile, "Table VII (pascal-analog)",
                              table7_matrices());
   return 0;
 }

@@ -13,8 +13,8 @@ int main() {
   const DeviceProfile profile = volta_analog();
   std::cout << "device profile: " << profile.name << " (stand-in for "
             << profile.paper_gpu << ")\n\n";
-  ProfileScope scope(profile);
-  print_spmv_algorithm_table(std::cout, "Table VIII (volta-analog)",
+  print_spmv_algorithm_table(std::cout, profile,
+                             "Table VIII (volta-analog)",
                              table7_matrices());
   return 0;
 }

@@ -14,9 +14,8 @@ int main() {
   for (const DeviceProfile& profile : all_profiles()) {
     std::cout << "device profile: " << profile.name << " (stand-in for "
               << profile.paper_gpu << ")\n\n";
-    ProfileScope scope(profile);
     print_algo_table(std::cout, "Table IX (" + profile.name + ")", "TC",
-                     run_algo_table(mats, TableAlgo::kTc));
+                     run_algo_table(profile, mats, TableAlgo::kTc));
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "algorithms/coloring.hpp"
 #include "algorithms/mis.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 #include "platform/timer.hpp"
 #include "sparse/generators.hpp"
 
@@ -24,8 +25,11 @@ int main() {
               g.num_vertices(), static_cast<long long>(g.num_edges() / 2),
               g.tile_dim(), g.tile_dim());
 
+  const Context bit_ctx;  // seed for the Luby priorities rides in here
+  const Context ref_ctx = bit_ctx.with_backend(Backend::kReference);
+
   // One interference-free broadcast group (MIS).
-  const auto mis = algo::maximal_independent_set(g, gb::Backend::kBit);
+  const auto mis = algo::maximal_independent_set(bit_ctx, g);
   if (!algo::is_valid_mis(g.adjacency(), mis.in_set)) {
     std::printf("invalid MIS!\n");
     return 1;
@@ -38,10 +42,10 @@ int main() {
 
   // Full channel plan (coloring), both backends must agree.
   const auto t_ref = time_avg_ms(
-      [&] { (void)algo::greedy_coloring(g, gb::Backend::kReference); });
+      [&] { (void)algo::greedy_coloring(ref_ctx, g); });
   const auto t_bit = time_avg_ms(
-      [&] { (void)algo::greedy_coloring(g, gb::Backend::kBit); });
-  const auto plan = algo::greedy_coloring(g, gb::Backend::kBit);
+      [&] { (void)algo::greedy_coloring(bit_ctx, g); });
+  const auto plan = algo::greedy_coloring(bit_ctx, g);
   if (!algo::is_valid_coloring(g.adjacency(), plan.color)) {
     std::printf("invalid coloring!\n");
     return 1;

@@ -7,6 +7,7 @@
 #include "algorithms/cc.hpp"
 #include "algorithms/sssp.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 #include "platform/timer.hpp"
 #include "sparse/generators.hpp"
 
@@ -25,8 +26,12 @@ int main() {
   std::printf("road network: %d intersections, %lld road segments\n",
               g.num_vertices(), static_cast<long long>(g.num_edges()));
 
+  KernelTimeSink sink;
+  const Context bit_ctx = Context{}.with_timer(&sink);
+  const Context ref_ctx = bit_ctx.with_backend(Backend::kReference);
+
   // Connectivity first: rewiring can strand intersections.
-  const auto cc = algo::connected_components(g, gb::Backend::kBit);
+  const auto cc = algo::connected_components(bit_ctx, g);
   std::map<vidx_t, int> comp_sizes;
   for (const vidx_t c : cc.component) ++comp_sizes[c];
   std::printf("connected components: %zu (largest %d vertices)\n",
@@ -40,11 +45,11 @@ int main() {
   // SSSP from the city centre on both backends.
   const vidx_t centre = 96 * 48 + 48;
   const auto t_ref = time_split_ms(
-      [&] { (void)algo::sssp(g, centre, gb::Backend::kReference); });
-  const auto t_bit =
-      time_split_ms([&] { (void)algo::sssp(g, centre, gb::Backend::kBit); });
-  const auto ref = algo::sssp(g, centre, gb::Backend::kReference);
-  const auto bit = algo::sssp(g, centre, gb::Backend::kBit);
+      sink, [&] { (void)algo::sssp(ref_ctx, g, {centre}); });
+  const auto t_bit = time_split_ms(
+      sink, [&] { (void)algo::sssp(bit_ctx, g, {centre}); });
+  const auto ref = algo::sssp(ref_ctx, g, {centre});
+  const auto bit = algo::sssp(bit_ctx, g, {centre});
 
   for (std::size_t i = 0; i < ref.dist.size(); ++i) {
     if (ref.dist[i] != bit.dist[i] &&

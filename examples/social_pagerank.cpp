@@ -7,6 +7,7 @@
 // latency comparison.
 #include "algorithms/pagerank.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 #include "platform/timer.hpp"
 #include "sparse/generators.hpp"
 
@@ -30,13 +31,19 @@ int main() {
               g.tile_dim(), g.tile_dim());
 
   // PageRank on both backends (paper parameters are the defaults).
-  const auto t_ref = time_split_ms(
-      [&] { (void)algo::pagerank(g, gb::Backend::kReference); });
+  // Each run carries its own Context: backend choice plus a kernel-time
+  // sink for the algorithm/kernel split.
+  KernelTimeSink sink;
+  const Context ref_ctx =
+      Context{}.with_backend(Backend::kReference).with_timer(&sink);
+  const Context bit_ctx = ref_ctx.with_backend(Backend::kBit);
+  const auto t_ref =
+      time_split_ms(sink, [&] { (void)algo::pagerank(ref_ctx, g); });
   const auto t_bit =
-      time_split_ms([&] { (void)algo::pagerank(g, gb::Backend::kBit); });
+      time_split_ms(sink, [&] { (void)algo::pagerank(bit_ctx, g); });
 
-  const auto ref = algo::pagerank(g, gb::Backend::kReference);
-  const auto bit = algo::pagerank(g, gb::Backend::kBit);
+  const auto ref = algo::pagerank(ref_ctx, g);
+  const auto bit = algo::pagerank(bit_ctx, g);
 
   double max_diff = 0.0;
   for (std::size_t i = 0; i < ref.rank.size(); ++i) {

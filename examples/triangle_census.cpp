@@ -3,6 +3,7 @@
 // float-CSR framework baseline for comparison.
 #include "algorithms/tc.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 #include "platform/timer.hpp"
 #include "sparse/generators.hpp"
 
@@ -24,12 +25,14 @@ int main() {
   cases.push_back({"mycielskian11 (triangle-free)", gen_mycielskian(11)});
   cases.push_back({"grid city (4-cycles only)", gen_road(64, 64, 0.0, 3)});
 
+  const Context bit_ctx;
+  const Context ref_ctx = bit_ctx.with_backend(Backend::kReference);
   std::printf("%-32s %12s %12s %12s %9s\n", "graph", "triangles",
               "ref (ms)", "bit (ms)", "speedup");
   for (const auto& c : cases) {
     const gb::Graph g = gb::Graph::from_coo(c.edges);
-    const auto count_bit = algo::triangle_count(g, gb::Backend::kBit);
-    const auto count_ref = algo::triangle_count(g, gb::Backend::kReference);
+    const auto count_bit = algo::triangle_count(bit_ctx, g);
+    const auto count_ref = algo::triangle_count(ref_ctx, g);
     if (count_bit != count_ref) {
       std::printf("MISMATCH on %s: bit %lld ref %lld\n", c.name.c_str(),
                   static_cast<long long>(count_bit),
@@ -37,9 +40,9 @@ int main() {
       return 1;
     }
     const double t_ref = time_avg_ms(
-        [&] { (void)algo::triangle_count(g, gb::Backend::kReference); });
+        [&] { (void)algo::triangle_count(ref_ctx, g); });
     const double t_bit = time_avg_ms(
-        [&] { (void)algo::triangle_count(g, gb::Backend::kBit); });
+        [&] { (void)algo::triangle_count(bit_ctx, g); });
     std::printf("%-32s %12lld %12.3f %12.3f %8.1fx\n", c.name.c_str(),
                 static_cast<long long>(count_bit), t_ref, t_bit,
                 t_bit > 0 ? t_ref / t_bit : 0.0);

@@ -6,14 +6,16 @@
 
 namespace bitgb::algo {
 
-BatchedCcResult batched_cc(const gb::Graph& g, gb::Backend backend) {
+void batched_cc(const Context& ctx, const gb::Graph& g,
+                const BatchedCcParams& /*params*/, Workspace& ws,
+                BatchedCcResult& res) {
   constexpr vidx_t kUnassigned = std::numeric_limits<vidx_t>::max();
   const vidx_t n = g.num_vertices();
 
-  BatchedCcResult res;
   res.component.assign(static_cast<std::size_t>(n), kUnassigned);
+  res.waves = 0;
 
-  std::vector<vidx_t> seeds;
+  auto& seeds = ws.slot<std::vector<vidx_t>>("bcc.seeds");
   vidx_t cursor = 0;  // every vertex below it is assigned or seeded
   while (cursor < n) {
     seeds.clear();
@@ -26,7 +28,10 @@ BatchedCcResult batched_cc(const gb::Graph& g, gb::Backend backend) {
     }
     if (seeds.empty()) break;
 
-    const FrontierBatch reach = batched_reach(g, seeds, backend);
+    // One batched_reach wave, run through the shared msbfs machinery
+    // with this workspace's scratch; the returned reference stays valid
+    // until the next wave reuses it, which is after the labelling loop.
+    const FrontierBatch& reach = batched_reach(ctx, g, seeds, ws);
     ++res.waves;
     for (vidx_t v = 0; v < n; ++v) {
       const FrontierBatch::word_t w = reach.rows[static_cast<std::size_t>(v)];
@@ -38,7 +43,14 @@ BatchedCcResult batched_cc(const gb::Graph& g, gb::Backend backend) {
       }
     }
   }
-  return res;
+}
+
+BatchedCcResult batched_cc(const Context& ctx, const gb::Graph& g,
+                           const BatchedCcParams& params) {
+  Workspace ws;
+  BatchedCcResult out;
+  batched_cc(ctx, g, params, ws, out);
+  return out;
 }
 
 }  // namespace bitgb::algo

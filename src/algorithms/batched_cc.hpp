@@ -16,18 +16,30 @@
 // a connected graph degenerates to one wave of one useful lane.
 #pragma once
 
+#include "algorithms/workspace.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 
 #include <vector>
 
 namespace bitgb::algo {
+
+struct BatchedCcParams {};
 
 struct BatchedCcResult {
   std::vector<vidx_t> component;  ///< min vertex id of each component
   int waves = 0;                  ///< batched_reach sweeps performed
 };
 
-[[nodiscard]] BatchedCcResult batched_cc(const gb::Graph& g,
-                                         gb::Backend backend);
+/// Workspace form: scratch lives in `ws`, result buffers reuse `out`'s
+/// capacity.
+void batched_cc(const Context& ctx, const gb::Graph& g,
+                const BatchedCcParams& params, Workspace& ws,
+                BatchedCcResult& out);
+
+/// Convenience form (allocates internally).
+[[nodiscard]] BatchedCcResult batched_cc(const Context& ctx,
+                                         const gb::Graph& g,
+                                         const BatchedCcParams& params = {});
 
 }  // namespace bitgb::algo

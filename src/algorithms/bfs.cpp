@@ -9,25 +9,31 @@ namespace bitgb::algo {
 namespace {
 
 template <int Dim>
-BfsResult bfs_bit(const gb::Graph& g, vidx_t source) {
+void bfs_bit(const Context& ctx, const gb::Graph& g, vidx_t source,
+             Workspace& ws, BfsResult& res) {
   const auto& a = g.packed().as<Dim>();
   const auto& at = g.packed_t().as<Dim>();
   const vidx_t n = g.num_vertices();
 
-  BfsResult res;
   res.levels.assign(static_cast<std::size_t>(n), kUnreached);
   res.levels[static_cast<std::size_t>(source)] = 0;
+  res.iterations = 0;
 
-  PackedVecT<Dim> frontier(n);
-  PackedVecT<Dim> visited(n);
-  PackedVecT<Dim> next(n);
+  auto& frontier = ws.slot<PackedVecT<Dim>>("bfs.frontier");
+  auto& visited = ws.slot<PackedVecT<Dim>>("bfs.visited");
+  auto& next = ws.slot<PackedVecT<Dim>>("bfs.next");
+  frontier.resize(n);
+  visited.resize(n);
+  next.resize(n);
   frontier.set(source);
   visited.set(source);
   eidx_t frontier_count = 1;
   // Word indices where the frontier is non-zero: keeps a sparse level's
   // cost proportional to the frontier, not the matrix.
-  std::vector<vidx_t> active = {source / Dim};
-  std::vector<vidx_t> touched;
+  auto& active = ws.slot<std::vector<vidx_t>>("bfs.active");
+  auto& touched = ws.slot<std::vector<vidx_t>>("bfs.touched");
+  active.assign(1, source / Dim);
+  touched.clear();
 
   std::int32_t level = 0;
   while (frontier_count > 0) {
@@ -41,11 +47,11 @@ BfsResult bfs_bit(const gb::Graph& g, vidx_t source) {
     const bool push = frontier_count < n / gb::kPushPullDenominator;
     touched.clear();
     if (push) {
-      KernelTimerScope timer;
+      KernelTimerScope timer(ctx.timer);
       bmv_bin_bin_bin_push_masked(a, frontier, active, visited,
                                   /*complement=*/true, next, touched);
     } else {
-      gb::bit_vxm_bool_masked<Dim>(at, frontier, visited, next);
+      gb::bit_vxm_bool_masked<Dim>(ctx, at, frontier, visited, next);
       for (std::size_t w = 0; w < next.words.size(); ++w) {
         if (next.words[w] != 0) touched.push_back(static_cast<vidx_t>(w));
       }
@@ -72,39 +78,44 @@ BfsResult bfs_bit(const gb::Graph& g, vidx_t source) {
     std::swap(active, touched);
     if (frontier_count > 0) res.iterations = level;
   }
-  return res;
 }
 
-BfsResult bfs_ref(const gb::Graph& g, vidx_t source) {
+void bfs_ref(const Context& ctx, const gb::Graph& g, vidx_t source,
+             Workspace& ws, BfsResult& res) {
   const Csr& a = g.adjacency();
   const Csr& at = g.adjacency_t();
   const vidx_t n = g.num_vertices();
 
-  BfsResult res;
   res.levels.assign(static_cast<std::size_t>(n), kUnreached);
   res.levels[static_cast<std::size_t>(source)] = 0;
+  res.iterations = 0;
 
-  std::vector<std::uint8_t> visited(static_cast<std::size_t>(n), 0);
+  auto& visited = ws.slot<std::vector<std::uint8_t>>("bfs.ref.visited");
+  visited.assign(static_cast<std::size_t>(n), 0);
   visited[static_cast<std::size_t>(source)] = 1;
-  std::vector<vidx_t> frontier = {source};
+  auto& frontier = ws.slot<std::vector<vidx_t>>("bfs.ref.frontier");
+  frontier.assign(1, source);
 
   std::int32_t level = 0;
-  std::vector<std::uint8_t> frontier_dense;
-  std::vector<std::uint8_t> next_dense;
+  auto& frontier_dense =
+      ws.slot<std::vector<std::uint8_t>>("bfs.ref.frontier_dense");
+  auto& next_dense = ws.slot<std::vector<std::uint8_t>>("bfs.ref.next_dense");
+  auto& next = ws.slot<std::vector<vidx_t>>("bfs.ref.next");
   while (!frontier.empty()) {
     ++level;
-    std::vector<vidx_t> next;
+    next.clear();
     if (static_cast<vidx_t>(frontier.size()) <
         n / gb::kPushPullDenominator) {
-      // Push: sparse frontier through A's rows.
-      next = gb::ref_vxm_bool_push(a, frontier, visited);
+      // Push: sparse frontier through A's rows (out-param: the slot's
+      // capacity survives the query loop).
+      gb::ref_vxm_bool_push(ctx, a, frontier, visited, next);
     } else {
       // Pull: dense scan of A^T rows with early exit.
       frontier_dense.assign(static_cast<std::size_t>(n), 0);
       for (const vidx_t u : frontier) {
         frontier_dense[static_cast<std::size_t>(u)] = 1;
       }
-      gb::ref_vxm_bool_pull(at, frontier_dense, visited, next_dense);
+      gb::ref_vxm_bool_pull(ctx, at, frontier_dense, visited, next_dense);
       for (vidx_t v = 0; v < n; ++v) {
         if (next_dense[static_cast<std::size_t>(v)]) next.push_back(v);
       }
@@ -114,19 +125,31 @@ BfsResult bfs_ref(const gb::Graph& g, vidx_t source) {
       visited[static_cast<std::size_t>(v)] = 1;
       res.levels[static_cast<std::size_t>(v)] = level;
     }
-    frontier = std::move(next);
+    std::swap(frontier, next);
     res.iterations = level;
   }
-  return res;
 }
 
 }  // namespace
 
-BfsResult bfs(const gb::Graph& g, vidx_t source, gb::Backend backend) {
-  if (backend == gb::Backend::kReference) return bfs_ref(g, source);
-  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
-    return bfs_bit<Dim>(g, source);
+void bfs(const Context& ctx, const gb::Graph& g, const BfsParams& params,
+         Workspace& ws, BfsResult& out) {
+  if (ctx.backend == Backend::kReference) {
+    bfs_ref(ctx, g, params.source, ws, out);
+    return;
+  }
+  dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+    bfs_bit<Dim>(ctx, g, params.source, ws, out);
+    return 0;
   });
+}
+
+BfsResult bfs(const Context& ctx, const gb::Graph& g,
+              const BfsParams& params) {
+  Workspace ws;
+  BfsResult out;
+  bfs(ctx, g, params, ws, out);
+  return out;
 }
 
 std::vector<std::int32_t> bfs_gold(const Csr& a, vidx_t source) {

@@ -10,14 +10,16 @@ namespace bitgb::algo {
 namespace {
 
 template <typename MxvFn>
-CcResult fastsv_loop(vidx_t n, MxvFn&& min_mxv) {
+void fastsv_loop(vidx_t n, Workspace& ws, CcResult& res, MxvFn&& min_mxv) {
   assert(n < (vidx_t{1} << 24));  // float carries ids exactly
-  CcResult res;
+  res.iterations = 0;
 
-  std::vector<value_t> f(static_cast<std::size_t>(n));
+  auto& f = ws.slot<std::vector<value_t>>("cc.f");
+  auto& gf = ws.slot<std::vector<value_t>>("cc.gf");
+  auto& mngf = ws.slot<std::vector<value_t>>("cc.mngf");
+  f.resize(static_cast<std::size_t>(n));
   std::iota(f.begin(), f.end(), 0.0f);
-  std::vector<value_t> gf = f;  // grandparents (f[f] with f = identity)
-  std::vector<value_t> mngf;
+  gf = f;  // grandparents (f[f] with f = identity)
 
   bool changed = true;
   while (changed) {
@@ -65,27 +67,38 @@ CcResult fastsv_loop(vidx_t n, MxvFn&& min_mxv) {
     res.component[static_cast<std::size_t>(u)] =
         static_cast<vidx_t>(f[static_cast<std::size_t>(u)]);
   }
-  return res;
 }
 
 }  // namespace
 
-CcResult connected_components(const gb::Graph& g, gb::Backend backend) {
+void connected_components(const Context& ctx, const gb::Graph& g,
+                          const CcParams& /*params*/, Workspace& ws,
+                          CcResult& out) {
   const vidx_t n = g.num_vertices();
-  if (backend == gb::Backend::kReference) {
+  if (ctx.backend == Backend::kReference) {
     const Csr& a = g.adjacency();
-    return fastsv_loop(n, [&](const std::vector<value_t>& x,
-                              std::vector<value_t>& y) {
-      gb::ref_mxv<MinIdentityOp>(a, x, y);
-    });
+    fastsv_loop(n, ws, out,
+                [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
+                  gb::ref_mxv<MinIdentityOp>(ctx, a, x, y);
+                });
+    return;
   }
-  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+  dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
     const auto& a = g.packed().as<Dim>();
-    return fastsv_loop(n, [&](const std::vector<value_t>& x,
-                              std::vector<value_t>& y) {
-      gb::bit_mxv<Dim, MinIdentityOp>(a, x, y);
-    });
+    fastsv_loop(n, ws, out,
+                [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
+                  gb::bit_mxv<Dim, MinIdentityOp>(ctx, a, x, y);
+                });
+    return 0;
   });
+}
+
+CcResult connected_components(const Context& ctx, const gb::Graph& g,
+                              const CcParams& params) {
+  Workspace ws;
+  CcResult out;
+  connected_components(ctx, g, params, ws, out);
+  return out;
 }
 
 std::vector<vidx_t> cc_gold(const Csr& a) {

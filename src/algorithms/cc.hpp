@@ -14,19 +14,31 @@
 // (enforced by an assert).
 #pragma once
 
+#include "algorithms/workspace.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 
 #include <vector>
 
 namespace bitgb::algo {
+
+struct CcParams {};
 
 struct CcResult {
   std::vector<vidx_t> component;  ///< min vertex id of each component
   int iterations = 0;
 };
 
-[[nodiscard]] CcResult connected_components(const gb::Graph& g,
-                                            gb::Backend backend);
+/// Zero-allocation form: scratch lives in `ws`, result buffers reuse
+/// `out`'s capacity.
+void connected_components(const Context& ctx, const gb::Graph& g,
+                          const CcParams& params, Workspace& ws,
+                          CcResult& out);
+
+/// Convenience form (allocates internally).
+[[nodiscard]] CcResult connected_components(const Context& ctx,
+                                            const gb::Graph& g,
+                                            const CcParams& params = {});
 
 /// Union-find gold reference.
 [[nodiscard]] std::vector<vidx_t> cc_gold(const Csr& a);

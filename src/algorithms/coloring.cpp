@@ -36,15 +36,16 @@ std::int32_t smallest_free_color(const Csr& a,
 }
 
 template <typename MaxMxvFn>
-ColoringResult jp_loop(const gb::Graph& g, std::uint64_t seed,
-                       MaxMxvFn&& max_mxv) {
+void jp_loop(const gb::Graph& g, std::uint64_t seed, Workspace& ws,
+             ColoringResult& res, MaxMxvFn&& max_mxv) {
   const vidx_t n = g.num_vertices();
-  ColoringResult res;
   res.color.assign(static_cast<std::size_t>(n), -1);
+  res.num_colors = 0;
 
-  std::vector<value_t> prio(static_cast<std::size_t>(n));
-  std::vector<value_t> nbr_max;
-  std::vector<std::uint8_t> used;
+  auto& prio = ws.slot<std::vector<value_t>>("gc.prio");
+  auto& nbr_max = ws.slot<std::vector<value_t>>("gc.nbr_max");
+  auto& used = ws.slot<std::vector<std::uint8_t>>("gc.used");
+  prio.resize(static_cast<std::size_t>(n));
   vidx_t uncolored = n;
   int round = 0;
 
@@ -83,29 +84,37 @@ ColoringResult jp_loop(const gb::Graph& g, std::uint64_t seed,
       }
     }
   }
-  return res;
 }
 
 }  // namespace
 
-ColoringResult greedy_coloring(const gb::Graph& g, gb::Backend backend,
-                               std::uint64_t seed) {
-  if (backend == gb::Backend::kReference) {
+void greedy_coloring(const Context& ctx, const gb::Graph& g,
+                     const ColoringParams& /*params*/, Workspace& ws,
+                     ColoringResult& out) {
+  if (ctx.backend == Backend::kReference) {
     const Csr& a = g.adjacency();
-    return jp_loop(g, seed,
-                   [&](const std::vector<value_t>& x,
-                       std::vector<value_t>& y) {
-                     gb::ref_mxv<MaxTimesOp>(a, x, y);
-                   });
+    jp_loop(g, ctx.seed, ws, out,
+            [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
+              gb::ref_mxv<MaxTimesOp>(ctx, a, x, y);
+            });
+    return;
   }
-  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+  dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
     const auto& a = g.packed().as<Dim>();
-    return jp_loop(g, seed,
-                   [&](const std::vector<value_t>& x,
-                       std::vector<value_t>& y) {
-                     gb::bit_mxv<Dim, MaxTimesOp>(a, x, y);
-                   });
+    jp_loop(g, ctx.seed, ws, out,
+            [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
+              gb::bit_mxv<Dim, MaxTimesOp>(ctx, a, x, y);
+            });
+    return 0;
   });
+}
+
+ColoringResult greedy_coloring(const Context& ctx, const gb::Graph& g,
+                               const ColoringParams& params) {
+  Workspace ws;
+  ColoringResult out;
+  greedy_coloring(ctx, g, params, ws, out);
+  return out;
 }
 
 bool is_valid_coloring(const Csr& a, const std::vector<std::int32_t>& color) {

@@ -3,26 +3,38 @@
 //
 // Jones–Plassmann style: repeatedly extract a maximal independent set
 // of the still-uncolored subgraph and give it the next color.  Each
-// round reuses the MIS machinery (max-times mxv); uncolored-subgraph
-// restriction is expressed through the candidate mask rather than
-// rebuilding the matrix.
+// round reuses the MIS machinery (max-times mxv, priorities seeded
+// from the Context's RNG seed); uncolored-subgraph restriction is
+// expressed through the candidate mask rather than rebuilding the
+// matrix.
 #pragma once
 
+#include "algorithms/workspace.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 
 #include <cstdint>
 #include <vector>
 
 namespace bitgb::algo {
 
+struct ColoringParams {};
+
 struct ColoringResult {
   std::vector<std::int32_t> color;  ///< 0-based color per vertex
   int num_colors = 0;
 };
 
-[[nodiscard]] ColoringResult greedy_coloring(const gb::Graph& g,
-                                             gb::Backend backend,
-                                             std::uint64_t seed = 0);
+/// Zero-allocation form: scratch lives in `ws`, result buffers reuse
+/// `out`'s capacity.  Priorities derive from ctx.seed.
+void greedy_coloring(const Context& ctx, const gb::Graph& g,
+                     const ColoringParams& params, Workspace& ws,
+                     ColoringResult& out);
+
+/// Convenience form (allocates internally).
+[[nodiscard]] ColoringResult greedy_coloring(const Context& ctx,
+                                             const gb::Graph& g,
+                                             const ColoringParams& params = {});
 
 /// True iff no edge connects two vertices of the same color and every
 /// vertex is colored.

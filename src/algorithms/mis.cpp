@@ -17,15 +17,17 @@ std::uint64_t mix(std::uint64_t x) {
 }
 
 template <typename MaxMxvFn>
-MisResult luby_loop(const gb::Graph& g, std::uint64_t seed,
-                    MaxMxvFn&& max_mxv) {
+void luby_loop(const gb::Graph& g, std::uint64_t seed, Workspace& ws,
+               MisResult& res, MaxMxvFn&& max_mxv) {
   const vidx_t n = g.num_vertices();
-  MisResult res;
   res.in_set.assign(static_cast<std::size_t>(n), 0);
+  res.rounds = 0;
 
-  std::vector<std::uint8_t> candidate(static_cast<std::size_t>(n), 1);
-  std::vector<value_t> prio(static_cast<std::size_t>(n));
-  std::vector<value_t> nbr_max;
+  auto& candidate = ws.slot<std::vector<std::uint8_t>>("mis.candidate");
+  auto& prio = ws.slot<std::vector<value_t>>("mis.prio");
+  auto& nbr_max = ws.slot<std::vector<value_t>>("mis.nbr_max");
+  candidate.assign(static_cast<std::size_t>(n), 1);
+  prio.resize(static_cast<std::size_t>(n));
   vidx_t remaining = n;
 
   while (remaining > 0) {
@@ -82,29 +84,37 @@ MisResult luby_loop(const gb::Graph& g, std::uint64_t seed,
       }
     }
   }
-  return res;
 }
 
 }  // namespace
 
-MisResult maximal_independent_set(const gb::Graph& g, gb::Backend backend,
-                                  std::uint64_t seed) {
-  if (backend == gb::Backend::kReference) {
+void maximal_independent_set(const Context& ctx, const gb::Graph& g,
+                             const MisParams& /*params*/, Workspace& ws,
+                             MisResult& out) {
+  if (ctx.backend == Backend::kReference) {
     const Csr& a = g.adjacency();
-    return luby_loop(g, seed,
-                     [&](const std::vector<value_t>& x,
-                         std::vector<value_t>& y) {
-                       gb::ref_mxv<MaxTimesOp>(a, x, y);
-                     });
+    luby_loop(g, ctx.seed, ws, out,
+              [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
+                gb::ref_mxv<MaxTimesOp>(ctx, a, x, y);
+              });
+    return;
   }
-  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+  dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
     const auto& a = g.packed().as<Dim>();
-    return luby_loop(g, seed,
-                     [&](const std::vector<value_t>& x,
-                         std::vector<value_t>& y) {
-                       gb::bit_mxv<Dim, MaxTimesOp>(a, x, y);
-                     });
+    luby_loop(g, ctx.seed, ws, out,
+              [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
+                gb::bit_mxv<Dim, MaxTimesOp>(ctx, a, x, y);
+              });
+    return 0;
   });
+}
+
+MisResult maximal_independent_set(const Context& ctx, const gb::Graph& g,
+                                  const MisParams& params) {
+  Workspace ws;
+  MisResult out;
+  maximal_independent_set(ctx, g, params, ws, out);
+  return out;
 }
 
 bool is_valid_mis(const Csr& a, const std::vector<std::uint8_t>& in_set) {

@@ -3,28 +3,39 @@
 // semiring algorithms Bit-GraphBLAS supports).
 //
 // Luby's algorithm in GraphBLAS form: every candidate vertex draws a
-// deterministic pseudo-random priority; one mxv over the max-times
-// semiring gives each vertex its neighbourhood's maximum priority; a
-// vertex whose own priority beats every neighbour's joins the set, and
-// its neighbourhood (one Boolean mxv) leaves the candidate pool.
-// Expected O(log n) rounds.
+// deterministic pseudo-random priority (seeded from the Context's RNG
+// seed); one mxv over the max-times semiring gives each vertex its
+// neighbourhood's maximum priority; a vertex whose own priority beats
+// every neighbour's joins the set, and its neighbourhood (one Boolean
+// mxv) leaves the candidate pool.  Expected O(log n) rounds.
 #pragma once
 
+#include "algorithms/workspace.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 
 #include <cstdint>
 #include <vector>
 
 namespace bitgb::algo {
 
+struct MisParams {};
+
 struct MisResult {
   std::vector<std::uint8_t> in_set;  ///< 1 if the vertex is in the MIS
   int rounds = 0;
 };
 
-[[nodiscard]] MisResult maximal_independent_set(const gb::Graph& g,
-                                                gb::Backend backend,
-                                                std::uint64_t seed = 0);
+/// Zero-allocation form: scratch lives in `ws`, result buffers reuse
+/// `out`'s capacity.  Priorities derive from ctx.seed.
+void maximal_independent_set(const Context& ctx, const gb::Graph& g,
+                             const MisParams& params, Workspace& ws,
+                             MisResult& out);
+
+/// Convenience form (allocates internally).
+[[nodiscard]] MisResult maximal_independent_set(const Context& ctx,
+                                                const gb::Graph& g,
+                                                const MisParams& params = {});
 
 /// Validity check: returns true iff `in_set` is independent (no edge
 /// inside the set) and maximal (every outside vertex has a neighbour

@@ -23,16 +23,19 @@ bool use_push(std::size_t active_tile_rows, vidx_t n_tile_rows) {
 /// The shared traversal loop.  On return `visited` is the reach
 /// bit-matrix (bit (v, b) set iff sources[b] reaches v) — msbfs drops
 /// it, batched_reach returns it.
-MsBfsResult run_msbfs(const gb::Graph& g, const std::vector<vidx_t>& sources,
-                      gb::Backend backend, FrontierBatch& visited) {
+void run_msbfs(const Context& ctx, const gb::Graph& g,
+               const std::vector<vidx_t>& sources, Workspace& ws,
+               MsBfsResult& res, FrontierBatch& visited) {
   const vidx_t n = g.num_vertices();
-  FrontierBatch frontier = FrontierBatch::from_sources(n, sources);
+  auto& frontier = ws.slot<FrontierBatch>("msbfs.frontier");
+  frontier.assign_sources(n, sources);  // in-place: reuses the row buffer
   const int batch = frontier.batch;
   visited = frontier;
-  FrontierBatch next(n, batch);
+  auto& next = ws.slot<FrontierBatch>("msbfs.next");
+  next.resize(n, batch);
 
-  MsBfsResult res;
   res.batch = batch;
+  res.iterations = 0;
   res.levels.assign(
       static_cast<std::size_t>(n) * static_cast<std::size_t>(batch),
       kUnreached);
@@ -45,13 +48,15 @@ MsBfsResult run_msbfs(const gb::Graph& g, const std::vector<vidx_t>& sources,
   // Rows currently holding a live frontier word, and their tile-rows
   // (rebuilt per level; both stay frontier-proportional on the push
   // path).
-  std::vector<vidx_t> frontier_rows(sources);
+  auto& frontier_rows = ws.slot<std::vector<vidx_t>>("msbfs.frontier_rows");
+  frontier_rows.assign(sources.begin(), sources.end());
   std::sort(frontier_rows.begin(), frontier_rows.end());
   frontier_rows.erase(
       std::unique(frontier_rows.begin(), frontier_rows.end()),
       frontier_rows.end());
-  std::vector<vidx_t> touched;
-  std::vector<vidx_t> active_tr;
+  auto& touched = ws.slot<std::vector<vidx_t>>("msbfs.touched");
+  auto& active_tr = ws.slot<std::vector<vidx_t>>("msbfs.active_tr");
+  touched.clear();
   const int dim = g.tile_dim();
   const vidx_t n_tile_rows = (n + dim - 1) / dim;
 
@@ -63,19 +68,20 @@ MsBfsResult run_msbfs(const gb::Graph& g, const std::vector<vidx_t>& sources,
     // hop.  The pull forms consume A^T (vxm(f, A) == mxv(A^T, f)); the
     // push form consumes A itself and costs only the active tile-rows.
     active_tr.clear();
-    if (backend == gb::Backend::kBit) {
+    if (ctx.backend == Backend::kBit) {
       for (const vidx_t v : frontier_rows) active_tr.push_back(v / dim);
       std::sort(active_tr.begin(), active_tr.end());
       active_tr.erase(std::unique(active_tr.begin(), active_tr.end()),
                       active_tr.end());
     }
-    if (backend == gb::Backend::kReference) {
-      gb::ref_mxm_frontier_masked(g.adjacency_t(), frontier, visited, next);
+    if (ctx.backend == Backend::kReference) {
+      gb::ref_mxm_frontier_masked(ctx, g.adjacency_t(), frontier, visited,
+                                  next);
       for (vidx_t v = 0; v < n; ++v) {
         if (next.rows[static_cast<std::size_t>(v)] != 0) touched.push_back(v);
       }
     } else if (use_push(active_tr.size(), n_tile_rows)) {
-      KernelTimerScope timer;
+      KernelTimerScope timer(ctx.timer);
       dispatch_tile_dim(dim, [&]<int Dim>() {
         bmm_frontier_push_masked(g.packed().as<Dim>(), frontier, active_tr,
                                  visited, /*complement=*/true, next, touched);
@@ -83,7 +89,7 @@ MsBfsResult run_msbfs(const gb::Graph& g, const std::vector<vidx_t>& sources,
       });
     } else {
       dispatch_tile_dim(dim, [&]<int Dim>() {
-        gb::bit_mxm_frontier_masked<Dim>(g.packed_t().as<Dim>(), frontier,
+        gb::bit_mxm_frontier_masked<Dim>(ctx, g.packed_t().as<Dim>(), frontier,
                                          visited, next);
         return 0;
       });
@@ -112,23 +118,37 @@ MsBfsResult run_msbfs(const gb::Graph& g, const std::vector<vidx_t>& sources,
     std::swap(frontier_rows, touched);
     if (!frontier_rows.empty()) res.iterations = level;
   }
-  return res;
 }
 
 }  // namespace
 
-MsBfsResult msbfs(const gb::Graph& g, const std::vector<vidx_t>& sources,
-                  gb::Backend backend) {
-  FrontierBatch visited;
-  return run_msbfs(g, sources, backend, visited);
+void msbfs(const Context& ctx, const gb::Graph& g, const MsBfsParams& params,
+           Workspace& ws, MsBfsResult& out) {
+  auto& visited = ws.slot<FrontierBatch>("msbfs.visited");
+  run_msbfs(ctx, g, params.sources, ws, out, visited);
 }
 
-FrontierBatch batched_reach(const gb::Graph& g,
-                            const std::vector<vidx_t>& sources,
-                            gb::Backend backend) {
-  FrontierBatch visited;
-  (void)run_msbfs(g, sources, backend, visited);
+MsBfsResult msbfs(const Context& ctx, const gb::Graph& g,
+                  const MsBfsParams& params) {
+  Workspace ws;
+  MsBfsResult out;
+  msbfs(ctx, g, params, ws, out);
+  return out;
+}
+
+const FrontierBatch& batched_reach(const Context& ctx, const gb::Graph& g,
+                                   const std::vector<vidx_t>& sources,
+                                   Workspace& ws) {
+  auto& res = ws.slot<MsBfsResult>("msbfs.reach_res");
+  auto& visited = ws.slot<FrontierBatch>("msbfs.visited");
+  run_msbfs(ctx, g, sources, ws, res, visited);
   return visited;
+}
+
+FrontierBatch batched_reach(const Context& ctx, const gb::Graph& g,
+                            const std::vector<vidx_t>& sources) {
+  Workspace ws;
+  return batched_reach(ctx, g, sources, ws);
 }
 
 std::vector<std::int32_t> msbfs_gold(const Csr& a,

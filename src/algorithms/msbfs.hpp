@@ -19,13 +19,19 @@
 #pragma once
 
 #include "algorithms/bfs.hpp"
+#include "algorithms/workspace.hpp"
 #include "core/frontier_batch.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 
 #include <cstdint>
 #include <vector>
 
 namespace bitgb::algo {
+
+struct MsBfsParams {
+  std::vector<vidx_t> sources;  ///< 1..64 start vertices
+};
 
 struct MsBfsResult {
   std::vector<std::int32_t> levels;  ///< n * batch, row-major by vertex
@@ -48,17 +54,29 @@ struct MsBfsResult {
 };
 
 /// Batched BFS from 1..64 sources (throws std::invalid_argument on an
-/// empty or oversized batch, or an out-of-range source).
-[[nodiscard]] MsBfsResult msbfs(const gb::Graph& g,
-                                const std::vector<vidx_t>& sources,
-                                gb::Backend backend);
+/// empty or oversized batch, or an out-of-range source).  Zero-
+/// allocation form: scratch lives in `ws`, result buffers reuse `out`'s
+/// capacity.
+void msbfs(const Context& ctx, const gb::Graph& g, const MsBfsParams& params,
+           Workspace& ws, MsBfsResult& out);
+
+/// Convenience form (allocates internally).
+[[nodiscard]] MsBfsResult msbfs(const Context& ctx, const gb::Graph& g,
+                                const MsBfsParams& params);
 
 /// Batched reachability: bit b of row v answers "does sources[b] reach
 /// v?" (a source reaches itself).  This is msbfs's visited matrix —
 /// the Boolean closure the batch engine hands to batched_cc.
-[[nodiscard]] FrontierBatch batched_reach(const gb::Graph& g,
-                                          const std::vector<vidx_t>& sources,
-                                          gb::Backend backend);
+[[nodiscard]] FrontierBatch batched_reach(const Context& ctx,
+                                          const gb::Graph& g,
+                                          const std::vector<vidx_t>& sources);
+
+/// Workspace form: the returned reference points into `ws` and stays
+/// valid until the next msbfs/batched_reach call on that workspace —
+/// the zero-copy wave loop batched_cc runs on.
+const FrontierBatch& batched_reach(const Context& ctx, const gb::Graph& g,
+                                   const std::vector<vidx_t>& sources,
+                                   Workspace& ws);
 
 /// Gold reference: `batch` independent serial queue-BFS runs, assembled
 /// into the same row-major level matrix.

@@ -23,18 +23,19 @@ double combine_iteration(const std::vector<value_t>& y, value_t alpha,
 }
 
 template <typename MxvFn>
-PageRankResult pagerank_loop(const gb::Graph& g, const PageRankOptions& opts,
-                             MxvFn&& mxv) {
+void pagerank_loop(const gb::Graph& g, const PageRankParams& opts,
+                   Workspace& ws, PageRankResult& res, MxvFn&& mxv) {
   const vidx_t n = g.num_vertices();
   const auto& deg = g.degrees();
 
-  PageRankResult res;
   const value_t init = 1.0f / static_cast<value_t>(n);
   res.rank.assign(static_cast<std::size_t>(n), init);
+  res.iterations = 0;
   const value_t teleport = (1.0f - opts.alpha) / static_cast<value_t>(n);
 
-  std::vector<value_t> scaled(static_cast<std::size_t>(n));
-  std::vector<value_t> y;
+  auto& scaled = ws.slot<std::vector<value_t>>("pr.scaled");
+  auto& y = ws.slot<std::vector<value_t>>("pr.y");
+  scaled.assign(static_cast<std::size_t>(n), 0.0f);
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     // Pre-scale by out-degree (the v_out_degree divide) and collect the
     // dangling mass.
@@ -54,35 +55,43 @@ PageRankResult pagerank_loop(const gb::Graph& g, const PageRankOptions& opts,
     res.iterations = iter + 1;
     if (delta < opts.epsilon) break;
   }
-  return res;
 }
 
 }  // namespace
 
-PageRankResult pagerank(const gb::Graph& g, gb::Backend backend,
-                        const PageRankOptions& opts) {
-  if (backend == gb::Backend::kReference) {
+void pagerank(const Context& ctx, const gb::Graph& g,
+              const PageRankParams& params, Workspace& ws,
+              PageRankResult& out) {
+  if (ctx.backend == Backend::kReference) {
     // GraphBLAST's arithmetic semiring loads the stored float per
     // nonzero (the column-stochastic matrix's values); the faithful
     // baseline pays that traffic.
     const Csr& at = g.unit_adjacency_t();
-    return pagerank_loop(g, opts,
-                         [&](const std::vector<value_t>& x,
-                             std::vector<value_t>& y) {
-                           gb::ref_mxv_weighted<PlusTimesOp>(at, x, y);
-                         });
+    pagerank_loop(g, params, ws, out,
+                  [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
+                    gb::ref_mxv_weighted<PlusTimesOp>(ctx, at, x, y);
+                  });
+    return;
   }
-  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+  dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
     const auto& at = g.packed_t().as<Dim>();
-    return pagerank_loop(g, opts,
-                         [&](const std::vector<value_t>& x,
-                             std::vector<value_t>& y) {
-                           gb::bit_mxv<Dim, PlusTimesOp>(at, x, y);
-                         });
+    pagerank_loop(g, params, ws, out,
+                  [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
+                    gb::bit_mxv<Dim, PlusTimesOp>(ctx, at, x, y);
+                  });
+    return 0;
   });
 }
 
-std::vector<value_t> pagerank_gold(const Csr& a, const PageRankOptions& opts) {
+PageRankResult pagerank(const Context& ctx, const gb::Graph& g,
+                        const PageRankParams& params) {
+  Workspace ws;
+  PageRankResult out;
+  pagerank(ctx, g, params, ws, out);
+  return out;
+}
+
+std::vector<value_t> pagerank_gold(const Csr& a, const PageRankParams& opts) {
   const vidx_t n = a.nrows;
   const Csr at = transpose(a);
   const auto deg = out_degrees(a);

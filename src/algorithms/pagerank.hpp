@@ -10,13 +10,15 @@
 // alpha = 0.85, epsilon = 1e-9.
 #pragma once
 
+#include "algorithms/workspace.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 
 #include <vector>
 
 namespace bitgb::algo {
 
-struct PageRankOptions {
+struct PageRankParams {
   int max_iterations = 10;   ///< paper §VI-A
   value_t alpha = 0.85f;     ///< paper §VI-A
   double epsilon = 1e-9;     ///< paper §VI-A ("pdfilon")
@@ -27,11 +29,18 @@ struct PageRankResult {
   int iterations = 0;
 };
 
-[[nodiscard]] PageRankResult pagerank(const gb::Graph& g, gb::Backend backend,
-                                      const PageRankOptions& opts = {});
+/// Zero-allocation form: scratch lives in `ws`, result buffers reuse
+/// `out`'s capacity.
+void pagerank(const Context& ctx, const gb::Graph& g,
+              const PageRankParams& params, Workspace& ws,
+              PageRankResult& out);
+
+/// Convenience form (allocates internally).
+[[nodiscard]] PageRankResult pagerank(const Context& ctx, const gb::Graph& g,
+                                      const PageRankParams& params = {});
 
 /// Serial gold reference: identical formula, no framework machinery.
 [[nodiscard]] std::vector<value_t> pagerank_gold(
-    const Csr& a, const PageRankOptions& opts = {});
+    const Csr& a, const PageRankParams& params = {});
 
 }  // namespace bitgb::algo

@@ -11,12 +11,13 @@ namespace {
 constexpr value_t kInf = std::numeric_limits<value_t>::infinity();
 
 template <typename MxvFn>
-SsspResult sssp_loop(vidx_t n, vidx_t source, MxvFn&& relax) {
-  SsspResult res;
+void sssp_loop(vidx_t n, vidx_t source, Workspace& ws, SsspResult& res,
+               MxvFn&& relax) {
   res.dist.assign(static_cast<std::size_t>(n), kInf);
   res.dist[static_cast<std::size_t>(source)] = 0.0f;
+  res.iterations = 0;
 
-  std::vector<value_t> relaxed;
+  auto& relaxed = ws.slot<std::vector<value_t>>("sssp.relaxed");
   for (vidx_t iter = 1; iter < n; ++iter) {
     relax(res.dist, relaxed);
     bool changed = false;
@@ -29,31 +30,39 @@ SsspResult sssp_loop(vidx_t n, vidx_t source, MxvFn&& relax) {
     res.iterations = static_cast<int>(iter);
     if (!changed) break;
   }
-  return res;
 }
 
 }  // namespace
 
-SsspResult sssp(const gb::Graph& g, vidx_t source, gb::Backend backend) {
+void sssp(const Context& ctx, const gb::Graph& g, const SsspParams& params,
+          Workspace& ws, SsspResult& out) {
   const vidx_t n = g.num_vertices();
-  if (backend == gb::Backend::kReference) {
+  if (ctx.backend == Backend::kReference) {
     // GraphBLAST's min-plus semiring loads the stored edge weight per
     // nonzero; the faithful baseline does too (unit weights here).
     const Csr& a = g.unit_adjacency();
-    return sssp_loop(n, source,
-                     [&](const std::vector<value_t>& d,
-                         std::vector<value_t>& out) {
-                       gb::ref_mxv_weighted<MinPlusOp>(a, d, out);
-                     });
+    sssp_loop(n, params.source, ws, out,
+              [&](const std::vector<value_t>& d, std::vector<value_t>& y) {
+                gb::ref_mxv_weighted<MinPlusOp>(ctx, a, d, y);
+              });
+    return;
   }
-  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+  dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
     const auto& a = g.packed().as<Dim>();
-    return sssp_loop(n, source,
-                     [&](const std::vector<value_t>& d,
-                         std::vector<value_t>& out) {
-                       gb::bit_mxv<Dim, MinPlusOp>(a, d, out);
-                     });
+    sssp_loop(n, params.source, ws, out,
+              [&](const std::vector<value_t>& d, std::vector<value_t>& y) {
+                gb::bit_mxv<Dim, MinPlusOp>(ctx, a, d, y);
+              });
+    return 0;
   });
+}
+
+SsspResult sssp(const Context& ctx, const gb::Graph& g,
+                const SsspParams& params) {
+  Workspace ws;
+  SsspResult out;
+  sssp(ctx, g, params, ws, out);
+  return out;
 }
 
 std::vector<value_t> sssp_gold(const Csr& a, vidx_t source) {

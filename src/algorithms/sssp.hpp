@@ -7,19 +7,31 @@
 // Iteration stops when no distance improves (at most |V|-1 rounds).
 #pragma once
 
+#include "algorithms/workspace.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 
 #include <vector>
 
 namespace bitgb::algo {
+
+struct SsspParams {
+  vidx_t source = 0;
+};
 
 struct SsspResult {
   std::vector<value_t> dist;  ///< +inf where unreachable
   int iterations = 0;
 };
 
-[[nodiscard]] SsspResult sssp(const gb::Graph& g, vidx_t source,
-                              gb::Backend backend);
+/// Zero-allocation form: scratch lives in `ws`, result buffers reuse
+/// `out`'s capacity.
+void sssp(const Context& ctx, const gb::Graph& g, const SsspParams& params,
+          Workspace& ws, SsspResult& out);
+
+/// Convenience form (allocates internally).
+[[nodiscard]] SsspResult sssp(const Context& ctx, const gb::Graph& g,
+                              const SsspParams& params);
 
 /// Serial Bellman-Ford gold reference over unit weights.
 [[nodiscard]] std::vector<value_t> sssp_gold(const Csr& a, vidx_t source);

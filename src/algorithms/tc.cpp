@@ -9,21 +9,32 @@
 
 namespace bitgb::algo {
 
-std::int64_t triangle_count(const gb::Graph& g, gb::Backend backend) {
-  if (backend == gb::Backend::kReference) {
+void triangle_count(const Context& ctx, const gb::Graph& g,
+                    const TcParams& /*params*/, Workspace& /*ws*/,
+                    TcResult& out) {
+  if (ctx.backend == Backend::kReference) {
     const Csr& l = g.lower();
-    KernelTimerScope timer;
+    KernelTimerScope timer(ctx.timer);
     // sum((L * L^T) .* L) via the masked dot formulation.
-    return static_cast<std::int64_t>(
-        std::llround(baseline::csrgemm_masked_sum(l, l, l)));
+    out.triangles = static_cast<std::int64_t>(
+        std::llround(baseline::csrgemm_masked_sum(l, l, l, ctx.exec())));
+    return;
   }
   // The L pack is a cached one-time conversion (paper §III-B amortizes
   // it over repeated use); only the masked BMM is the TC kernel.
   const B2srAny& lb = g.packed_lower();
-  return dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
-    return gb::bit_mxm_masked_sum<Dim>(lb.as<Dim>(), lb.as<Dim>(),
+  out.triangles = dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
+    return gb::bit_mxm_masked_sum<Dim>(ctx, lb.as<Dim>(), lb.as<Dim>(),
                                        lb.as<Dim>());
   });
+}
+
+std::int64_t triangle_count(const Context& ctx, const gb::Graph& g,
+                            const TcParams& params) {
+  Workspace ws;
+  TcResult out;
+  triangle_count(ctx, g, params, ws, out);
+  return out.triangles;
 }
 
 std::int64_t tc_gold(const Csr& a) {

@@ -9,14 +9,29 @@
 // over float CSR.
 #pragma once
 
+#include "algorithms/workspace.hpp"
 #include "graphblas/graph.hpp"
+#include "platform/context.hpp"
 
 #include <cstdint>
 
 namespace bitgb::algo {
 
-[[nodiscard]] std::int64_t triangle_count(const gb::Graph& g,
-                                          gb::Backend backend);
+struct TcParams {};
+
+struct TcResult {
+  std::int64_t triangles = 0;
+};
+
+/// Workspace form for API uniformity (TC's reduction is a scalar; it
+/// carries no reusable scratch, so `ws` is accepted and unused).
+void triangle_count(const Context& ctx, const gb::Graph& g,
+                    const TcParams& params, Workspace& ws, TcResult& out);
+
+/// Convenience form.
+[[nodiscard]] std::int64_t triangle_count(const Context& ctx,
+                                          const gb::Graph& g,
+                                          const TcParams& params = {});
 
 /// Sorted-adjacency-intersection gold reference.
 [[nodiscard]] std::int64_t tc_gold(const Csr& a);

@@ -1,0 +1,49 @@
+// Workspace — caller-owned reusable scratch for the algorithms.
+//
+// Every algorithm has two entry points: a convenience form that
+// allocates its scratch internally, and a form taking a Workspace&
+// plus a Result& out-parameter.  The workspace keeps each named
+// scratch buffer (frontiers, level/visited vectors, SpGEMM scratch,
+// FastSV label arrays, ...) alive between calls, and the out-parameter
+// reuses the result buffers' capacity, so a steady-state query loop —
+// the serving shape of the ROADMAP north star — performs zero heap
+// allocations per query after the first.
+//
+// A Workspace is intentionally NOT thread-safe: it models one serving
+// thread's scratch.  Concurrent queries each own a workspace (see
+// examples/concurrent_queries.cpp); the *Graph* is what they share.
+#pragma once
+
+#include <any>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace bitgb::algo {
+
+class Workspace {
+ public:
+  /// The T-typed slot named `key`, default-constructed on first use (or
+  /// when a previous user left a different type there — e.g. the same
+  /// workspace reused across Graphs with different tile dims).  The
+  /// steady-state path is a heterogeneous map lookup: no allocation.
+  template <typename T>
+  [[nodiscard]] T& slot(std::string_view key) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      it = slots_.emplace(std::string(key), std::any()).first;
+    }
+    if (it->second.type() != typeid(T)) it->second.emplace<T>();
+    return *std::any_cast<T>(&it->second);
+  }
+
+  /// Drop every buffer (frees the memory; next run re-allocates).
+  void clear() { slots_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::map<std::string, std::any, std::less<>> slots_;
+};
+
+}  // namespace bitgb::algo

@@ -31,7 +31,7 @@ thread_local Spa tls_spa;
 
 }  // namespace
 
-Csr csrgemm(const Csr& a, const Csr& b) {
+Csr csrgemm(const Csr& a, const Csr& b, Exec exec) {
   assert(a.ncols == b.nrows);
   const bool aw = !a.val.empty();
   const bool bw = !b.val.empty();
@@ -39,7 +39,7 @@ Csr csrgemm(const Csr& a, const Csr& b) {
   std::vector<std::vector<std::pair<vidx_t, value_t>>> rows(
       static_cast<std::size_t>(a.nrows));
 
-  parallel_for(vidx_t{0}, a.nrows, [&](vidx_t r) {
+  parallel_for(exec.threads, vidx_t{0}, a.nrows, [&](vidx_t r) {
     Spa& spa = tls_spa;
     spa.ensure(b.ncols);
     const int g = ++spa.gen;
@@ -93,14 +93,15 @@ Csr csrgemm(const Csr& a, const Csr& b) {
   return c;
 }
 
-double csrgemm_masked_sum(const Csr& a, const Csr& b, const Csr& mask) {
+double csrgemm_masked_sum(const Csr& a, const Csr& b, const Csr& mask,
+                          Exec exec) {
   assert(a.ncols == b.ncols);  // dot formulation: C(i,j) = A(i,:) . B(j,:)
   assert(mask.nrows == a.nrows && mask.ncols == b.nrows);
   const bool aw = !a.val.empty();
   const bool bw = !b.val.empty();
 
   std::vector<double> partial(static_cast<std::size_t>(a.nrows), 0.0);
-  parallel_for(vidx_t{0}, mask.nrows, [&](vidx_t i) {
+  parallel_for(exec.threads, vidx_t{0}, mask.nrows, [&](vidx_t i) {
     double s = 0.0;
     const auto mcols = mask.row_cols(i);
     const auto acols = a.row_cols(i);

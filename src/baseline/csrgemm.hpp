@@ -6,17 +6,18 @@
 // Figure 6d/7d BMM comparison and for the GraphBLAST-style TC baseline.
 #pragma once
 
+#include "platform/exec.hpp"
 #include "sparse/csr.hpp"
 
 namespace bitgb::baseline {
 
 /// C = A * B (plus-times).  Requires a.ncols == b.nrows.
-[[nodiscard]] Csr csrgemm(const Csr& a, const Csr& b);
+[[nodiscard]] Csr csrgemm(const Csr& a, const Csr& b, Exec exec = {});
 
 /// Masked sum: sum over entries (i,j) in mask of (A*B)(i,j) — the
 /// GraphBLAST-style triangle-counting reduction sum(L .* (L*L^T)).
 /// `b` is accessed row-wise; pass B = L^T for the TC use.
 [[nodiscard]] double csrgemm_masked_sum(const Csr& a, const Csr& b,
-                                        const Csr& mask);
+                                        const Csr& mask, Exec exec = {});
 
 }  // namespace bitgb::baseline

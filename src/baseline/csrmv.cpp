@@ -7,7 +7,7 @@
 namespace bitgb::baseline {
 
 void csrmv(const Csr& a, const std::vector<value_t>& x,
-           std::vector<value_t>& y) {
+           std::vector<value_t>& y, Exec exec) {
   assert(static_cast<vidx_t>(x.size()) == a.ncols);
   y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
   const bool weighted = !a.val.empty();
@@ -18,7 +18,7 @@ void csrmv(const Csr& a, const std::vector<value_t>& x,
   value_t* yp = y.data();
   // Value captures only (see parallel.hpp on closure escape) — this is
   // the comparison baseline, so it must not carry avoidable overhead.
-  parallel_for(vidx_t{0}, a.nrows, [=](vidx_t r) {
+  parallel_for(exec.threads, vidx_t{0}, a.nrows, [=](vidx_t r) {
     const auto lo = rowptr[static_cast<std::size_t>(r)];
     const auto hi = rowptr[static_cast<std::size_t>(r) + 1];
     value_t acc = 0.0f;
@@ -32,7 +32,7 @@ void csrmv(const Csr& a, const std::vector<value_t>& x,
 }
 
 void csrmv_axpby(const Csr& a, value_t alpha, const std::vector<value_t>& x,
-                 value_t beta, std::vector<value_t>& y) {
+                 value_t beta, std::vector<value_t>& y, Exec exec) {
   assert(static_cast<vidx_t>(x.size()) == a.ncols);
   assert(static_cast<vidx_t>(y.size()) == a.nrows);
   const bool weighted = !a.val.empty();
@@ -41,7 +41,7 @@ void csrmv_axpby(const Csr& a, value_t alpha, const std::vector<value_t>& x,
   const value_t* val = a.val.data();
   const value_t* xp = x.data();
   value_t* yp = y.data();
-  parallel_for(vidx_t{0}, a.nrows, [=](vidx_t r) {
+  parallel_for(exec.threads, vidx_t{0}, a.nrows, [=](vidx_t r) {
     const auto lo = rowptr[static_cast<std::size_t>(r)];
     const auto hi = rowptr[static_cast<std::size_t>(r) + 1];
     value_t acc = 0.0f;

@@ -4,10 +4,11 @@
 // against: y = A*x with A in CSR carrying one 32-bit float per nonzero.
 // Binary matrices are given unit values before benchmarking, exactly as
 // the compared GPU frameworks "use float to carry the elements" (§III-B).
-// Parallelized row-wise with OpenMP (one row range per thread ≙ the
-// row-split csrmv of cuSPARSE).
+// Parallelized row-wise (one row range per thread ≙ the row-split
+// csrmv of cuSPARSE) under the caller's Exec thread budget.
 #pragma once
 
+#include "platform/exec.hpp"
 #include "sparse/csr.hpp"
 
 #include <vector>
@@ -17,10 +18,10 @@ namespace bitgb::baseline {
 /// y = A * x (plus-times).  A binary A is treated as all-ones.
 /// Preconditions: x.size() == A.ncols; y is resized to A.nrows.
 void csrmv(const Csr& a, const std::vector<value_t>& x,
-           std::vector<value_t>& y);
+           std::vector<value_t>& y, Exec exec = {});
 
 /// y = alpha * A * x + beta * y (the full cusparseScsrmv signature).
 void csrmv_axpby(const Csr& a, value_t alpha, const std::vector<value_t>& x,
-                 value_t beta, std::vector<value_t>& y);
+                 value_t beta, std::vector<value_t>& y, Exec exec = {});
 
 }  // namespace bitgb::baseline

@@ -6,6 +6,7 @@
 
 #include "benchlib/corpus.hpp"
 #include "benchlib/reporting.hpp"
+#include "platform/device_profile.hpp"
 
 #include <iosfwd>
 #include <string>
@@ -23,16 +24,21 @@ enum class TableAlgo { kBfs, kSssp, kPr, kCc, kTc, kMsBfs };
 /// example instead draws random sources to simulate live traffic).
 [[nodiscard]] std::vector<vidx_t> batch_sources(vidx_t n);
 
-/// Measure one algorithm over the given matrices under the currently
-/// active device profile.  Format conversion / transposes are warmed
-/// outside the timed region (the paper amortizes the one-time
-/// conversion, §III-B, and its tables report algorithm time only).
+/// Measure one algorithm over the given matrices under the given device
+/// profile (its thread width and kernel variant become the per-run
+/// Context; nothing global is touched).  Format conversion / transposes
+/// are prewarmed outside the timed region (the paper amortizes the
+/// one-time conversion, §III-B, and its tables report algorithm time
+/// only).
 [[nodiscard]] std::vector<AlgoRow> run_algo_table(
-    const std::vector<CorpusEntry>& matrices, TableAlgo algo);
+    const DeviceProfile& profile, const std::vector<CorpusEntry>& matrices,
+    TableAlgo algo);
 
 /// Run & print the full SpMV-algorithm table (BFS, SSSP, PR, CC) —
 /// one block per algorithm, the paper's Table VII/VIII content.
-void print_spmv_algorithm_table(std::ostream& os, const std::string& title,
+void print_spmv_algorithm_table(std::ostream& os,
+                                const DeviceProfile& profile,
+                                const std::string& title,
                                 const std::vector<CorpusEntry>& matrices);
 
 }  // namespace bitgb::bench

@@ -27,8 +27,10 @@ std::vector<value_t> make_vector(vidx_t n, std::uint64_t seed) {
 
 }  // namespace
 
-SweepResult run_kernel_sweep(const SweepOptions& opts) {
+SweepResult run_kernel_sweep(const DeviceProfile& profile,
+                             const SweepOptions& opts) {
   SweepResult result;
+  const Exec exec{profile.variant, profile.num_threads};
   const auto corpus = full_corpus(opts.scale);
 
   for (const auto& entry : corpus) {
@@ -44,39 +46,39 @@ SweepResult run_kernel_sweep(const SweepOptions& opts) {
 
     std::vector<value_t> y;
     const double t_csrmv =
-        time_avg_ms([&] { baseline::csrmv(unit, xf, y); });
+        time_avg_ms([&] { baseline::csrmv(unit, xf, y, exec); });
 
     const bool do_bmm = m.nnz() <= opts.bmm_nnz_cap;
     double t_csrgemm = 0.0;
     if (do_bmm) {
-      t_csrgemm = time_avg_ms([&] { (void)baseline::csrgemm(unit, unit); });
+      t_csrgemm = time_avg_ms([&] { (void)baseline::csrgemm(unit, unit, exec); });
     }
 
     for (const int dim : kTileDims) {
       dispatch_tile_dim(dim, [&]<int Dim>() {
-        const B2srT<Dim> a = pack_from_csr<Dim>(m);
+        const B2srT<Dim> a = pack_from_csr<Dim>(m, exec);
         const auto xb = PackedVecT<Dim>::from_values(xf);
 
         PackedVecT<Dim> yb;
         const double t_bbb =
-            time_avg_ms([&] { bmv_bin_bin_bin(a, xb, yb); });
+            time_avg_ms([&] { bmv_bin_bin_bin(a, xb, yb, exec); });
         result.bmv_bin_bin_bin.push_back(
             {entry.name, density, Dim, t_csrmv / t_bbb});
 
         std::vector<value_t> yf;
         const double t_bbf =
-            time_avg_ms([&] { bmv_bin_bin_full(a, xb, yf); });
+            time_avg_ms([&] { bmv_bin_bin_full(a, xb, yf, exec); });
         result.bmv_bin_bin_full.push_back(
             {entry.name, density, Dim, t_csrmv / t_bbf});
 
         const double t_bff = time_avg_ms(
-            [&] { bmv_bin_full_full<Dim, PlusTimesOp>(a, xf, yf); });
+            [&] { bmv_bin_full_full<Dim, PlusTimesOp>(a, xf, yf, exec); });
         result.bmv_bin_full_full.push_back(
             {entry.name, density, Dim, t_csrmv / t_bff});
 
         if (do_bmm) {
           const double t_bmm =
-              time_avg_ms([&] { (void)bmm_bin_bin_sum(a, a); });
+              time_avg_ms([&] { (void)bmm_bin_bin_sum(a, a, exec); });
           result.bmm_bin_bin_sum.push_back(
               {entry.name, density, Dim, t_csrgemm / t_bmm});
         }

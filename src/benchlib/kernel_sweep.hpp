@@ -10,6 +10,7 @@
 
 #include "benchlib/corpus.hpp"
 #include "benchlib/reporting.hpp"
+#include "platform/device_profile.hpp"
 
 #include <iosfwd>
 #include <vector>
@@ -31,8 +32,10 @@ struct SweepOptions {
   eidx_t bmm_nnz_cap = 60000;
 };
 
-/// Run the sweep under the *currently active* device profile.
-[[nodiscard]] SweepResult run_kernel_sweep(const SweepOptions& opts);
+/// Run the sweep under the given device profile (its thread width and
+/// kernel variant are passed per call as an Exec; no global state).
+[[nodiscard]] SweepResult run_kernel_sweep(const DeviceProfile& profile,
+                                           const SweepOptions& opts);
 
 /// Print all four panels in paper order.
 void print_sweep(std::ostream& os, const std::string& figure_name,

@@ -112,11 +112,11 @@ template <int Dim>
 
 template <int Dim>
 B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
-                      KernelVariant variant) {
+                      Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(a.ncols == b.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kSpgemmAccum, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kSpgemmAccum, Dim) ==
       KernelVariant::kSimd;
 
   const vidx_t ntr = a.n_tile_rows();
@@ -132,7 +132,7 @@ B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
   // tile-row — marks only, no bit work.  Tiles that annihilate
   // numerically are compacted away after the fill.
   std::vector<vidx_t> upper(static_cast<std::size_t>(ntr), 0);
-  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
     const vidx_t alo = a_rowptr[tr];
     const vidx_t ahi = a_rowptr[tr + 1];
     if (alo == ahi) return;  // empty A tile-row: no output
@@ -156,7 +156,8 @@ B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
   });
 
   std::vector<vidx_t> offs(static_cast<std::size_t>(ntr) + 1);
-  parallel_exclusive_scan(upper.data(), upper.size(), offs.data());
+  parallel_exclusive_scan(exec.threads, upper.data(), upper.size(),
+                          offs.data());
   const vidx_t ub_total = offs.back();
 
   B2srT<Dim> c;
@@ -169,7 +170,7 @@ B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
   // Phase 2 (numeric): Gustavson over tiles into the SPA, then drain
   // the touched tiles — sorted, annihilated tiles skipped — straight
   // into this tile-row's pre-sized slot range.
-  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
     const vidx_t alo = a_rowptr[tr];
     const vidx_t ahi = a_rowptr[tr + 1];
     if (alo == ahi) return;
@@ -224,12 +225,13 @@ B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
   // fresh arrays: sources and destinations never alias, and each row
   // owns a disjoint destination range.
   c.tile_rowptr.resize(static_cast<std::size_t>(ntr) + 1);
-  parallel_exclusive_scan(actual.data(), actual.size(), c.tile_rowptr.data());
+  parallel_exclusive_scan(exec.threads, actual.data(), actual.size(),
+                          c.tile_rowptr.data());
   const vidx_t total = c.tile_rowptr.back();
   if (total != ub_total) {
     decltype(c.tile_colind) packed_colind(static_cast<std::size_t>(total));
     decltype(c.bits) packed_bits(static_cast<std::size_t>(total) * Dim);
-    parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+    parallel_for(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
       const auto src = static_cast<std::size_t>(offs[static_cast<std::size_t>(tr)]);
       const auto dst =
           static_cast<std::size_t>(c.tile_rowptr[static_cast<std::size_t>(tr)]);
@@ -248,7 +250,8 @@ B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
 }
 
 template <int Dim>
-B2srT<Dim> bit_spgemm_reference(const B2srT<Dim>& a, const B2srT<Dim>& b) {
+B2srT<Dim> bit_spgemm_reference(const B2srT<Dim>& a, const B2srT<Dim>& b,
+                                Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(a.ncols == b.nrows);
 
@@ -261,7 +264,7 @@ B2srT<Dim> bit_spgemm_reference(const B2srT<Dim>& a, const B2srT<Dim>& b) {
   };
   std::vector<RowResult> rows(static_cast<std::size_t>(ntr));
 
-  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
     auto& spa = tls_tile_spa<Dim>();
     spa.ensure(ntc);
     const int g = ++spa.gen;
@@ -329,20 +332,20 @@ B2srT<Dim> bit_spgemm_reference(const B2srT<Dim>& a, const B2srT<Dim>& b) {
   return c;
 }
 
-B2srAny bit_spgemm_any(const B2srAny& a, const B2srAny& b) {
+B2srAny bit_spgemm_any(const B2srAny& a, const B2srAny& b, Exec exec) {
   if (a.tile_dim() != b.tile_dim()) {
     throw std::invalid_argument("bit_spgemm_any: mismatched tile dims");
   }
   return dispatch_tile_dim(a.tile_dim(), [&]<int Dim>() {
-    return B2srAny(bit_spgemm(a.as<Dim>(), b.as<Dim>()));
+    return B2srAny(bit_spgemm(a.as<Dim>(), b.as<Dim>(), exec));
   });
 }
 
 #define BITGB_INSTANTIATE_SPGEMM(Dim)                                     \
   template B2srT<Dim> bit_spgemm<Dim>(const B2srT<Dim>&,                  \
-                                      const B2srT<Dim>&, KernelVariant);  \
+                                      const B2srT<Dim>&, Exec);  \
   template B2srT<Dim> bit_spgemm_reference<Dim>(const B2srT<Dim>&,        \
-                                                const B2srT<Dim>&)
+                                                const B2srT<Dim>&, Exec)
 
 BITGB_INSTANTIATE_SPGEMM(4);
 BITGB_INSTANTIATE_SPGEMM(8);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/exec.hpp"
 #include "platform/simd.hpp"
 
 namespace bitgb {
@@ -23,17 +24,18 @@ namespace bitgb {
 /// tile can have zero rows, so a structurally reachable output tile
 /// can still come out empty).
 template <int Dim>
-[[nodiscard]] B2srT<Dim> bit_spgemm(
-    const B2srT<Dim>& a, const B2srT<Dim>& b,
-    KernelVariant variant = KernelVariant::kAuto);
+[[nodiscard]] B2srT<Dim> bit_spgemm(const B2srT<Dim>& a, const B2srT<Dim>& b,
+                                    Exec exec = {});
 
 /// The pre-rewrite implementation (per-tile-row vector-of-vectors
 /// staging), kept as the differential oracle for test_pack_pipeline.
 template <int Dim>
 [[nodiscard]] B2srT<Dim> bit_spgemm_reference(const B2srT<Dim>& a,
-                                              const B2srT<Dim>& b);
+                                              const B2srT<Dim>& b,
+                                              Exec exec = {});
 
 /// Runtime-dim dispatch (both operands must hold the same tile dim).
-[[nodiscard]] B2srAny bit_spgemm_any(const B2srAny& a, const B2srAny& b);
+[[nodiscard]] B2srAny bit_spgemm_any(const B2srAny& a, const B2srAny& b,
+                                     Exec exec = {});
 
 }  // namespace bitgb

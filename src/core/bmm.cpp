@@ -10,11 +10,11 @@ namespace bitgb {
 
 template <int Dim>
 std::int64_t bmm_bin_bin_sum(const B2srT<Dim>& a, const B2srT<Dim>& b,
-                             KernelVariant variant) {
+                             Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(a.ncols == b.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kBmmBinBinSum, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kBmmBinBinSum, Dim) ==
       KernelVariant::kSimd;
   const vidx_t* a_rowptr = a.tile_rowptr.data();
   const vidx_t* a_colind = a.tile_colind.data();
@@ -31,7 +31,7 @@ std::int64_t bmm_bin_bin_sum(const B2srT<Dim>& a, const B2srT<Dim>& b,
   //   sum_r sum_{t set in Arow_r} popc(Brow_t)
   // == the register reduction of Listing 2 folded into the sum.
   // Value captures only (see parallel.hpp on closure escape).
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t alo = a_rowptr[tr];
     const vidx_t ahi = a_rowptr[tr + 1];
     if (alo == ahi) return;
@@ -66,13 +66,13 @@ std::int64_t bmm_bin_bin_sum(const B2srT<Dim>& a, const B2srT<Dim>& b,
 template <int Dim>
 std::int64_t bmm_bin_bin_sum_masked(const B2srT<Dim>& a, const B2srT<Dim>& b,
                                     const B2srT<Dim>& mask,
-                                    KernelVariant variant) {
+                                    Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(a.ncols == b.ncols);
   assert(mask.nrows == a.nrows);
   assert(mask.ncols == b.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kBmmBinBinSumMasked, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kBmmBinBinSumMasked, Dim) ==
       KernelVariant::kSimd;
   const vidx_t* a_rowptr = a.tile_rowptr.data();
   const vidx_t* a_colind = a.tile_colind.data();
@@ -85,7 +85,7 @@ std::int64_t bmm_bin_bin_sum_masked(const B2srT<Dim>& a, const B2srT<Dim>& b,
   const word_t* m_tiles = mask.bits.data();
   std::atomic<std::int64_t> total{0};
   std::atomic<std::int64_t>* totalp = &total;
-  parallel_for(vidx_t{0}, mask.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, mask.n_tile_rows(), [=](vidx_t tr) {
     // Empty-tile-row early-outs: no mask tiles or no A tiles in this
     // tile-row means no (i, j) pair can contribute.
     const vidx_t mlo = m_rowptr[tr];
@@ -143,10 +143,10 @@ std::int64_t bmm_bin_bin_sum_masked(const B2srT<Dim>& a, const B2srT<Dim>& b,
 
 #define BITGB_INSTANTIATE_BMM(Dim)                                      \
   template std::int64_t bmm_bin_bin_sum<Dim>(                           \
-      const B2srT<Dim>&, const B2srT<Dim>&, KernelVariant);             \
+      const B2srT<Dim>&, const B2srT<Dim>&, Exec);             \
   template std::int64_t bmm_bin_bin_sum_masked<Dim>(                    \
       const B2srT<Dim>&, const B2srT<Dim>&, const B2srT<Dim>&,          \
-      KernelVariant)
+      Exec)
 
 BITGB_INSTANTIATE_BMM(4);
 BITGB_INSTANTIATE_BMM(8);

@@ -29,28 +29,30 @@
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/exec.hpp"
 #include "platform/simd.hpp"
 
 #include <cstdint>
 
 namespace bitgb {
 
-// Both kernels take a trailing KernelVariant (platform/simd.hpp)
-// selecting the scalar or SIMD inner loop; the reductions are integer
-// sums, so the variants are bit-identical.
+// Both kernels take a trailing Exec (platform/exec.hpp) selecting the
+// scalar or SIMD inner loop and the thread budget; the reductions are
+// integer sums, so the variants are bit-identical.
 
 /// Sum over the counting product A*B (requires a.ncols == b.nrows).
 template <int Dim>
-[[nodiscard]] std::int64_t bmm_bin_bin_sum(
-    const B2srT<Dim>& a, const B2srT<Dim>& b,
-    KernelVariant variant = KernelVariant::kAuto);
+[[nodiscard]] std::int64_t bmm_bin_bin_sum(const B2srT<Dim>& a,
+                                           const B2srT<Dim>& b,
+                                           Exec exec = {});
 
 /// Masked dot-product sum: sum_{(i,j): M(i,j)=1} (A * B^T)(i,j).
 /// Requires a.ncols == b.ncols (shared inner dimension) and
 /// mask.nrows == a.nrows, mask.ncols == b.nrows.
 template <int Dim>
-[[nodiscard]] std::int64_t bmm_bin_bin_sum_masked(
-    const B2srT<Dim>& a, const B2srT<Dim>& b, const B2srT<Dim>& mask,
-    KernelVariant variant = KernelVariant::kAuto);
+[[nodiscard]] std::int64_t bmm_bin_bin_sum_masked(const B2srT<Dim>& a,
+                                                  const B2srT<Dim>& b,
+                                                  const B2srT<Dim>& mask,
+                                                  Exec exec = {});
 
 }  // namespace bitgb

@@ -6,12 +6,12 @@ namespace bitgb {
 
 template <int Dim>
 void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
-                     PackedVecT<Dim>& y, KernelVariant variant) {
+                     PackedVecT<Dim>& y, Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.ncols);
   y.resize(a.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kBmvBinBinBin, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kBmvBinBinBin, Dim) ==
       KernelVariant::kSimd;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
@@ -21,7 +21,7 @@ void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
   // Value captures only: a by-reference capture would tie the lambda to
   // the caller's stack and force the serial path's loads through memory
   // (see parallel.hpp on closure escape).
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -45,13 +45,13 @@ void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
 template <int Dim>
 void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
                             const PackedVecT<Dim>& mask, bool complement,
-                            PackedVecT<Dim>& y, KernelVariant variant) {
+                            PackedVecT<Dim>& y, Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.ncols);
   assert(mask.n == a.nrows);
   y.resize(a.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kBmvBinBinBinMasked, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kBmvBinBinBinMasked, Dim) ==
       KernelVariant::kSimd;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
@@ -59,7 +59,7 @@ void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
   const word_t* xw = x.words.data();
   const word_t* mw = mask.words.data();
   word_t* yw = y.words.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -94,18 +94,19 @@ template <int Dim>
 void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
                                  const PackedVecT<Dim>& x,
                                  const PackedVecT<Dim>& mask, bool complement,
-                                 PackedVecT<Dim>& y) {
+                                 PackedVecT<Dim>& y, Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.nrows);  // vxm: x selects rows of A
   assert(mask.n == a.ncols);
   y.resize(a.ncols);
+  const bool concurrent = resolve_width(exec.threads) > 1;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
   const word_t* tiles = a.bits.data();
   const word_t* fx = x.words.data();
   const word_t* mw = mask.words.data();
   word_t* yw = y.words.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const word_t fw = fx[static_cast<std::size_t>(tr)];
     if (fw == 0) return;  // no frontier vertex in this tile-row
     const vidx_t lo = rowptr[tr];
@@ -121,7 +122,7 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
       word_t mword = mw[j];
       if (complement) mword = static_cast<word_t>(~mword);
       out = static_cast<word_t>(out & mword);
-      if (out != 0) atomic_or_word(&yw[j], out);
+      if (out != 0) atomic_or_word(&yw[j], out, concurrent);
     }
   });
   // Clamp tail bits beyond ncols (complemented masks set them).
@@ -182,12 +183,12 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
 
 template <int Dim>
 void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
-                      std::vector<value_t>& y, KernelVariant variant) {
+                      std::vector<value_t>& y, Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.ncols);
   y.assign(static_cast<std::size_t>(a.nrows), 0.0f);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kBmvBinBinFull, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kBmvBinBinFull, Dim) ==
       KernelVariant::kSimd;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
@@ -195,7 +196,7 @@ void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
   const word_t* xw = x.words.data();
   value_t* yp = y.data();
   const vidx_t nrows = a.nrows;
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -224,13 +225,13 @@ void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
 template <int Dim>
 void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
                              const PackedVecT<Dim>& mask, bool complement,
-                             std::vector<value_t>& y, KernelVariant variant) {
+                             std::vector<value_t>& y, Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   assert(x.n == a.ncols);
   assert(mask.n == a.nrows);
   assert(static_cast<vidx_t>(y.size()) == a.nrows);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kBmvBinBinFullMasked, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kBmvBinBinFullMasked, Dim) ==
       KernelVariant::kSimd;
   const vidx_t* rowptr = a.tile_rowptr.data();
   const vidx_t* colind = a.tile_colind.data();
@@ -239,7 +240,7 @@ void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
   const word_t* mw = mask.words.data();
   value_t* yp = y.data();
   const vidx_t nrows = a.nrows;
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const vidx_t lo = rowptr[tr];
     const vidx_t hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -271,23 +272,23 @@ void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
 #define BITGB_INSTANTIATE_BMV(Dim)                                          \
   template void bmv_bin_bin_bin<Dim>(const B2srT<Dim>&,                     \
                                      const PackedVecT<Dim>&,                \
-                                     PackedVecT<Dim>&, KernelVariant);      \
+                                     PackedVecT<Dim>&, Exec);      \
   template void bmv_bin_bin_bin_masked<Dim>(                                \
       const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
-      bool, PackedVecT<Dim>&, KernelVariant);                               \
+      bool, PackedVecT<Dim>&, Exec);                               \
   template void bmv_bin_bin_bin_push_masked<Dim>(                           \
       const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
-      bool, PackedVecT<Dim>&);                                              \
+      bool, PackedVecT<Dim>&, Exec);                                              \
   template void bmv_bin_bin_bin_push_masked<Dim>(                           \
       const B2srT<Dim>&, const PackedVecT<Dim>&, const std::vector<vidx_t>&,\
       const PackedVecT<Dim>&, bool, PackedVecT<Dim>&,                       \
       std::vector<vidx_t>&);                                                \
   template void bmv_bin_bin_full<Dim>(const B2srT<Dim>&,                    \
                                       const PackedVecT<Dim>&,               \
-                                      std::vector<value_t>&, KernelVariant);\
+                                      std::vector<value_t>&, Exec);\
   template void bmv_bin_bin_full_masked<Dim>(                               \
       const B2srT<Dim>&, const PackedVecT<Dim>&, const PackedVecT<Dim>&,    \
-      bool, std::vector<value_t>&, KernelVariant)
+      bool, std::vector<value_t>&, Exec)
 
 BITGB_INSTANTIATE_BMV(4);
 BITGB_INSTANTIATE_BMV(8);

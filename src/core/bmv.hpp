@@ -27,6 +27,7 @@
 #include "core/b2sr.hpp"
 #include "core/packed_vector.hpp"
 #include "core/semiring_ops.hpp"
+#include "platform/exec.hpp"
 #include "platform/parallel.hpp"
 #include "platform/simd.hpp"
 
@@ -36,26 +37,25 @@
 
 namespace bitgb {
 
-// The pull-direction kernels take a trailing KernelVariant selecting the
-// scalar or SIMD inner loop (platform/simd.hpp); kAuto follows the
-// process-wide variant set by set_kernel_variant / ProfileScope.  Both
-// variants are bit-identical (integer-exact reductions); the push-
-// direction kernels are frontier-proportional scatter loops and stay
-// scalar by design.
+// Every kernel takes a trailing Exec (platform/exec.hpp): the variant
+// selects the scalar or SIMD inner loop (kAuto = measured per-(kernel,
+// dim) preference table) and `threads` bounds the parallel region, so
+// concurrent callers with different policies never touch shared state.
+// Both variants are bit-identical (integer-exact reductions); the
+// active-list push kernel is a frontier-proportional serial scatter
+// loop by design.
 
 // --- bin x bin -> bin (Boolean semiring; BFS frontier expansion) ---
 
 template <int Dim>
 void bmv_bin_bin_bin(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
-                     PackedVecT<Dim>& y,
-                     KernelVariant variant = KernelVariant::kAuto);
+                     PackedVecT<Dim>& y, Exec exec = {});
 
 /// Masked: y_bits &= (complement ? ~mask : mask) at store time.
 template <int Dim>
 void bmv_bin_bin_bin_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
                             const PackedVecT<Dim>& mask, bool complement,
-                            PackedVecT<Dim>& y,
-                            KernelVariant variant = KernelVariant::kAuto);
+                            PackedVecT<Dim>& y, Exec exec = {});
 
 /// Push-direction boolean vxm: y = x^T (.) A == OR of A's bit-rows
 /// selected by x, visiting only tile-rows whose frontier word is
@@ -68,7 +68,7 @@ template <int Dim>
 void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
                                  const PackedVecT<Dim>& x,
                                  const PackedVecT<Dim>& mask, bool complement,
-                                 PackedVecT<Dim>& y);
+                                 PackedVecT<Dim>& y, Exec exec = {});
 
 /// Active-list push: like bmv_bin_bin_bin_push_masked, but the caller
 /// supplies the indices of x's non-zero words (`active`), and the
@@ -88,14 +88,12 @@ void bmv_bin_bin_bin_push_masked(const B2srT<Dim>& a,
 
 template <int Dim>
 void bmv_bin_bin_full(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
-                      std::vector<value_t>& y,
-                      KernelVariant variant = KernelVariant::kAuto);
+                      std::vector<value_t>& y, Exec exec = {});
 
 template <int Dim>
 void bmv_bin_bin_full_masked(const B2srT<Dim>& a, const PackedVecT<Dim>& x,
                              const PackedVecT<Dim>& mask, bool complement,
-                             std::vector<value_t>& y,
-                             KernelVariant variant = KernelVariant::kAuto);
+                             std::vector<value_t>& y, Exec exec = {});
 
 // --- bin x full -> full (general semiring Op; SSSP/PR/CC) ---
 
@@ -126,7 +124,7 @@ inline void fold_bit_row(typename TileTraits<Dim>::word_t w,
 
 template <int Dim, typename Op>
 void bmv_bin_full_full(const B2srT<Dim>& a, const std::vector<value_t>& x,
-                       std::vector<value_t>& y, Op = Op{}) {
+                       std::vector<value_t>& y, Exec exec = {}, Op = Op{}) {
   assert(static_cast<vidx_t>(x.size()) == a.ncols);
   y.assign(static_cast<std::size_t>(a.nrows), Op::identity);
   const B2srT<Dim>* ap = &a;
@@ -138,7 +136,7 @@ void bmv_bin_full_full(const B2srT<Dim>& a, const std::vector<value_t>& x,
   // path loads all Dim x elements unconditionally).
   const vidx_t full_cols = a.ncols / Dim;
   // Value captures only (see parallel.hpp on closure escape).
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const auto lo = ap->tile_rowptr[static_cast<std::size_t>(tr)];
     const auto hi = ap->tile_rowptr[static_cast<std::size_t>(tr) + 1];
     if (lo == hi) return;
@@ -168,11 +166,12 @@ template <int Dim, typename Op>
 void bmv_bin_full_full_masked(const B2srT<Dim>& a,
                               const std::vector<value_t>& x,
                               const PackedVecT<Dim>& mask, bool complement,
-                              std::vector<value_t>& y, Op = Op{}) {
+                              std::vector<value_t>& y, Exec exec = {},
+                              Op = Op{}) {
   assert(static_cast<vidx_t>(x.size()) == a.ncols);
   assert(static_cast<vidx_t>(y.size()) == a.nrows);
   assert(mask.n == a.nrows);
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
     const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
     const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
     if (lo == hi) return;

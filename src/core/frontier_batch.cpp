@@ -10,24 +10,31 @@
 
 namespace bitgb {
 
-FrontierBatch FrontierBatch::from_sources(vidx_t nverts,
-                                          const std::vector<vidx_t>& sources) {
+void FrontierBatch::assign_sources(vidx_t nverts,
+                                   const std::vector<vidx_t>& sources) {
   if (sources.empty() ||
       sources.size() > static_cast<std::size_t>(kMaxBatch)) {
     throw std::invalid_argument(
         "FrontierBatch::from_sources: batch size must be in [1, 64], got " +
         std::to_string(sources.size()));
   }
-  FrontierBatch out(nverts, static_cast<int>(sources.size()));
-  for (std::size_t b = 0; b < sources.size(); ++b) {
-    const vidx_t s = sources[b];
+  for (const vidx_t s : sources) {
     if (s < 0 || s >= nverts) {
       throw std::invalid_argument("FrontierBatch::from_sources: source " +
                                   std::to_string(s) + " outside [0, " +
                                   std::to_string(nverts) + ")");
     }
-    out.set(s, static_cast<int>(b));
   }
+  resize(nverts, static_cast<int>(sources.size()));  // reuses capacity
+  for (std::size_t b = 0; b < sources.size(); ++b) {
+    set(sources[b], static_cast<int>(b));
+  }
+}
+
+FrontierBatch FrontierBatch::from_sources(vidx_t nverts,
+                                          const std::vector<vidx_t>& sources) {
+  FrontierBatch out;
+  out.assign_sources(nverts, sources);
   return out;
 }
 
@@ -81,11 +88,11 @@ inline void accumulate_tile_row(const B2srT<Dim>& a, const FrontierBatch& f,
 
 template <int Dim>
 void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
-                  FrontierBatch& next, KernelVariant variant) {
+                  FrontierBatch& next, Exec exec) {
   assert(f.n == a.ncols);
   next.resize(a.nrows, f.batch);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kFrontierPull, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kFrontierPull, Dim) ==
       KernelVariant::kSimd;
   const FrontierBatch::word_t lanes = f.lane_mask();
   // Value captures only (see parallel.hpp on closure escape).
@@ -94,7 +101,7 @@ void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
   FrontierBatch::word_t* next_rows = next.rows.data();
   const vidx_t nrows = a.nrows;
   const vidx_t* rowptr = a.tile_rowptr.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const auto lo = rowptr[tr];
     const auto hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -111,13 +118,13 @@ void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
 template <int Dim>
 void bmm_frontier_masked(const B2srT<Dim>& a, const FrontierBatch& f,
                          const FrontierBatch& mask, bool complement,
-                         FrontierBatch& next, KernelVariant variant) {
+                         FrontierBatch& next, Exec exec) {
   assert(f.n == a.ncols);
   assert(mask.n == a.nrows);
   assert(mask.batch == f.batch);
   next.resize(a.nrows, f.batch);
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kFrontierPullMasked, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kFrontierPullMasked, Dim) ==
       KernelVariant::kSimd;
   const FrontierBatch::word_t lanes = f.lane_mask();
   const B2srT<Dim>* ap = &a;
@@ -126,7 +133,7 @@ void bmm_frontier_masked(const B2srT<Dim>& a, const FrontierBatch& f,
   FrontierBatch::word_t* next_rows = next.rows.data();
   const vidx_t nrows = a.nrows;
   const vidx_t* rowptr = a.tile_rowptr.data();
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [=](vidx_t tr) {
     const auto lo = rowptr[tr];
     const auto hi = rowptr[tr + 1];
     if (lo == hi) return;
@@ -195,11 +202,11 @@ void bmm_frontier_push_masked(const B2srT<Dim>& a, const FrontierBatch& f,
 
 #define BITGB_INSTANTIATE_BMM_FRONTIER(Dim)                                \
   template void bmm_frontier<Dim>(const B2srT<Dim>&, const FrontierBatch&, \
-                                  FrontierBatch&, KernelVariant);          \
+                                  FrontierBatch&, Exec);          \
   template void bmm_frontier_masked<Dim>(const B2srT<Dim>&,                \
                                          const FrontierBatch&,             \
                                          const FrontierBatch&, bool,       \
-                                         FrontierBatch&, KernelVariant);   \
+                                         FrontierBatch&, Exec);   \
   template void bmm_frontier_push_masked<Dim>(                             \
       const B2srT<Dim>&, const FrontierBatch&, const std::vector<vidx_t>&, \
       const FrontierBatch&, bool, FrontierBatch&, std::vector<vidx_t>&)

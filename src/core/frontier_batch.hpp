@@ -25,6 +25,7 @@
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/exec.hpp"
 #include "platform/intrinsics.hpp"
 #include "platform/simd.hpp"
 #include "sparse/types.hpp"
@@ -103,6 +104,11 @@ struct FrontierBatch {
   [[nodiscard]] static FrontierBatch from_sources(
       vidx_t nverts, const std::vector<vidx_t>& sources);
 
+  /// In-place form of from_sources: same validation, but reuses this
+  /// batch's row buffer — the zero-allocation path msbfs's Workspace
+  /// overload seeds its frontier through.
+  void assign_sources(vidx_t nverts, const std::vector<vidx_t>& sources);
+
   /// Structural invariants: batch in [1, kMaxBatch], row count == n,
   /// no lane-tail bits.
   [[nodiscard]] bool validate() const;
@@ -124,14 +130,13 @@ struct FrontierBatch {
 // disjoint, so no atomics.  Requires f.n == a.ncols; next is resized to
 // a.nrows with f's batch width.
 
-/// The pull kernels take a trailing KernelVariant (platform/simd.hpp)
-/// selecting the scalar or SIMD accumulation; the reduction is a 64-bit
-/// OR, so the variants are bit-identical.  The push kernel is a
-/// frontier-proportional scatter and stays scalar by design.
+/// The pull kernels take a trailing Exec (platform/exec.hpp) selecting
+/// the scalar or SIMD accumulation and the thread budget; the reduction
+/// is a 64-bit OR, so the variants are bit-identical.  The push kernel
+/// is a frontier-proportional scatter and stays scalar by design.
 template <int Dim>
 void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
-                  FrontierBatch& next,
-                  KernelVariant variant = KernelVariant::kAuto);
+                  FrontierBatch& next, Exec exec = {});
 
 /// Masked form: the mask row word is AND-ed right before the output
 /// store (the paper's §V masking design lifted to the batch), so
@@ -142,8 +147,7 @@ void bmm_frontier(const B2srT<Dim>& a, const FrontierBatch& f,
 template <int Dim>
 void bmm_frontier_masked(const B2srT<Dim>& a, const FrontierBatch& f,
                          const FrontierBatch& mask, bool complement,
-                         FrontierBatch& next,
-                         KernelVariant variant = KernelVariant::kAuto);
+                         FrontierBatch& next, Exec exec = {});
 
 /// Push-direction batched expansion (the batch analog of the BMV
 /// active-list push): work proportional to the frontier's tile-rows

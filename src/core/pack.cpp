@@ -41,7 +41,8 @@ struct RowRuns {
 };
 
 template <int Dim>
-RowRuns build_row_runs(const Csr& a, bool use_simd, bool with_words) {
+RowRuns build_row_runs(const Csr& a, bool use_simd, bool with_words,
+                       int threads) {
   using word_t = typename TileTraits<Dim>::word_t;
   RowRuns runs;
   runs.tc.resize(a.colind.size());
@@ -55,7 +56,7 @@ RowRuns build_row_runs(const Csr& a, bool use_simd, bool with_words) {
   vidx_t* run_tc = runs.tc.data();
   std::uint32_t* run_word = runs.word.data();
   vidx_t* run_count = runs.count.data();
-  parallel_for_static(vidx_t{0}, a.nrows, [=](vidx_t r) {
+  parallel_for_static(threads, vidx_t{0}, a.nrows, [=](vidx_t r) {
     const auto lo = static_cast<std::size_t>(
         rowptr[static_cast<std::size_t>(r)]);
     const auto hi = static_cast<std::size_t>(
@@ -167,13 +168,14 @@ void collect_tile_cols_reference(const Csr& a, vidx_t tr,
 
 }  // namespace
 
-vidx_t count_nonempty_tiles(const Csr& a, int dim) {
+vidx_t count_nonempty_tiles(const Csr& a, int dim, Exec exec) {
   return dispatch_tile_dim(dim, [&]<int Dim>() {
-    const RowRuns runs =
-        build_row_runs<Dim>(a, /*use_simd=*/false, /*with_words=*/false);
+    const RowRuns runs = build_row_runs<Dim>(a, /*use_simd=*/false,
+                                             /*with_words=*/false,
+                                             exec.threads);
     const vidx_t ntr = (a.nrows + Dim - 1) / Dim;
     std::vector<vidx_t> per_row(static_cast<std::size_t>(ntr), 0);
-    parallel_for_static(vidx_t{0}, ntr, [&](vidx_t tr) {
+    parallel_for_static(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
       CountTilesPolicy count;
       merge_tile_row_runs<Dim>(a, runs, tr, count);
       per_row[static_cast<std::size_t>(tr)] = count.count;
@@ -185,31 +187,33 @@ vidx_t count_nonempty_tiles(const Csr& a, int dim) {
 }
 
 template <int Dim>
-B2srT<Dim> pack_from_csr(const Csr& a, KernelVariant variant) {
+B2srT<Dim> pack_from_csr(const Csr& a, Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   B2srT<Dim> b;
   b.nrows = a.nrows;
   b.ncols = a.ncols;
   const vidx_t ntr = b.n_tile_rows();
   const bool use_simd =
-      resolve_kernel_variant(variant, HotKernel::kPackScatter, Dim) ==
+      resolve_kernel_variant(exec.variant, HotKernel::kPackScatter, Dim) ==
       KernelVariant::kSimd;
 
   // Pass 0: fold every row's nonzeros into (tile column, word) runs —
   // the only O(nnz) work in the pipeline; the bit scatter runs through
   // the SIMD engine here.
-  const RowRuns runs = build_row_runs<Dim>(a, use_simd, /*with_words=*/true);
+  const RowRuns runs =
+      build_row_runs<Dim>(a, use_simd, /*with_words=*/true, exec.threads);
 
   // Pass 1: distinct tile columns per tile-row (csr2bsrNnz analog),
   // then tile_rowptr by parallel prefix sum.
   std::vector<vidx_t> counts(static_cast<std::size_t>(ntr), 0);
-  parallel_for_static(vidx_t{0}, ntr, [&](vidx_t tr) {
+  parallel_for_static(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
     CountTilesPolicy count;
     merge_tile_row_runs<Dim>(a, runs, tr, count);
     counts[static_cast<std::size_t>(tr)] = count.count;
   });
   b.tile_rowptr.resize(static_cast<std::size_t>(ntr) + 1);
-  parallel_exclusive_scan(counts.data(), counts.size(), b.tile_rowptr.data());
+  parallel_exclusive_scan(exec.threads, counts.data(), counts.size(),
+                          b.tile_rowptr.data());
   const vidx_t ntiles = b.tile_rowptr.back();
   b.tile_colind.resize(static_cast<std::size_t>(ntiles));
   b.bits.assign(static_cast<std::size_t>(ntiles) * Dim, word_t{0});
@@ -217,7 +221,7 @@ B2srT<Dim> pack_from_csr(const Csr& a, KernelVariant variant) {
   // Pass 2: the same merge per tile-row writes the tile columns and
   // stores each run's word (no binary search — a (row, tile) pair is
   // exactly one run).
-  parallel_for_static(vidx_t{0}, ntr, [&](vidx_t tr) {
+  parallel_for_static(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
     const vidx_t base = b.tile_rowptr[static_cast<std::size_t>(tr)];
     FillTilesPolicy<Dim> fill{
         b.tile_colind.data() + static_cast<std::size_t>(base),
@@ -274,9 +278,9 @@ B2srT<Dim> pack_from_csr_reference(const Csr& a) {
   return b;
 }
 
-B2srAny pack_any(const Csr& a, int dim, KernelVariant variant) {
+B2srAny pack_any(const Csr& a, int dim, Exec exec) {
   return dispatch_tile_dim(
-      dim, [&]<int Dim>() { return B2srAny(pack_from_csr<Dim>(a, variant)); });
+      dim, [&]<int Dim>() { return B2srAny(pack_from_csr<Dim>(a, exec)); });
 }
 
 template <int Dim>
@@ -330,7 +334,7 @@ void transpose_tile(const typename TileTraits<Dim>::word_t* in,
 }
 
 template <int Dim>
-B2srT<Dim> transpose(const B2srT<Dim>& a) {
+B2srT<Dim> transpose(const B2srT<Dim>& a, Exec exec) {
   B2srT<Dim> t;
   t.nrows = a.ncols;
   t.ncols = a.nrows;
@@ -346,7 +350,8 @@ B2srT<Dim> transpose(const B2srT<Dim>& a) {
     ++counts[static_cast<std::size_t>(tc)];
   }
   t.tile_rowptr.resize(static_cast<std::size_t>(ntr_t) + 1);
-  parallel_exclusive_scan(counts.data(), counts.size(), t.tile_rowptr.data());
+  parallel_exclusive_scan(exec.threads, counts.data(), counts.size(),
+                          t.tile_rowptr.data());
   t.tile_colind.resize(static_cast<std::size_t>(ntiles));
   t.bits.assign(a.bits.size(), typename TileTraits<Dim>::word_t{0});
 
@@ -358,7 +363,7 @@ B2srT<Dim> transpose(const B2srT<Dim>& a) {
       dst[static_cast<std::size_t>(k)] = cursor[static_cast<std::size_t>(tc)]++;
     }
   }
-  parallel_for(vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, a.n_tile_rows(), [&](vidx_t tr) {
     const auto lo = a.tile_rowptr[static_cast<std::size_t>(tr)];
     const auto hi = a.tile_rowptr[static_cast<std::size_t>(tr) + 1];
     for (vidx_t k = lo; k < hi; ++k) {
@@ -372,8 +377,8 @@ B2srT<Dim> transpose(const B2srT<Dim>& a) {
   return t;
 }
 
-B2srAny transpose_any(const B2srAny& a) {
-  return a.visit([](const auto& m) { return B2srAny(transpose(m)); });
+B2srAny transpose_any(const B2srAny& a, Exec exec) {
+  return a.visit([&](const auto& m) { return B2srAny(transpose(m, exec)); });
 }
 
 NibbleB2sr4 pack_nibble4(const Csr& a) { return to_nibble4(pack_from_csr<4>(a)); }
@@ -415,10 +420,10 @@ B2sr4 from_nibble4(const NibbleB2sr4& a) {
 }
 
 // Explicit instantiations for the four paper tile sizes.
-template B2srT<4> pack_from_csr<4>(const Csr&, KernelVariant);
-template B2srT<8> pack_from_csr<8>(const Csr&, KernelVariant);
-template B2srT<16> pack_from_csr<16>(const Csr&, KernelVariant);
-template B2srT<32> pack_from_csr<32>(const Csr&, KernelVariant);
+template B2srT<4> pack_from_csr<4>(const Csr&, Exec);
+template B2srT<8> pack_from_csr<8>(const Csr&, Exec);
+template B2srT<16> pack_from_csr<16>(const Csr&, Exec);
+template B2srT<32> pack_from_csr<32>(const Csr&, Exec);
 template B2srT<4> pack_from_csr_reference<4>(const Csr&);
 template B2srT<8> pack_from_csr_reference<8>(const Csr&);
 template B2srT<16> pack_from_csr_reference<16>(const Csr&);
@@ -427,10 +432,10 @@ template Csr unpack_to_csr<4>(const B2srT<4>&);
 template Csr unpack_to_csr<8>(const B2srT<8>&);
 template Csr unpack_to_csr<16>(const B2srT<16>&);
 template Csr unpack_to_csr<32>(const B2srT<32>&);
-template B2srT<4> transpose<4>(const B2srT<4>&);
-template B2srT<8> transpose<8>(const B2srT<8>&);
-template B2srT<16> transpose<16>(const B2srT<16>&);
-template B2srT<32> transpose<32>(const B2srT<32>&);
+template B2srT<4> transpose<4>(const B2srT<4>&, Exec);
+template B2srT<8> transpose<8>(const B2srT<8>&, Exec);
+template B2srT<16> transpose<16>(const B2srT<16>&, Exec);
+template B2srT<32> transpose<32>(const B2srT<32>&, Exec);
 template void transpose_tile<4>(const TileTraits<4>::word_t*,
                                 TileTraits<4>::word_t*);
 template void transpose_tile<8>(const TileTraits<8>::word_t*,

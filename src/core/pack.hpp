@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/exec.hpp"
 #include "platform/simd.hpp"
 #include "sparse/csr.hpp"
 
@@ -24,7 +25,8 @@ namespace bitgb {
 /// merge, so count_nonempty_tiles and pack_from_csr can never
 /// disagree.  The storage statistics (stats.hpp) and Figure 3 trends
 /// build on it.
-[[nodiscard]] vidx_t count_nonempty_tiles(const Csr& a, int dim);
+[[nodiscard]] vidx_t count_nonempty_tiles(const Csr& a, int dim,
+                                          Exec exec = {});
 
 /// Pack a CSR matrix (pattern; values, if any, are ignored — a nonzero
 /// is a 1) into B2SR with the given tile dim.  Fused count+fill over a
@@ -32,8 +34,7 @@ namespace bitgb {
 /// sequence pre-sorted); the bit scatter runs through the SIMD engine
 /// behind the usual scalar/simd/auto variant dispatch.
 template <int Dim>
-[[nodiscard]] B2srT<Dim> pack_from_csr(
-    const Csr& a, KernelVariant variant = KernelVariant::kAuto);
+[[nodiscard]] B2srT<Dim> pack_from_csr(const Csr& a, Exec exec = {});
 
 /// The pre-rewrite packer (per-nonzero sort+unique walk plus
 /// binary-search scatter), kept as the differential oracle: the
@@ -43,8 +44,7 @@ template <int Dim>
 [[nodiscard]] B2srT<Dim> pack_from_csr_reference(const Csr& a);
 
 /// Runtime-dim packing.
-[[nodiscard]] B2srAny pack_any(const Csr& a, int dim,
-                               KernelVariant variant = KernelVariant::kAuto);
+[[nodiscard]] B2srAny pack_any(const Csr& a, int dim, Exec exec = {});
 
 /// Unpack back to a binary CSR (sorted columns).  Round-trips exactly:
 /// unpack(pack(a)) has the same pattern as a.
@@ -58,9 +58,9 @@ template <int Dim>
 /// bit-transposed — equivalently, the column-major packing of A's tiles
 /// re-read as row-major (paper Figure 2).
 template <int Dim>
-[[nodiscard]] B2srT<Dim> transpose(const B2srT<Dim>& a);
+[[nodiscard]] B2srT<Dim> transpose(const B2srT<Dim>& a, Exec exec = {});
 
-[[nodiscard]] B2srAny transpose_any(const B2srAny& a);
+[[nodiscard]] B2srAny transpose_any(const B2srAny& a, Exec exec = {});
 
 /// In-register bit transpose of one Dim x Dim tile (row words in ->
 /// row words of the transposed tile out).  Exposed for tests and for

@@ -6,18 +6,6 @@
 
 namespace bitgb::gb {
 
-namespace {
-
-int choose_tile_dim(const Csr& a, const GraphOptions& opts) {
-  if (opts.tile_dim != 0) return opts.tile_dim;
-  // The §III-C workflow: sample, estimate compression per dim, pick the
-  // best.  Seed fixed for reproducibility.
-  const SamplingProfile prof = sample_profile(a, opts.sample_rows, 0x5eed);
-  return prof.recommended_dim();
-}
-
-}  // namespace
-
 Graph Graph::from_coo(const Coo& edges, const GraphOptions& opts) {
   return from_csr(coo_to_csr(pattern_of(edges)), opts);
 }
@@ -27,57 +15,124 @@ Graph Graph::from_csr(Csr adjacency, const GraphOptions& opts) {
   adjacency.val.clear();  // homogeneous: pattern only
   if (opts.strip_self_loops) adjacency = strip_diagonal(adjacency);
   if (opts.symmetrize) adjacency = symmetrize(adjacency);
-  g.tile_dim_ = choose_tile_dim(adjacency, opts);
   g.csr_ = std::move(adjacency);
+  g.opts_ = opts;
   return g;
 }
 
+int Graph::tile_dim() const {
+  Lazy& l = *lazy_;
+  std::call_once(l.dim_once, [&] {
+    if (opts_.tile_dim != 0) {
+      l.tile_dim = opts_.tile_dim;
+      return;
+    }
+    // The §III-C workflow, run at the first B2SR-side request rather
+    // than at construction: sample, estimate compression per dim, pick
+    // the best.  Seeded from GraphOptions for reproducibility.
+    const SamplingProfile prof =
+        sample_profile(csr_, opts_.sample_rows, opts_.sample_seed);
+    l.tile_dim = prof.recommended_dim();
+  });
+  return l.tile_dim;
+}
+
 const Csr& Graph::adjacency_t() const {
-  if (!csr_t_) csr_t_ = transpose(csr_);
-  return *csr_t_;
+  Lazy& l = *lazy_;
+  std::call_once(l.csr_t_once, [&] {
+    l.csr_t = transpose(csr_);
+    l.built.fetch_or(kFmtCsrT, std::memory_order_release);
+  });
+  return *l.csr_t;
 }
 
 const B2srAny& Graph::packed() const {
-  if (!b2sr_) b2sr_ = pack_any(csr_, tile_dim_);
-  return *b2sr_;
+  Lazy& l = *lazy_;
+  std::call_once(l.b2sr_once, [&] {
+    l.b2sr = pack_any(csr_, tile_dim(), opts_.ingest);
+    l.built.fetch_or(kFmtB2sr, std::memory_order_release);
+  });
+  return *l.b2sr;
 }
 
 const B2srAny& Graph::packed_t() const {
-  if (!b2sr_t_) b2sr_t_ = pack_any(adjacency_t(), tile_dim_);
-  return *b2sr_t_;
+  Lazy& l = *lazy_;
+  std::call_once(l.b2sr_t_once, [&] {
+    l.b2sr_t = pack_any(adjacency_t(), tile_dim(), opts_.ingest);
+    l.built.fetch_or(kFmtB2srT, std::memory_order_release);
+  });
+  return *l.b2sr_t;
 }
 
 const Csr& Graph::unit_adjacency() const {
-  if (!unit_csr_) {
+  Lazy& l = *lazy_;
+  std::call_once(l.unit_once, [&] {
     Csr u = csr_;
     u.val.assign(static_cast<std::size_t>(u.nnz()), 1.0f);
-    unit_csr_ = std::move(u);
-  }
-  return *unit_csr_;
+    l.unit_csr = std::move(u);
+    l.built.fetch_or(kFmtUnitCsr, std::memory_order_release);
+  });
+  return *l.unit_csr;
 }
 
 const Csr& Graph::unit_adjacency_t() const {
-  if (!unit_csr_t_) {
+  Lazy& l = *lazy_;
+  std::call_once(l.unit_t_once, [&] {
     Csr u = adjacency_t();
     u.val.assign(static_cast<std::size_t>(u.nnz()), 1.0f);
-    unit_csr_t_ = std::move(u);
-  }
-  return *unit_csr_t_;
+    l.unit_csr_t = std::move(u);
+    l.built.fetch_or(kFmtUnitCsrT, std::memory_order_release);
+  });
+  return *l.unit_csr_t;
 }
 
 const Csr& Graph::lower() const {
-  if (!lower_) lower_ = lower_triangle(csr_);
-  return *lower_;
+  Lazy& l = *lazy_;
+  std::call_once(l.lower_once, [&] {
+    l.lower = lower_triangle(csr_);
+    l.built.fetch_or(kFmtLower, std::memory_order_release);
+  });
+  return *l.lower;
 }
 
 const B2srAny& Graph::packed_lower() const {
-  if (!b2sr_lower_) b2sr_lower_ = pack_any(lower(), tile_dim_);
-  return *b2sr_lower_;
+  Lazy& l = *lazy_;
+  std::call_once(l.b2sr_lower_once, [&] {
+    l.b2sr_lower = pack_any(lower(), tile_dim(), opts_.ingest);
+    l.built.fetch_or(kFmtB2srLower, std::memory_order_release);
+  });
+  return *l.b2sr_lower;
 }
 
 const std::vector<vidx_t>& Graph::degrees() const {
-  if (!degrees_) degrees_ = out_degrees(csr_);
-  return *degrees_;
+  Lazy& l = *lazy_;
+  std::call_once(l.degrees_once, [&] {
+    l.degrees = out_degrees(csr_);
+    l.built.fetch_or(kFmtDegrees, std::memory_order_release);
+  });
+  return *l.degrees;
+}
+
+FormatSet Graph::formats() const {
+  return lazy_->built.load(std::memory_order_acquire);
+}
+
+void Graph::prewarm(FormatSet want) const {
+  if (want & kFmtCsrT) (void)adjacency_t();
+  if (want & kFmtUnitCsr) (void)unit_adjacency();
+  if (want & kFmtUnitCsrT) (void)unit_adjacency_t();
+  if (want & kFmtLower) (void)lower();
+  if (want & kFmtB2sr) (void)packed();
+  if (want & kFmtB2srT) (void)packed_t();
+  if (want & kFmtB2srLower) (void)packed_lower();
+  if (want & kFmtDegrees) (void)degrees();
+}
+
+Graph Graph::clone() const {
+  Graph g;
+  g.csr_ = csr_;
+  g.opts_ = opts_;
+  return g;
 }
 
 }  // namespace bitgb::gb

@@ -1,40 +1,78 @@
-// Graph — the public-facing handle of the library.
+// Graph — the public-facing handle of the library: a lazy, thread-safe
+// multi-format view of one adjacency matrix.
 //
-// Owns the adjacency matrix in every representation the two execution
-// backends need:
-//   * binary CSR (and its cached transpose) for the reference backend
-//     (the GraphBLAST-substitute baseline) and for packing;
-//   * B2SR (and its cached transpose) for the bit backend, at a tile
-//     size chosen explicitly or by the sampling profiler (paper §III-C).
+// Construction stores only the binary CSR (symmetrized and self-loop-
+// stripped by default — the homogeneous-graph preconditions of the
+// paper's algorithms; both switchable, PR uses the directed adjacency).
+// Every other representation materializes on first use under a
+// std::once_flag-guarded cache and is immutable afterwards, so any
+// number of concurrent queries can share one const Graph:
 //
-// Construction symmetrizes and strips self-loops by default — the
-// homogeneous-graph preconditions of the paper's algorithms — both
-// switchable for directed uses (PR uses the directed adjacency).
+//   * CSR transpose and unit-valued (1.0f per nonzero) copies for the
+//     reference backend (the GraphBLAST-substitute baseline reads one
+//     stored float per nonzero for the value-loading semirings, §III-B);
+//   * B2SR and transposed B2SR for the bit backend, at a tile size
+//     chosen explicitly or — on the first B2SR request, not at
+//     construction — by the sampling profiler (paper §III-C);
+//   * the strict lower triangle and its B2SR for TC (paper §V), and
+//     the out-degree vector for PR.
+//
+// formats() reports which representations exist; prewarm() materializes
+// a chosen set eagerly, so a server can pay the one-time conversions
+// (the cost the paper amortizes, §III-B) before queries arrive instead
+// of on the first query's critical path.
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/context.hpp"
+#include "platform/exec.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 namespace bitgb::gb {
 
-enum class Backend {
-  kReference,  ///< float-CSR framework baseline (GraphBLAST substitute)
-  kBit,        ///< B2SR bit kernels (this paper)
+using bitgb::Backend;       // historical spelling gb::Backend
+using bitgb::backend_name;  // NOLINT(misc-unused-using-decls)
+
+/// The materializable representations, as prewarm()/formats() bits.
+enum Format : std::uint32_t {
+  kFmtCsr = 1u << 0,        ///< binary CSR (always present)
+  kFmtCsrT = 1u << 1,       ///< transposed CSR
+  kFmtUnitCsr = 1u << 2,    ///< unit-valued CSR
+  kFmtUnitCsrT = 1u << 3,   ///< unit-valued transposed CSR
+  kFmtLower = 1u << 4,      ///< strict lower triangle L
+  kFmtB2sr = 1u << 5,       ///< B2SR of the adjacency
+  kFmtB2srT = 1u << 6,      ///< B2SR of the transpose
+  kFmtB2srLower = 1u << 7,  ///< B2SR of L
+  kFmtDegrees = 1u << 8,    ///< out-degree vector
 };
 
-[[nodiscard]] constexpr const char* backend_name(Backend b) {
-  return b == Backend::kReference ? "reference-csr" : "bit-b2sr";
-}
+using FormatSet = std::uint32_t;
+
+/// Everything the reference backend reads.
+inline constexpr FormatSet kReferenceFormats =
+    kFmtCsr | kFmtCsrT | kFmtUnitCsr | kFmtUnitCsrT | kFmtLower | kFmtDegrees;
+/// Everything the bit backend reads.
+inline constexpr FormatSet kBitFormats =
+    kFmtCsr | kFmtCsrT | kFmtB2sr | kFmtB2srT | kFmtLower | kFmtB2srLower |
+    kFmtDegrees;
+inline constexpr FormatSet kAllFormats = kReferenceFormats | kBitFormats;
 
 struct GraphOptions {
   bool symmetrize = true;      ///< undirected adjacency (BFS/SSSP/CC/TC)
   bool strip_self_loops = true;
   int tile_dim = 0;            ///< 4/8/16/32, or 0 = pick via sampling
   vidx_t sample_rows = 256;    ///< Algorithm-1 sample size when tile_dim==0
+  std::uint64_t sample_seed = 0x5eed;  ///< sampling RNG seed
+  /// Execution policy for format materialization (packing, transposes):
+  /// the ingest side of the handle, distinct from any query's Context.
+  Exec ingest{};
 };
 
 class Graph {
@@ -47,44 +85,74 @@ class Graph {
   [[nodiscard]] static Graph from_csr(Csr adjacency,
                                       const GraphOptions& opts = {});
 
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
   [[nodiscard]] vidx_t num_vertices() const { return csr_.nrows; }
   [[nodiscard]] eidx_t num_edges() const { return csr_.nnz(); }
-  [[nodiscard]] int tile_dim() const { return tile_dim_; }
 
-  /// Binary adjacency, CSR.
+  /// The B2SR tile size.  Decided lazily: the first caller runs the
+  /// §III-C sampling advisor (unless GraphOptions pinned a dim), so a
+  /// reference-only workload never pays for sampling.
+  [[nodiscard]] int tile_dim() const;
+
+  /// Binary adjacency, CSR (always materialized).
   [[nodiscard]] const Csr& adjacency() const { return csr_; }
-  /// Transposed adjacency (cached on first use).
+  /// Transposed adjacency (thread-safe, cached on first use — as are
+  /// all accessors below).
   [[nodiscard]] const Csr& adjacency_t() const;
-  /// Unit-valued (1.0f per nonzero) copies, cached — what the float-CSR
+  /// Unit-valued (1.0f per nonzero) copies — what the float-CSR
   /// framework baseline actually stores and reads for the value-loading
   /// semirings (SSSP/PR), per §III-B: frameworks "use float to carry
   /// the elements".
   [[nodiscard]] const Csr& unit_adjacency() const;
   [[nodiscard]] const Csr& unit_adjacency_t() const;
-  /// B2SR-packed adjacency (cached on first use).
+  /// B2SR-packed adjacency.
   [[nodiscard]] const B2srAny& packed() const;
-  /// B2SR of the transpose (cached on first use).
+  /// B2SR of the transpose.
   [[nodiscard]] const B2srAny& packed_t() const;
 
-  /// Strict lower triangle L (cached) — the TC operand (paper §V).
+  /// Strict lower triangle L — the TC operand (paper §V).
   [[nodiscard]] const Csr& lower() const;
-  /// B2SR of L (cached; the one-time conversion the paper amortizes).
+  /// B2SR of L (the one-time conversion the paper amortizes).
   [[nodiscard]] const B2srAny& packed_lower() const;
 
   /// Out-degrees (the PR auxiliary vector, paper §V).
   [[nodiscard]] const std::vector<vidx_t>& degrees() const;
 
+  /// Which formats are materialized right now (kFmtCsr always set).
+  /// Safe to call concurrently with materialization.
+  [[nodiscard]] FormatSet formats() const;
+
+  /// Materialize every format in `want` now, off the query path — the
+  /// server-side warm-up (kReferenceFormats / kBitFormats /
+  /// kAllFormats, or any combination of Format bits).
+  void prewarm(FormatSet want) const;
+
+  /// Deep copy (Graphs are move-only; copying a handle is almost always
+  /// a mistake, so it is spelled out).  Caches restart cold.
+  [[nodiscard]] Graph clone() const;
+
  private:
+  Graph() = default;
+
+  /// The once_flag-guarded lazy state, heap-held so the handle stays
+  /// movable (once_flags pin their address).
+  struct Lazy {
+    std::once_flag dim_once, csr_t_once, unit_once, unit_t_once, lower_once,
+        b2sr_once, b2sr_t_once, b2sr_lower_once, degrees_once;
+    std::atomic<FormatSet> built{kFmtCsr};
+    int tile_dim = 0;
+    std::optional<Csr> csr_t, unit_csr, unit_csr_t, lower;
+    std::optional<B2srAny> b2sr, b2sr_t, b2sr_lower;
+    std::optional<std::vector<vidx_t>> degrees;
+  };
+
   Csr csr_;
-  int tile_dim_ = 32;
-  mutable std::optional<Csr> csr_t_;
-  mutable std::optional<Csr> unit_csr_;
-  mutable std::optional<Csr> unit_csr_t_;
-  mutable std::optional<Csr> lower_;
-  mutable std::optional<B2srAny> b2sr_;
-  mutable std::optional<B2srAny> b2sr_t_;
-  mutable std::optional<B2srAny> b2sr_lower_;
-  mutable std::optional<std::vector<vidx_t>> degrees_;
+  GraphOptions opts_{};
+  std::unique_ptr<Lazy> lazy_ = std::make_unique<Lazy>();
 };
 
 }  // namespace bitgb::gb

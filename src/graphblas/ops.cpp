@@ -4,11 +4,12 @@
 
 namespace bitgb::gb {
 
-std::vector<vidx_t> ref_vxm_bool_push(const Csr& a,
-                                      const std::vector<vidx_t>& frontier,
-                                      const std::vector<std::uint8_t>& visited) {
-  KernelTimerScope timer;
-  std::vector<vidx_t> next;
+void ref_vxm_bool_push(const Context& ctx, const Csr& a,
+                       const std::vector<vidx_t>& frontier,
+                       const std::vector<std::uint8_t>& visited,
+                       std::vector<vidx_t>& next) {
+  KernelTimerScope timer(ctx.timer);
+  next.clear();
   for (const vidx_t u : frontier) {
     for (const vidx_t v : a.row_cols(u)) {
       if (!visited[static_cast<std::size_t>(v)]) next.push_back(v);
@@ -16,16 +17,23 @@ std::vector<vidx_t> ref_vxm_bool_push(const Csr& a,
   }
   std::sort(next.begin(), next.end());
   next.erase(std::unique(next.begin(), next.end()), next.end());
+}
+
+std::vector<vidx_t> ref_vxm_bool_push(const Context& ctx, const Csr& a,
+                                      const std::vector<vidx_t>& frontier,
+                                      const std::vector<std::uint8_t>& visited) {
+  std::vector<vidx_t> next;
+  ref_vxm_bool_push(ctx, a, frontier, visited, next);
   return next;
 }
 
-void ref_vxm_bool_pull(const Csr& at,
+void ref_vxm_bool_pull(const Context& ctx, const Csr& at,
                        const std::vector<std::uint8_t>& frontier_dense,
                        const std::vector<std::uint8_t>& visited,
                        std::vector<std::uint8_t>& out) {
-  KernelTimerScope timer;
+  KernelTimerScope timer(ctx.timer);
   out.assign(static_cast<std::size_t>(at.nrows), 0);
-  parallel_for(vidx_t{0}, at.nrows, [&](vidx_t v) {
+  parallel_for(ctx.threads, vidx_t{0}, at.nrows, [&](vidx_t v) {
     if (visited[static_cast<std::size_t>(v)]) return;  // early exit on mask
     for (const vidx_t u : at.row_cols(v)) {
       if (frontier_dense[static_cast<std::size_t>(u)]) {
@@ -36,16 +44,17 @@ void ref_vxm_bool_pull(const Csr& at,
   });
 }
 
-void ref_mxm_frontier_masked(const Csr& at, const FrontierBatch& f,
+void ref_mxm_frontier_masked(const Context& ctx, const Csr& at,
+                             const FrontierBatch& f,
                              const FrontierBatch& visited,
                              FrontierBatch& next) {
-  KernelTimerScope timer;
+  KernelTimerScope timer(ctx.timer);
   next.resize(at.nrows, f.batch);
   // Column loop: the reference framework has no bit-parallel lanes, so
   // each frontier of the batch is its own masked dense pull over A^T.
   for (int b = 0; b < f.batch; ++b) {
     const FrontierBatch::word_t bit = FrontierBatch::word_t{1} << b;
-    parallel_for(vidx_t{0}, at.nrows, [&](vidx_t v) {
+    parallel_for(ctx.threads, vidx_t{0}, at.nrows, [&](vidx_t v) {
       if ((visited.rows[static_cast<std::size_t>(v)] & bit) != 0) {
         return;  // early exit on the mask (GraphBLAST pull style)
       }

@@ -2,16 +2,7 @@
 
 #include "platform/parallel.hpp"
 
-#include <thread>
-
 namespace bitgb {
-
-namespace {
-int hardware_threads() {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
-}
-}  // namespace
 
 DeviceProfile pascal_analog() {
   return DeviceProfile{"pascal-analog", "NVIDIA GTX 1080 (Pascal)", 1,
@@ -20,7 +11,7 @@ DeviceProfile pascal_analog() {
 
 DeviceProfile volta_analog() {
   return DeviceProfile{"volta-analog", "NVIDIA Titan V (Volta)",
-                       hardware_threads(), KernelVariant::kAuto};
+                       hardware_width(), KernelVariant::kAuto};
 }
 
 std::vector<DeviceProfile> all_profiles() {
@@ -33,22 +24,17 @@ DeviceProfile with_variant(DeviceProfile p, KernelVariant v) {
   return p;
 }
 
+Context context_for(const DeviceProfile& p, KernelTimeSink* sink) {
+  Context ctx;
+  ctx.threads = p.num_threads;
+  ctx.variant = p.variant;
+  ctx.timer = sink;
+  return ctx;
+}
+
 std::string simd_summary() {
   return std::string("simd engine: ") +
-         simd::backend_name(simd::active_backend()) +
-         " (runtime-verified), variant: " +
-         kernel_variant_name(kernel_variant());
-}
-
-ProfileScope::ProfileScope(const DeviceProfile& p)
-    : previous_threads_(max_threads()), previous_variant_(kernel_variant()) {
-  set_threads(p.num_threads);
-  if (p.variant != KernelVariant::kAuto) set_kernel_variant(p.variant);
-}
-
-ProfileScope::~ProfileScope() {
-  set_threads(previous_threads_);
-  set_kernel_variant(previous_variant_);
+         simd::backend_name(simd::active_backend()) + " (runtime-verified)";
 }
 
 }  // namespace bitgb

@@ -15,12 +15,15 @@
 // gains on Volta (§VI-E, last paragraph); EXPERIMENTS.md notes this.
 //
 // Profiles also carry the kernel variant (scalar vs SIMD inner loops,
-// platform/simd.hpp): activating a profile pins the process-wide
-// variant, which is how the benches ablate the SIMD engine on identical
-// inputs (with_variant below).  The SIMD backend itself is CPUID-
-// verified at runtime; simd_summary() reports what this host runs.
+// platform/simd.hpp).  A profile no longer *activates* anything — it is
+// descriptor material: context_for() turns one into a bitgb::Context
+// the benches thread through every call, which is how they ablate the
+// SIMD engine on identical inputs without mutating process state.  The
+// SIMD backend itself is CPUID-verified at runtime; simd_summary()
+// reports what this host runs.
 #pragma once
 
+#include "platform/context.hpp"
 #include "platform/simd.hpp"
 
 #include <string>
@@ -32,8 +35,7 @@ struct DeviceProfile {
   std::string name;        ///< e.g. "pascal-analog"
   std::string paper_gpu;   ///< the GPU this profile stands in for
   int num_threads = 1;     ///< host worker threads while active
-  /// Kernel variant while active (kAuto = leave the process-wide
-  /// setting untouched).
+  /// Kernel variant the profile pins (kAuto = per-kernel table).
   KernelVariant variant = KernelVariant::kAuto;
 };
 
@@ -51,24 +53,15 @@ struct DeviceProfile {
 /// micro-bench.
 [[nodiscard]] DeviceProfile with_variant(DeviceProfile p, KernelVariant v);
 
+/// The execution Context a profile describes: its thread width and
+/// kernel variant, optionally wired to a timer sink.  Benches pass the
+/// result (with the backend of their choice) through every call.
+[[nodiscard]] Context context_for(const DeviceProfile& p,
+                                  KernelTimeSink* sink = nullptr);
+
 /// One-line description of the host's SIMD state, e.g.
-/// "simd engine: avx2 (runtime-verified), variant: simd" — printed by
-/// the bench harnesses so recorded numbers carry their provenance.
+/// "simd engine: avx2 (runtime-verified)" — printed by the bench
+/// harnesses so recorded numbers carry their provenance.
 [[nodiscard]] std::string simd_summary();
-
-/// RAII activation: sets the runtime thread count (and, when the
-/// profile pins one, the kernel variant) on construction and restores
-/// the previous state on destruction.
-class ProfileScope {
- public:
-  explicit ProfileScope(const DeviceProfile& p);
-  ~ProfileScope();
-  ProfileScope(const ProfileScope&) = delete;
-  ProfileScope& operator=(const ProfileScope&) = delete;
-
- private:
-  int previous_threads_;
-  KernelVariant previous_variant_;
-};
 
 }  // namespace bitgb

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -11,27 +10,15 @@ namespace bitgb {
 
 namespace {
 
-int initial_width() noexcept {
-  if (const char* e = std::getenv("BITGB_THREADS")) {
-    const int n = std::atoi(e);
-    if (n > 0) return n;
-  }
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
-}
-
-std::atomic<int>& width_state() noexcept {
-  static std::atomic<int> w{initial_width()};
-  return w;
-}
-
 thread_local bool t_in_pool_work = false;
 
-/// Lazily-spawned worker pool.  One job runs at a time (parallel_for is
-/// never nested — in_parallel_region() degrades nested calls to serial);
+/// Lazily-spawned worker pool, shared by every caller.  One job runs at
+/// a time (parallel_for is never nested — in_parallel_region() degrades
+/// nested calls to serial, and concurrent callers queue on job_mutex_);
 /// participants — the calling thread plus the first width-1 workers —
 /// steal fixed-size chunks off a shared atomic cursor until the range
-/// is drained.
+/// is drained.  The job *width* is a per-call argument: the pool holds
+/// no process-global thread-count state.
 class WorkerPool {
  public:
   static WorkerPool& instance() {
@@ -134,12 +121,12 @@ std::atomic<std::uint32_t>& as_atomic_u32(std::uint32_t* p) noexcept {
 
 }  // namespace
 
-int max_threads() noexcept {
-  return width_state().load(std::memory_order_relaxed);
-}
-
-void set_threads(int n) noexcept {
-  if (n > 0) width_state().store(n, std::memory_order_relaxed);
+int hardware_width() noexcept {
+  static const int width = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }();
+  return width;
 }
 
 namespace detail {
@@ -148,8 +135,8 @@ bool in_parallel_region() noexcept { return t_in_pool_work; }
 
 void pool_run(std::int64_t begin, std::int64_t end, std::int64_t chunk,
               void (*body)(const void*, std::int64_t, std::int64_t),
-              const void* ctx) {
-  WorkerPool::instance().run(begin, end, chunk, body, ctx, max_threads());
+              const void* ctx, int width) {
+  WorkerPool::instance().run(begin, end, chunk, body, ctx, width);
 }
 
 }  // namespace detail

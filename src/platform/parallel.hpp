@@ -3,8 +3,10 @@
 // The paper maps one tile-row to one warp and lets the SM scheduler run
 // up to 64 warps concurrently (§IV, warp-consolidation model).  The host
 // analog is a parallel loop over tile rows.  All kernels parallelize
-// through this header so the device profile (thread count) is applied
-// uniformly.
+// through this header, and every entry point takes the worker width as
+// an explicit argument — there is no process-global thread count to
+// mutate, so two queries running concurrently can use different thread
+// budgets (their Contexts carry the width; see platform/context.hpp).
 //
 // The backend is a built-in std::thread chunk-stealing pool —
 // deliberately NOT OpenMP: gcc compiles every function differently in
@@ -13,6 +15,9 @@
 // tax the 1-thread pascal-analog profile that anchors the paper
 // comparison.  The pool gives the volta-analog profile real threads
 // with zero cost to the serial paths, and builds on any toolchain.
+// The pool itself is shared (workers are lazily spawned up to the
+// hardware width and reused by every caller); the *width* of each job
+// is per-call, which is what makes the budget a per-Context property.
 #pragma once
 
 #include <algorithm>
@@ -24,14 +29,24 @@
 
 namespace bitgb {
 
-/// Number of worker threads the runtime would use right now (the pool
-/// width; >= 1).  Defaults to the hardware width, overridable once at
-/// startup with the BITGB_THREADS environment variable.
-[[nodiscard]] int max_threads() noexcept;
+/// Number of hardware threads (>= 1).  This is the width a `width = 0`
+/// parallel region resolves to — a cached std::thread::hardware_concurrency.
+[[nodiscard]] int hardware_width() noexcept;
 
-/// Set the worker-thread count for subsequent parallel_for calls.
-/// Device profiles (device_profile.hpp) call this; 0 means "leave as is".
-void set_threads(int n) noexcept;
+/// Hard ceiling on any explicit worker request — the same bound
+/// Context::from_env validates against, so a value that parses is a
+/// value that is honored.  Explicit widths above the hardware width are
+/// allowed (deliberate oversubscription, and the escape hatch for
+/// hosts where hardware_concurrency() misreports 0); the ceiling only
+/// stops a pathological budget from spawning unbounded OS threads.
+inline constexpr int kMaxWorkerWidth = 4096;
+
+/// Resolve a requested worker width: <= 0 means "all hardware threads";
+/// explicit requests are honored up to kMaxWorkerWidth.
+[[nodiscard]] inline int resolve_width(int width) noexcept {
+  return width <= 0 ? hardware_width()
+                    : (width < kMaxWorkerWidth ? width : kMaxWorkerWidth);
+}
 
 namespace detail {
 
@@ -39,13 +54,13 @@ namespace detail {
 /// inside a parallel region runs serially instead of deadlocking.
 [[nodiscard]] bool in_parallel_region() noexcept;
 
-/// Dispatch [begin, end) in chunks of `chunk` across the pool; every
-/// participant (the calling thread included) repeatedly steals the
-/// next chunk and calls body(ctx, lo, hi).  Blocks until the whole
-/// range is done.
+/// Dispatch [begin, end) in chunks of `chunk` across the pool with the
+/// given participant width; every participant (the calling thread
+/// included) repeatedly steals the next chunk and calls
+/// body(ctx, lo, hi).  Blocks until the whole range is done.
 void pool_run(std::int64_t begin, std::int64_t end, std::int64_t chunk,
               void (*body)(const void*, std::int64_t, std::int64_t),
-              const void* ctx);
+              const void* ctx, int width);
 
 /// The serial path, isolated in its own never-inlined function with a
 /// by-value closure: sharing a function body with the pool dispatch
@@ -60,27 +75,35 @@ template <typename Index, typename Fn>
 
 }  // namespace detail
 
-/// parallel_for(begin, end, fn): run fn(i) for i in [begin, end) across
-/// the worker threads.  `fn` must be safe to run concurrently for
-/// distinct i (the B2SR kernels write disjoint output rows per tile-row,
-/// matching the one-warp-per-tile-row mapping of the paper).
-/// A 1-thread runtime never touches the pool — µs-scale kernels under
-/// the pascal-analog profile pay nothing for the machinery.
+/// parallel_for(width, begin, end, fn): run fn(i) for i in [begin, end)
+/// across at most `width` workers (0 = hardware width; 1 = pure serial,
+/// never touching the pool — µs-scale kernels under a 1-thread Context
+/// pay nothing for the machinery).  `fn` must be safe to run
+/// concurrently for distinct i (the B2SR kernels write disjoint output
+/// rows per tile-row, matching the one-warp-per-tile-row mapping of the
+/// paper).
 template <typename Index, typename Fn>
-void parallel_for(Index begin, Index end, Fn&& fn) {
+void parallel_for(int width, Index begin, Index end, Fn&& fn) {
   if (end <= begin) return;
   using F = std::decay_t<Fn>;
-  if (max_threads() > 1 && !detail::in_parallel_region()) {
+  if (resolve_width(width) > 1 && !detail::in_parallel_region()) {
     detail::pool_run(
         static_cast<std::int64_t>(begin), static_cast<std::int64_t>(end), 64,
         [](const void* ctx, std::int64_t lo, std::int64_t hi) {
           const F& f = *static_cast<const F*>(ctx);
           for (std::int64_t i = lo; i < hi; ++i) f(static_cast<Index>(i));
         },
-        &fn);
+        &fn, resolve_width(width));
     return;
   }
   detail::serial_for(begin, end, F(fn));
+}
+
+/// Hardware-width convenience overload (for callers with no Context —
+/// corpus generation, gold references, one-off tooling).
+template <typename Index, typename Fn>
+void parallel_for(Index begin, Index end, Fn&& fn) {
+  parallel_for(0, begin, end, std::forward<Fn>(fn));
 }
 
 /// parallel_for with a static schedule — for uniform per-iteration work
@@ -88,10 +111,10 @@ void parallel_for(Index begin, Index end, Fn&& fn) {
 /// overhead.  With the chunk-stealing pool this is the same dispatch
 /// with one contiguous chunk per worker.
 template <typename Index, typename Fn>
-void parallel_for_static(Index begin, Index end, Fn&& fn) {
+void parallel_for_static(int width, Index begin, Index end, Fn&& fn) {
   if (end <= begin) return;
   using F = std::decay_t<Fn>;
-  const int nthreads = max_threads();
+  const int nthreads = resolve_width(width);
   if (nthreads > 1 && !detail::in_parallel_region()) {
     const auto b = static_cast<std::int64_t>(begin);
     const auto e = static_cast<std::int64_t>(end);
@@ -102,10 +125,15 @@ void parallel_for_static(Index begin, Index end, Fn&& fn) {
           const F& f = *static_cast<const F*>(ctx);
           for (std::int64_t i = lo; i < hi; ++i) f(static_cast<Index>(i));
         },
-        &fn);
+        &fn, nthreads);
     return;
   }
   detail::serial_for(begin, end, F(fn));
+}
+
+template <typename Index, typename Fn>
+void parallel_for_static(Index begin, Index end, Fn&& fn) {
+  parallel_for_static(0, begin, end, std::forward<Fn>(fn));
 }
 
 /// Exclusive prefix sum over per-chunk counts: out[0] = 0,
@@ -117,15 +145,16 @@ void parallel_for_static(Index begin, Index end, Fn&& fn) {
 /// offsets, parallel add-back); small ones fall back to the serial
 /// scan that the three-phase version would only slow down.
 template <typename T>
-void parallel_exclusive_scan(const T* counts, std::size_t n, T* out) {
+void parallel_exclusive_scan(int width, const T* counts, std::size_t n,
+                             T* out) {
   out[0] = T{0};
   constexpr std::size_t kSerialCutoff = 1 << 15;
-  const int nthreads = max_threads();
+  const int nthreads = resolve_width(width);
   if (n >= kSerialCutoff && nthreads > 1) {
     const auto nblocks = static_cast<std::size_t>(nthreads);
     const std::size_t block = (n + nblocks - 1) / nblocks;
     std::vector<T> block_sum(nblocks, T{0});
-    parallel_for_static(std::size_t{0}, nblocks, [&](std::size_t b) {
+    parallel_for_static(nthreads, std::size_t{0}, nblocks, [&](std::size_t b) {
       const std::size_t lo = b * block;
       const std::size_t hi = std::min(n, lo + block);
       T sum{0};
@@ -136,7 +165,7 @@ void parallel_exclusive_scan(const T* counts, std::size_t n, T* out) {
     for (std::size_t b = 1; b < nblocks; ++b) {
       block_off[b] = block_off[b - 1] + block_sum[b - 1];
     }
-    parallel_for_static(std::size_t{0}, nblocks, [&](std::size_t b) {
+    parallel_for_static(nthreads, std::size_t{0}, nblocks, [&](std::size_t b) {
       const std::size_t lo = b * block;
       const std::size_t hi = std::min(n, lo + block);
       T run = block_off[b];
@@ -163,11 +192,13 @@ void atomic_or_u32(std::uint32_t* cell, std::uint32_t v) noexcept;
 
 /// Atomic OR on any packing word (uint8/16/32) — the push-mode boolean
 /// vxm scatters frontier words into the output, and distinct tile-rows
-/// may hit the same output word concurrently.  A 1-thread runtime has
-/// no concurrency, so the plain RMW is safe and skips the lock prefix.
+/// may hit the same output word concurrently.  `concurrent` is whether
+/// the surrounding parallel region actually runs more than one worker;
+/// a serial region has no concurrency, so the plain RMW is safe and
+/// skips the lock prefix.
 template <typename W>
-void atomic_or_word(W* cell, W v) noexcept {
-  if (max_threads() > 1) {
+void atomic_or_word(W* cell, W v, bool concurrent) noexcept {
+  if (concurrent) {
     std::atomic_ref<W> ref(*cell);
     ref.fetch_or(v, std::memory_order_relaxed);
   } else {

@@ -21,9 +21,7 @@
 // inner loops on an AVX2 host and degrades gracefully elsewhere.
 #include "platform/simd.hpp"
 
-#include <atomic>
 #include <bit>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -36,36 +34,6 @@
 #endif
 
 namespace bitgb {
-
-namespace {
-
-KernelVariant builtin_default_variant() {
-  if (const char* e = std::getenv("BITGB_KERNEL_VARIANT")) {
-    const std::string s(e);
-    if (s == "scalar") return KernelVariant::kScalar;
-    if (s == "simd") return KernelVariant::kSimd;
-  }
-  // kAuto = defer to the per-(kernel, dim) preference table.  Both
-  // sides of the table are scalar-exact, so any resolution is safe.
-  return KernelVariant::kAuto;
-}
-
-std::atomic<KernelVariant>& variant_state() {
-  static std::atomic<KernelVariant> v{builtin_default_variant()};
-  return v;
-}
-
-}  // namespace
-
-KernelVariant kernel_variant() {
-  return variant_state().load(std::memory_order_relaxed);
-}
-
-void set_kernel_variant(KernelVariant v) {
-  variant_state().store(v == KernelVariant::kAuto ? builtin_default_variant()
-                                                  : v,
-                        std::memory_order_relaxed);
-}
 
 KernelVariant preferred_variant(HotKernel k, int dim) {
 #if defined(__AVX2__)
@@ -108,18 +76,14 @@ KernelVariant preferred_variant(HotKernel k, int dim) {
 }
 
 KernelVariant resolve_kernel_variant(KernelVariant requested) {
-  if (requested != KernelVariant::kAuto) return requested;
-  const KernelVariant process = kernel_variant();
-  // No kernel context: an unpinned process keeps the historical
-  // blanket-kSimd default.
-  return process == KernelVariant::kAuto ? KernelVariant::kSimd : process;
+  // No kernel context: kAuto keeps the historical blanket-kSimd default.
+  return requested == KernelVariant::kAuto ? KernelVariant::kSimd : requested;
 }
 
 KernelVariant resolve_kernel_variant(KernelVariant requested, HotKernel k,
                                      int dim) {
   if (requested != KernelVariant::kAuto) return requested;
-  const KernelVariant process = kernel_variant();
-  return process == KernelVariant::kAuto ? preferred_variant(k, dim) : process;
+  return preferred_variant(k, dim);
 }
 
 const char* kernel_variant_name(KernelVariant v) {
@@ -129,6 +93,20 @@ const char* kernel_variant_name(KernelVariant v) {
     case KernelVariant::kSimd: return "simd";
   }
   return "?";
+}
+
+bool parse_kernel_variant(const char* s, KernelVariant& out) {
+  const std::string v(s == nullptr ? "" : s);
+  if (v == "scalar") {
+    out = KernelVariant::kScalar;
+  } else if (v == "simd") {
+    out = KernelVariant::kSimd;
+  } else if (v == "auto") {
+    out = KernelVariant::kAuto;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace simd {

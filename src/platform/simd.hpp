@@ -28,10 +28,12 @@
 // commutative), so each backend is bit-for-bit identical to the scalar
 // kernels — asserted over the oracle corpus by test_simd_parity.
 //
-// Kernel-variant plumbing: kernels take a trailing KernelVariant
-// argument defaulting to kAuto, which resolves through the process-wide
-// variant (set_kernel_variant / ProfileScope) so benchmarks can ablate
-// scalar vs SIMD on identical inputs, and tests can pin either side.
+// Kernel-variant plumbing: kernels take a trailing Exec
+// (platform/exec.hpp) whose variant defaults to kAuto — resolved
+// through the measured per-(kernel, dim) preference table below, NOT
+// through any process-wide setting.  There is no global variant state:
+// benchmarks ablate scalar vs SIMD by passing an explicit Exec, and two
+// concurrent queries can pin different sides through their Contexts.
 #pragma once
 
 #include "core/tile_traits.hpp"
@@ -42,8 +44,8 @@
 namespace bitgb {
 
 /// Which implementation of a hot kernel to run.  kAuto defers to the
-/// process-wide setting (set_kernel_variant); the explicit values pin
-/// one side regardless of the global state.
+/// per-(kernel, dim) preference table (preferred_variant); the explicit
+/// values pin one side.
 enum class KernelVariant { kAuto = 0, kScalar, kSimd };
 
 /// The hot kernels that exist in both variants — the rows of the kAuto
@@ -72,27 +74,19 @@ enum class HotKernel {
 [[nodiscard]] KernelVariant preferred_variant(HotKernel k, int dim);
 
 /// Resolve a requested variant to kScalar or kSimd.  Explicit values
-/// win; kAuto falls through to the process-wide variant (set by
-/// set_kernel_variant() or the BITGB_KERNEL_VARIANT environment
-/// variable, "scalar" / "simd" / "auto", read once at first use).  An
-/// unpinned process ("auto") resolves through the per-(kernel, dim)
-/// preference table; the overload without kernel context keeps the
-/// historical blanket-kSimd default.
+/// win; kAuto resolves through the per-(kernel, dim) preference table.
+/// The overload without kernel context keeps the historical blanket-
+/// kSimd default (for callers with no HotKernel row).  Pure functions
+/// of their arguments: no process state, no environment.
 [[nodiscard]] KernelVariant resolve_kernel_variant(KernelVariant requested);
 [[nodiscard]] KernelVariant resolve_kernel_variant(KernelVariant requested,
                                                    HotKernel k, int dim);
 
-/// Set the process-wide variant (kAuto restores the built-in default,
-/// i.e. the per-kernel preference table unless the environment pins a
-/// side).
-void set_kernel_variant(KernelVariant v);
-
-/// The current process-wide variant.  kAuto means "per-kernel table";
-/// kScalar / kSimd mean a side is pinned (environment, profile, or
-/// set_kernel_variant).
-[[nodiscard]] KernelVariant kernel_variant();
-
 [[nodiscard]] const char* kernel_variant_name(KernelVariant v);
+
+/// Parse "scalar" / "simd" / "auto" (as Context::from_env accepts).
+/// Returns false on anything else.
+[[nodiscard]] bool parse_kernel_variant(const char* s, KernelVariant& out);
 
 namespace simd {
 

@@ -3,12 +3,18 @@
 // Tables VII/VIII of the paper report, per (matrix, algorithm), both the
 // whole-algorithm latency and the latency spent inside the mxv/mxm
 // kernels ("algorithm" vs "kernel" rows).  We reproduce that split with
-// a thread-local accumulator that every backend kernel wraps in a
-// KernelTimerScope; the harness reads and resets the accumulator around
-// each run.  All reported numbers are averages of kRunsPerMeasurement
-// runs, matching the paper's "average of 5 runs" protocol (§VI-A).
+// a caller-owned KernelTimeSink: a Context that wants the split points
+// its `timer` at a sink, every backend operation contributes through a
+// KernelTimerScope over that sink, and the harness reads/resets the
+// sink around each run.  A null sink (the default Context) makes the
+// scope a no-op — queries that don't measure pay nothing, and two
+// concurrent queries accumulate into their own sinks instead of a
+// process accumulator.  All reported numbers are averages of
+// kRunsPerMeasurement runs, matching the paper's "average of 5 runs"
+// protocol (§VI-A).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -32,25 +38,45 @@ class Stopwatch {
   clock::time_point start_;
 };
 
-/// Accumulated in-kernel time (milliseconds) on the calling thread since
-/// the last reset.  Backend kernels contribute via KernelTimerScope.
-[[nodiscard]] double kernel_time_ms();
+/// Accumulates in-kernel time for one measurement consumer.  Atomic so
+/// kernels driven from different threads of one query (or one harness)
+/// can share a sink; distinct queries simply use distinct sinks.
+class KernelTimeSink {
+ public:
+  void add_ns(std::int64_t ns) noexcept {
+    ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double ms() const noexcept {
+    return static_cast<double>(ns_.load(std::memory_order_relaxed)) * 1e-6;
+  }
+  void reset() noexcept { ns_.store(0, std::memory_order_relaxed); }
 
-/// Zero the kernel-time accumulator (harness calls this per run).
-void reset_kernel_time();
+ private:
+  std::atomic<std::int64_t> ns_{0};
+};
 
-/// RAII contribution of one kernel invocation to the accumulator.
-/// Scopes may not nest meaningfully (a kernel does not call a kernel);
-/// nesting double-counts by design simplicity and is avoided in code.
+/// RAII contribution of one kernel invocation to a sink (no-op when the
+/// sink is null).  Scopes may not nest meaningfully (a kernel does not
+/// call a kernel); nesting double-counts by design simplicity and is
+/// avoided in code.
 class KernelTimerScope {
  public:
-  KernelTimerScope();
-  ~KernelTimerScope();
+  explicit KernelTimerScope(KernelTimeSink* sink) : sink_(sink) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~KernelTimerScope() {
+    if (sink_ != nullptr) {
+      sink_->add_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+    }
+  }
   KernelTimerScope(const KernelTimerScope&) = delete;
   KernelTimerScope& operator=(const KernelTimerScope&) = delete;
 
  private:
-  Stopwatch watch_;
+  KernelTimeSink* sink_;
+  std::chrono::steady_clock::time_point start_{};
 };
 
 /// Measure `fn` as the paper does: one warm-up call, then the average
@@ -63,24 +89,26 @@ template <typename Fn>
   return w.elapsed_ms() / runs;
 }
 
-/// Like time_avg_ms but also averages the in-kernel accumulator, for the
-/// Tables VII/VIII "kernel" rows.  Returns {algorithm_ms, kernel_ms}.
+/// Like time_avg_ms but also averages the given kernel-time sink, for
+/// the Tables VII/VIII "kernel" rows.  The caller must run `fn` under a
+/// Context whose `timer` points at `sink`.  Returns {algorithm_ms,
+/// kernel_ms}.
 struct SplitTiming {
   double algorithm_ms = 0.0;
   double kernel_ms = 0.0;
 };
 
 template <typename Fn>
-[[nodiscard]] SplitTiming time_split_ms(Fn&& fn,
+[[nodiscard]] SplitTiming time_split_ms(KernelTimeSink& sink, Fn&& fn,
                                         int runs = kRunsPerMeasurement) {
   fn();  // warm-up
   SplitTiming t;
   for (int r = 0; r < runs; ++r) {
-    reset_kernel_time();
+    sink.reset();
     Stopwatch w;
     fn();
     t.algorithm_ms += w.elapsed_ms();
-    t.kernel_ms += kernel_time_ms();
+    t.kernel_ms += sink.ms();
   }
   t.algorithm_ms /= runs;
   t.kernel_ms /= runs;

@@ -34,7 +34,7 @@ CooTileSpa& tls_coo_spa() {
 }  // namespace
 
 template <int Dim>
-B2srT<Dim> pack_from_coo(const Coo& a) {
+B2srT<Dim> pack_from_coo(const Coo& a, Exec exec) {
   using word_t = typename TileTraits<Dim>::word_t;
   B2srT<Dim> b;
   b.nrows = a.nrows;
@@ -50,8 +50,8 @@ B2srT<Dim> pack_from_coo(const Coo& a) {
     ++bucket_count[static_cast<std::size_t>(r / Dim)];
   }
   std::vector<vidx_t> bucket_off(static_cast<std::size_t>(ntr) + 1);
-  parallel_exclusive_scan(bucket_count.data(), bucket_count.size(),
-                          bucket_off.data());
+  parallel_exclusive_scan(exec.threads, bucket_count.data(),
+                          bucket_count.size(), bucket_off.data());
   std::vector<std::uint32_t> order(nnz);
   {
     std::vector<vidx_t> cursor(bucket_off.begin(), bucket_off.end() - 1);
@@ -64,7 +64,7 @@ B2srT<Dim> pack_from_coo(const Coo& a) {
 
   // Pass 1: distinct tile columns per tile-row (generation-marked).
   std::vector<vidx_t> counts(static_cast<std::size_t>(ntr), 0);
-  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
     auto& spa = tls_coo_spa();
     spa.ensure(ntc);
     const int g = ++spa.gen;
@@ -82,14 +82,15 @@ B2srT<Dim> pack_from_coo(const Coo& a) {
     counts[static_cast<std::size_t>(tr)] = n;
   });
   b.tile_rowptr.resize(static_cast<std::size_t>(ntr) + 1);
-  parallel_exclusive_scan(counts.data(), counts.size(), b.tile_rowptr.data());
+  parallel_exclusive_scan(exec.threads, counts.data(), counts.size(),
+                          b.tile_rowptr.data());
   const vidx_t ntiles = b.tile_rowptr.back();
   b.tile_colind.resize(static_cast<std::size_t>(ntiles));
   b.bits.assign(static_cast<std::size_t>(ntiles) * Dim, word_t{0});
 
   // Pass 2: collect + sort the (few) distinct tile columns, then
   // scatter every entry's bit through the slot lookup.
-  parallel_for(vidx_t{0}, ntr, [&](vidx_t tr) {
+  parallel_for(exec.threads, vidx_t{0}, ntr, [&](vidx_t tr) {
     auto& spa = tls_coo_spa();
     spa.ensure(ntc);
     const int g = ++spa.gen;
@@ -128,15 +129,15 @@ B2srT<Dim> pack_from_coo(const Coo& a) {
   return b;
 }
 
-B2srAny pack_coo_any(const Coo& a, int dim) {
+B2srAny pack_coo_any(const Coo& a, int dim, Exec exec) {
   return dispatch_tile_dim(
-      dim, [&]<int Dim>() { return B2srAny(pack_from_coo<Dim>(a)); });
+      dim, [&]<int Dim>() { return B2srAny(pack_from_coo<Dim>(a, exec)); });
 }
 
-template B2srT<4> pack_from_coo<4>(const Coo&);
-template B2srT<8> pack_from_coo<8>(const Coo&);
-template B2srT<16> pack_from_coo<16>(const Coo&);
-template B2srT<32> pack_from_coo<32>(const Coo&);
+template B2srT<4> pack_from_coo<4>(const Coo&, Exec);
+template B2srT<8> pack_from_coo<8>(const Coo&, Exec);
+template B2srT<16> pack_from_coo<16>(const Coo&, Exec);
+template B2srT<32> pack_from_coo<32>(const Coo&, Exec);
 
 Csr coo_to_csr(const Coo& a) {
   Coo sorted = a;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/b2sr.hpp"
+#include "platform/exec.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 
@@ -20,10 +21,11 @@ namespace bitgb {
 /// a 1, exactly as pack_from_csr treats CSR entries.  Bit-for-bit
 /// identical to pack_from_csr(coo_to_csr(a)) (test_pack_pipeline).
 template <int Dim>
-[[nodiscard]] B2srT<Dim> pack_from_coo(const Coo& a);
+[[nodiscard]] B2srT<Dim> pack_from_coo(const Coo& a, Exec exec = {});
 
 /// Runtime-dim COO packing.
-[[nodiscard]] B2srAny pack_coo_any(const Coo& a, int dim);
+[[nodiscard]] B2srAny pack_coo_any(const Coo& a, int dim,
+                                   Exec exec = {});
 
 /// Expand CSR back to (sorted) COO.
 [[nodiscard]] Coo csr_to_coo(const Csr& a);

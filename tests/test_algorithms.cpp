@@ -34,7 +34,7 @@ TEST_P(AlgoTest, BfsBothBackendsMatchGold) {
   if (g.num_vertices() == 0) return;
   const auto gold = algo::bfs_gold(g.adjacency(), 0);
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::bfs(g, 0, backend);
+    const auto res = algo::bfs(test::ctx(backend), g, {0});
     EXPECT_EQ(gold, res.levels) << gb::backend_name(backend);
   }
 }
@@ -44,7 +44,7 @@ TEST_P(AlgoTest, SsspBothBackendsMatchGold) {
   if (g.num_vertices() == 0) return;
   const auto gold = algo::sssp_gold(g.adjacency(), 0);
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::sssp(g, 0, backend);
+    const auto res = algo::sssp(test::ctx(backend), g, {0});
     test::expect_vectors_near(gold, res.dist);
   }
 }
@@ -54,7 +54,7 @@ TEST_P(AlgoTest, PageRankBothBackendsMatchGold) {
   if (g.num_vertices() == 0) return;
   const auto gold = algo::pagerank_gold(g.adjacency());
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::pagerank(g, backend);
+    const auto res = algo::pagerank(test::ctx(backend), g);
     test::expect_vectors_near(gold, res.rank, 1e-4);
   }
 }
@@ -64,7 +64,7 @@ TEST_P(AlgoTest, CcBothBackendsMatchGold) {
   if (g.num_vertices() == 0) return;
   const auto gold = algo::cc_gold(g.adjacency());
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::connected_components(g, backend);
+    const auto res = algo::connected_components(test::ctx(backend), g);
     EXPECT_EQ(gold, res.component) << gb::backend_name(backend);
   }
 }
@@ -74,7 +74,7 @@ TEST_P(AlgoTest, TcBothBackendsMatchGold) {
   if (g.num_vertices() == 0) return;
   const auto gold = algo::tc_gold(g.adjacency());
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    EXPECT_EQ(gold, algo::triangle_count(g, backend))
+    EXPECT_EQ(gold, algo::triangle_count(test::ctx(backend), g))
         << gb::backend_name(backend);
   }
 }
@@ -96,7 +96,7 @@ TEST(Bfs, PathGraphLevelsAreDistances) {
   Coo path{6, 6, {}, {}, {}};
   for (vidx_t i = 0; i + 1 < 6; ++i) path.push(i, i + 1);
   const gb::Graph g = gb::Graph::from_coo(path);
-  const auto res = algo::bfs(g, 0, gb::Backend::kBit);
+  const auto res = algo::bfs(test::ctx(gb::Backend::kBit), g, {0});
   for (vidx_t i = 0; i < 6; ++i) {
     EXPECT_EQ(i, res.levels[static_cast<std::size_t>(i)]);
   }
@@ -109,7 +109,7 @@ TEST(Bfs, DisconnectedComponentStaysUnreached) {
   two.push(3, 4);
   const gb::Graph g = gb::Graph::from_coo(two);
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::bfs(g, 0, backend);
+    const auto res = algo::bfs(test::ctx(backend), g, {0});
     EXPECT_EQ(algo::kUnreached, res.levels[3]);
     EXPECT_EQ(algo::kUnreached, res.levels[5]);
     EXPECT_EQ(1, res.levels[1]);
@@ -118,15 +118,15 @@ TEST(Bfs, DisconnectedComponentStaysUnreached) {
 
 TEST(Bfs, SourceOnlyGraph) {
   const gb::Graph g = gb::Graph::from_coo(Coo{4, 4, {}, {}, {}});
-  const auto res = algo::bfs(g, 2, gb::Backend::kBit);
+  const auto res = algo::bfs(test::ctx(gb::Backend::kBit), g, {2});
   EXPECT_EQ(0, res.levels[2]);
   EXPECT_EQ(algo::kUnreached, res.levels[0]);
 }
 
 TEST(Sssp, UnitWeightsEqualBfsLevels) {
   const gb::Graph g = gb::Graph::from_coo(gen_road(8, 8, 0.0, 20));
-  const auto bfs_res = algo::bfs(g, 0, gb::Backend::kBit);
-  const auto sssp_res = algo::sssp(g, 0, gb::Backend::kBit);
+  const auto bfs_res = algo::bfs(test::ctx(gb::Backend::kBit), g, {0});
+  const auto sssp_res = algo::sssp(test::ctx(gb::Backend::kBit), g, {0});
   for (vidx_t v = 0; v < g.num_vertices(); ++v) {
     const auto lvl = bfs_res.levels[static_cast<std::size_t>(v)];
     const auto d = sssp_res.dist[static_cast<std::size_t>(v)];
@@ -143,7 +143,7 @@ TEST(PageRank, SumsToOneAndUniformOnRegularGraph) {
   Coo cycle{8, 8, {}, {}, {}};
   for (vidx_t i = 0; i < 8; ++i) cycle.push(i, (i + 1) % 8);
   const gb::Graph g = gb::Graph::from_coo(cycle);
-  const auto res = algo::pagerank(g, gb::Backend::kBit);
+  const auto res = algo::pagerank(test::ctx(gb::Backend::kBit), g);
   double sum = 0.0;
   for (const value_t r : res.rank) {
     EXPECT_NEAR(1.0 / 8.0, r, 1e-5);
@@ -161,7 +161,7 @@ TEST(PageRank, DanglingMassIsRedistributed) {
   opts.symmetrize = false;
   const gb::Graph g = gb::Graph::from_coo(a, opts);
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::pagerank(g, backend);
+    const auto res = algo::pagerank(test::ctx(backend), g);
     double sum = 0.0;
     for (const value_t r : res.rank) sum += r;
     EXPECT_NEAR(1.0, sum, 1e-4) << gb::backend_name(backend);
@@ -172,10 +172,10 @@ TEST(PageRank, DanglingMassIsRedistributed) {
 
 TEST(PageRank, HonorsIterationCap) {
   const gb::Graph g = gb::Graph::from_coo(gen_rmat(8, 1500, 21));
-  algo::PageRankOptions opts;
+  algo::PageRankParams opts;
   opts.max_iterations = 3;
   opts.epsilon = 0.0;  // never converges early
-  const auto res = algo::pagerank(g, gb::Backend::kBit, opts);
+  const auto res = algo::pagerank(test::ctx(gb::Backend::kBit), g, opts);
   EXPECT_EQ(3, res.iterations);
 }
 
@@ -186,7 +186,7 @@ TEST(Cc, CountsComponentsOfForest) {
   f.push(2, 3);
   f.push(4, 5);
   const gb::Graph g = gb::Graph::from_coo(f);
-  const auto res = algo::connected_components(g, gb::Backend::kBit);
+  const auto res = algo::connected_components(test::ctx(gb::Backend::kBit), g);
   std::map<vidx_t, int> sizes;
   for (const vidx_t c : res.component) ++sizes[c];
   EXPECT_EQ(5u, sizes.size());
@@ -205,19 +205,19 @@ TEST(Tc, KnownTriangleCounts) {
     }
   }
   const gb::Graph g4 = gb::Graph::from_coo(k4);
-  EXPECT_EQ(4, algo::triangle_count(g4, gb::Backend::kBit));
-  EXPECT_EQ(4, algo::triangle_count(g4, gb::Backend::kReference));
+  EXPECT_EQ(4, algo::triangle_count(test::ctx(gb::Backend::kBit), g4));
+  EXPECT_EQ(4, algo::triangle_count(test::ctx(gb::Backend::kReference), g4));
 
   // Mycielskian graphs are triangle-free by construction.
   const gb::Graph gm = gb::Graph::from_coo(gen_mycielskian(7));
-  EXPECT_EQ(0, algo::triangle_count(gm, gb::Backend::kBit));
+  EXPECT_EQ(0, algo::triangle_count(test::ctx(gb::Backend::kBit), gm));
 }
 
 TEST(Tc, CycleHasNoTrianglesSquareOfCycleDoes) {
   Coo c5{5, 5, {}, {}, {}};
   for (vidx_t i = 0; i < 5; ++i) c5.push(i, (i + 1) % 5);
   const gb::Graph g = gb::Graph::from_coo(c5);
-  EXPECT_EQ(0, algo::triangle_count(g, gb::Backend::kBit));
+  EXPECT_EQ(0, algo::triangle_count(test::ctx(gb::Backend::kBit), g));
 }
 
 }  // namespace

@@ -112,9 +112,10 @@ TEST_P(BatchedOpTest, RefAndBitExpansionAgree) {
 
   FrontierBatch next_ref;
   FrontierBatch next_bit;
-  gb::ref_mxm_frontier_masked(g.adjacency_t(), f, visited, next_ref);
+  const Context ctx;
+  gb::ref_mxm_frontier_masked(ctx, g.adjacency_t(), f, visited, next_ref);
   dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
-    gb::bit_mxm_frontier_masked<Dim>(g.packed_t().as<Dim>(), f, visited,
+    gb::bit_mxm_frontier_masked<Dim>(ctx, g.packed_t().as<Dim>(), f, visited,
                                      next_bit);
     return 0;
   });
@@ -163,13 +164,13 @@ TEST_P(MsBfsTest, FullWidthBatchMatchesSingleSourceRuns) {
 
   const auto gold = algo::msbfs_gold(g.adjacency(), sources);
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::msbfs(g, sources, backend);
+    const auto res = algo::msbfs(test::ctx(backend), g, {sources});
     ASSERT_EQ(batch, res.batch);
     EXPECT_EQ(gold, res.levels) << gb::backend_name(backend);
     // Column extraction must equal the single-source bfs() result.
     for (int b = 0; b < batch; b += 13) {
-      const auto single =
-          algo::bfs(g, sources[static_cast<std::size_t>(b)], backend);
+      const auto single = algo::bfs(
+          test::ctx(backend), g, {sources[static_cast<std::size_t>(b)]});
       EXPECT_EQ(single.levels, res.column(n, b))
           << gb::backend_name(backend) << " column " << b;
     }
@@ -186,7 +187,7 @@ TEST_P(MsBfsTest, NarrowBatchMatchesSingleSourceRuns) {
     const auto sources = spread_sources(n, batch);
     const auto gold = algo::msbfs_gold(g.adjacency(), sources);
     for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-      const auto res = algo::msbfs(g, sources, backend);
+      const auto res = algo::msbfs(test::ctx(backend), g, {sources});
       EXPECT_EQ(gold, res.levels)
           << gb::backend_name(backend) << " batch=" << batch;
     }
@@ -198,8 +199,8 @@ TEST_P(MsBfsTest, BatchedReachMatchesLevels) {
   const vidx_t n = g.num_vertices();
   if (n == 0) return;
   const auto sources = spread_sources(n, std::min<int>(5, n));
-  const auto res = algo::msbfs(g, sources, gb::Backend::kBit);
-  const auto reach = algo::batched_reach(g, sources, gb::Backend::kBit);
+  const auto res = algo::msbfs(test::ctx(gb::Backend::kBit), g, {sources});
+  const auto reach = algo::batched_reach(test::ctx(gb::Backend::kBit), g, sources);
   ASSERT_TRUE(reach.validate());
   for (vidx_t v = 0; v < n; ++v) {
     for (int b = 0; b < res.batch; ++b) {
@@ -217,12 +218,11 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(MsBfs, RejectsBadBatches) {
   const gb::Graph g =
       gb::Graph::from_csr(test::small_matrix_by_name("random_61"));
-  EXPECT_THROW((void)algo::msbfs(g, {}, gb::Backend::kBit),
-               std::invalid_argument);
-  EXPECT_THROW((void)algo::msbfs(g, {61}, gb::Backend::kBit),
-               std::invalid_argument);
+  const Context ctx;
+  EXPECT_THROW((void)algo::msbfs(ctx, g, {{}}), std::invalid_argument);
+  EXPECT_THROW((void)algo::msbfs(ctx, g, {{61}}), std::invalid_argument);
   EXPECT_THROW(
-      (void)algo::msbfs(g, std::vector<vidx_t>(65, 0), gb::Backend::kBit),
+      (void)algo::msbfs(ctx, g, {std::vector<vidx_t>(65, 0)}),
       std::invalid_argument);
 }
 
@@ -241,10 +241,10 @@ TEST_P(BatchedCcTest, MatchesGoldAndFastSv) {
   if (g.num_vertices() == 0) return;
   const auto gold = algo::cc_gold(g.adjacency());
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::batched_cc(g, backend);
+    const auto res = algo::batched_cc(test::ctx(backend), g);
     EXPECT_EQ(gold, res.component) << gb::backend_name(backend);
     EXPECT_GE(res.waves, 1);
-    const auto fastsv = algo::connected_components(g, backend);
+    const auto fastsv = algo::connected_components(test::ctx(backend), g);
     EXPECT_EQ(fastsv.component, res.component) << gb::backend_name(backend);
   }
 }
@@ -259,7 +259,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(BatchedCc, WavesAmortizeAcrossComponents) {
   const Csr empty = coo_to_csr(Coo{130, 130, {}, {}, {}});
   const gb::Graph g = gb::Graph::from_csr(empty);
-  const auto res = algo::batched_cc(g, gb::Backend::kBit);
+  const auto res = algo::batched_cc(test::ctx(gb::Backend::kBit), g);
   EXPECT_EQ(3, res.waves);
   EXPECT_EQ(algo::cc_gold(g.adjacency()), res.component);
 }

@@ -1,6 +1,7 @@
 // Bench-library tests: corpus construction and figure/table rendering.
 #include "benchlib/corpus.hpp"
 #include "benchlib/reporting.hpp"
+#include "platform/context.hpp"
 #include "platform/device_profile.hpp"
 #include "platform/parallel.hpp"
 #include "platform/timer.hpp"
@@ -126,23 +127,26 @@ TEST(Reporting, AlgoTableRendersRows) {
   EXPECT_NE(std::string::npos, s.find("3.0x"));  // 1.5/0.5
 }
 
-TEST(DeviceProfile, ProfilesSetThreadCounts) {
+TEST(DeviceProfile, ProfilesDescribeContexts) {
   const auto pascal = pascal_analog();
   const auto volta = volta_analog();
   EXPECT_EQ(1, pascal.num_threads);
   EXPECT_GE(volta.num_threads, 1);
-  {
-    ProfileScope scope(pascal);
-    EXPECT_EQ(1, max_threads());
-  }
-  // Restored after scope exit.
-  EXPECT_GE(max_threads(), 1);
+  // A profile is descriptor material: context_for() carries its width
+  // and variant into a Context without touching any process state.
+  KernelTimeSink sink;
+  const Context ctx = context_for(pascal, &sink);
+  EXPECT_EQ(1, ctx.threads);
+  EXPECT_EQ(&sink, ctx.timer);
+  EXPECT_EQ(volta.num_threads, context_for(volta).threads);
 }
 
 TEST(Timer, SplitTimingMeasuresBothBuckets) {
+  KernelTimeSink sink;
   const auto t = time_split_ms(
-      [] {
-        KernelTimerScope scope;
+      sink,
+      [&sink] {
+        KernelTimerScope scope(&sink);
         volatile double x = 0;
         for (int i = 0; i < 100000; ++i) x = x + 1.0;
       },

@@ -73,40 +73,40 @@ class DifferentialTest : public ::testing::TestWithParam<std::tuple<int, int>> {
 TEST_P(DifferentialTest, Bfs) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
-  const auto ref = algo::bfs(g, 0, gb::Backend::kReference);
-  const auto bit = algo::bfs(g, 0, gb::Backend::kBit);
+  const auto ref = algo::bfs(test::ctx(gb::Backend::kReference), g, {0});
+  const auto bit = algo::bfs(test::ctx(gb::Backend::kBit), g, {0});
   EXPECT_EQ(ref.levels, bit.levels) << name();
 }
 
 TEST_P(DifferentialTest, Cc) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
-  const auto ref = algo::connected_components(g, gb::Backend::kReference);
-  const auto bit = algo::connected_components(g, gb::Backend::kBit);
+  const auto ref = algo::connected_components(test::ctx(gb::Backend::kReference), g);
+  const auto bit = algo::connected_components(test::ctx(gb::Backend::kBit), g);
   EXPECT_EQ(ref.component, bit.component) << name();
 }
 
 TEST_P(DifferentialTest, PageRank) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
-  const auto ref = algo::pagerank(g, gb::Backend::kReference);
-  const auto bit = algo::pagerank(g, gb::Backend::kBit);
+  const auto ref = algo::pagerank(test::ctx(gb::Backend::kReference), g);
+  const auto bit = algo::pagerank(test::ctx(gb::Backend::kBit), g);
   test::expect_vectors_near(ref.rank, bit.rank, 1e-4);
 }
 
 TEST_P(DifferentialTest, Sssp) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
-  const auto ref = algo::sssp(g, 0, gb::Backend::kReference);
-  const auto bit = algo::sssp(g, 0, gb::Backend::kBit);
+  const auto ref = algo::sssp(test::ctx(gb::Backend::kReference), g, {0});
+  const auto bit = algo::sssp(test::ctx(gb::Backend::kBit), g, {0});
   test::expect_vectors_near(ref.dist, bit.dist);
 }
 
 TEST_P(DifferentialTest, Mis) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
-  const auto ref = algo::maximal_independent_set(g, gb::Backend::kReference, 5);
-  const auto bit = algo::maximal_independent_set(g, gb::Backend::kBit, 5);
+  const auto ref = algo::maximal_independent_set(test::ctx(gb::Backend::kReference).with_seed(5), g);
+  const auto bit = algo::maximal_independent_set(test::ctx(gb::Backend::kBit).with_seed(5), g);
   EXPECT_EQ(ref.in_set, bit.in_set) << name();
   EXPECT_TRUE(algo::is_valid_mis(g.adjacency(), bit.in_set)) << name();
 }
@@ -114,8 +114,8 @@ TEST_P(DifferentialTest, Mis) {
 TEST_P(DifferentialTest, Coloring) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
-  const auto ref = algo::greedy_coloring(g, gb::Backend::kReference, 5);
-  const auto bit = algo::greedy_coloring(g, gb::Backend::kBit, 5);
+  const auto ref = algo::greedy_coloring(test::ctx(gb::Backend::kReference).with_seed(5), g);
+  const auto bit = algo::greedy_coloring(test::ctx(gb::Backend::kBit).with_seed(5), g);
   EXPECT_EQ(ref.color, bit.color) << name();
   EXPECT_TRUE(algo::is_valid_coloring(g.adjacency(), bit.color)) << name();
 }
@@ -123,8 +123,8 @@ TEST_P(DifferentialTest, Coloring) {
 TEST_P(DifferentialTest, Tc) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
-  EXPECT_EQ(algo::triangle_count(g, gb::Backend::kReference),
-            algo::triangle_count(g, gb::Backend::kBit))
+  EXPECT_EQ(algo::triangle_count(test::ctx(gb::Backend::kReference), g),
+            algo::triangle_count(test::ctx(gb::Backend::kBit), g))
       << name();
 }
 

@@ -110,9 +110,10 @@ TEST(RefOps, PushAndPullAgree) {
   for (const vidx_t u : frontier) frontier_dense[u] = 1;
   visited[0] = visited[5] = visited[17] = 1;
 
-  const auto pushed = gb::ref_vxm_bool_push(a, frontier, visited);
+  const Context ctx;
+  const auto pushed = gb::ref_vxm_bool_push(ctx, a, frontier, visited);
   std::vector<std::uint8_t> pulled;
-  gb::ref_vxm_bool_pull(at, frontier_dense, visited, pulled);
+  gb::ref_vxm_bool_pull(ctx, at, frontier_dense, visited, pulled);
   std::vector<vidx_t> pulled_list;
   for (vidx_t v = 0; v < 80; ++v) {
     if (pulled[static_cast<std::size_t>(v)]) pulled_list.push_back(v);
@@ -126,14 +127,15 @@ TEST(RefOps, WeightedMxvWithUnitValuesEqualsBinaryMxv) {
   unit.val.assign(static_cast<std::size_t>(a.nnz()), 1.0f);
   const auto x = test::random_vector(60, 0.3, 13);
 
+  const Context ctx;
   std::vector<value_t> y_bin;
   std::vector<value_t> y_wgt;
-  gb::ref_mxv<MinPlusOp>(a, x, y_bin);
-  gb::ref_mxv_weighted<MinPlusOp>(unit, x, y_wgt);
+  gb::ref_mxv<MinPlusOp>(ctx, a, x, y_bin);
+  gb::ref_mxv_weighted<MinPlusOp>(ctx, unit, x, y_wgt);
   test::expect_vectors_near(y_bin, y_wgt);
 
-  gb::ref_mxv<PlusTimesOp>(a, x, y_bin);
-  gb::ref_mxv_weighted<PlusTimesOp>(unit, x, y_wgt);
+  gb::ref_mxv<PlusTimesOp>(ctx, a, x, y_bin);
+  gb::ref_mxv_weighted<PlusTimesOp>(ctx, unit, x, y_wgt);
   test::expect_vectors_near(y_bin, y_wgt, 1e-4);
 }
 
@@ -142,7 +144,7 @@ TEST(RefOps, WeightedMxvUsesStoredWeights) {
   a.push(0, 1, 5.0f);  // min-plus: dist + 5
   const Csr c = coo_to_csr(a);
   std::vector<value_t> y;
-  gb::ref_mxv_weighted<MinPlusOp>(c, {0.0f, 2.0f}, y);
+  gb::ref_mxv_weighted<MinPlusOp>(Context{}, c, {0.0f, 2.0f}, y);
   EXPECT_FLOAT_EQ(7.0f, y[0]);  // 2 + 5
   EXPECT_EQ(MinPlusOp::identity, y[1]);
 }
@@ -164,7 +166,7 @@ TEST(RefOps, MaskedMxvEarlyExitsOnMask) {
   for (vidx_t i = 0; i < 50; i += 2) mask[static_cast<std::size_t>(i)] = 1;
 
   std::vector<value_t> y(50, -1.0f);
-  gb::ref_mxv_masked<PlusTimesOp>(a, x, mask, false, y);
+  gb::ref_mxv_masked<PlusTimesOp>(Context{}, a, x, mask, false, y);
   const auto full = test::ref_semiring_mxv<PlusTimesOp>(a, x);
   for (vidx_t i = 0; i < 50; ++i) {
     if (mask[static_cast<std::size_t>(i)]) {
@@ -184,7 +186,8 @@ TEST(BitOps, VxmBoolMaskedMatchesRefPush) {
   std::vector<std::uint8_t> visited(96, 0);
   std::vector<vidx_t> frontier = {3, 40};
   visited[3] = visited[40] = 1;
-  const auto expected = gb::ref_vxm_bool_push(a, frontier, visited);
+  const auto expected =
+      gb::ref_vxm_bool_push(Context{}, a, frontier, visited);
 
   PackedVec8 f(96);
   PackedVec8 vis(96);
@@ -193,7 +196,7 @@ TEST(BitOps, VxmBoolMaskedMatchesRefPush) {
   vis.set(3);
   vis.set(40);
   PackedVec8 next;
-  gb::bit_vxm_bool_masked<8>(at_packed, f, vis, next);
+  gb::bit_vxm_bool_masked<8>(Context{}, at_packed, f, vis, next);
 
   std::vector<vidx_t> got;
   for (vidx_t v = 0; v < 96; ++v) {
@@ -202,15 +205,19 @@ TEST(BitOps, VxmBoolMaskedMatchesRefPush) {
   EXPECT_EQ(expected, got);
 }
 
-TEST(KernelTimer, OpsAccumulateKernelTime) {
-  reset_kernel_time();
+TEST(KernelTimer, OpsAccumulateIntoContextSink) {
+  KernelTimeSink sink;
+  const Context ctx = Context{}.with_timer(&sink);
   const Csr a = coo_to_csr(gen_banded(300, 8, 0.8, 10));
   const auto x = test::random_vector(300, 0.2, 11);
   std::vector<value_t> y;
-  gb::ref_mxv<PlusTimesOp>(a, x, y);
-  EXPECT_GT(kernel_time_ms(), 0.0);
-  reset_kernel_time();
-  EXPECT_EQ(0.0, kernel_time_ms());
+  gb::ref_mxv<PlusTimesOp>(ctx, a, x, y);
+  EXPECT_GT(sink.ms(), 0.0);
+  sink.reset();
+  EXPECT_EQ(0.0, sink.ms());
+  // A null-sink Context accumulates nowhere and costs nothing.
+  gb::ref_mxv<PlusTimesOp>(Context{}, a, x, y);
+  EXPECT_EQ(0.0, sink.ms());
 }
 
 }  // namespace

@@ -27,7 +27,7 @@ TEST_P(MisColoringTest, MisIsIndependentAndMaximalOnBothBackends) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::maximal_independent_set(g, backend, 7);
+    const auto res = algo::maximal_independent_set(test::ctx(backend).with_seed(7), g);
     EXPECT_TRUE(algo::is_valid_mis(g.adjacency(), res.in_set))
         << gb::backend_name(backend);
     EXPECT_GT(res.rounds, 0);
@@ -38,7 +38,7 @@ TEST_P(MisColoringTest, ColoringIsProperOnBothBackends) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
   for (const auto backend : {gb::Backend::kReference, gb::Backend::kBit}) {
-    const auto res = algo::greedy_coloring(g, backend, 7);
+    const auto res = algo::greedy_coloring(test::ctx(backend).with_seed(7), g);
     EXPECT_TRUE(algo::is_valid_coloring(g.adjacency(), res.color))
         << gb::backend_name(backend);
     // num_colors consistent with the labels used.
@@ -55,12 +55,12 @@ TEST_P(MisColoringTest, BackendsAgreeGivenSameSeed) {
   const gb::Graph g = make_graph();
   if (g.num_vertices() == 0) return;
   const auto mis_ref =
-      algo::maximal_independent_set(g, gb::Backend::kReference, 3);
-  const auto mis_bit = algo::maximal_independent_set(g, gb::Backend::kBit, 3);
+      algo::maximal_independent_set(test::ctx(gb::Backend::kReference).with_seed(3), g);
+  const auto mis_bit = algo::maximal_independent_set(test::ctx(gb::Backend::kBit).with_seed(3), g);
   EXPECT_EQ(mis_ref.in_set, mis_bit.in_set);
 
-  const auto col_ref = algo::greedy_coloring(g, gb::Backend::kReference, 3);
-  const auto col_bit = algo::greedy_coloring(g, gb::Backend::kBit, 3);
+  const auto col_ref = algo::greedy_coloring(test::ctx(gb::Backend::kReference).with_seed(3), g);
+  const auto col_bit = algo::greedy_coloring(test::ctx(gb::Backend::kBit).with_seed(3), g);
   EXPECT_EQ(col_ref.color, col_bit.color);
 }
 
@@ -77,7 +77,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Mis, IsolatedVerticesAllJoinTheSet) {
   const gb::Graph g = gb::Graph::from_coo(Coo{6, 6, {}, {}, {}});
-  const auto res = algo::maximal_independent_set(g, gb::Backend::kBit);
+  const auto res = algo::maximal_independent_set(test::ctx(gb::Backend::kBit), g);
   for (const auto b : res.in_set) EXPECT_EQ(1, b);
 }
 
@@ -89,7 +89,7 @@ TEST(Mis, CompleteGraphPicksExactlyOne) {
     }
   }
   const gb::Graph g = gb::Graph::from_coo(k5);
-  const auto res = algo::maximal_independent_set(g, gb::Backend::kBit);
+  const auto res = algo::maximal_independent_set(test::ctx(gb::Backend::kBit), g);
   int count = 0;
   for (const auto b : res.in_set) count += b;
   EXPECT_EQ(1, count);
@@ -101,7 +101,7 @@ TEST(Coloring, BipartiteNeedsTwoColors) {
   Coo c8{8, 8, {}, {}, {}};
   for (vidx_t i = 0; i < 8; ++i) c8.push(i, (i + 1) % 8);
   const gb::Graph g = gb::Graph::from_coo(c8);
-  const auto res = algo::greedy_coloring(g, gb::Backend::kBit);
+  const auto res = algo::greedy_coloring(test::ctx(gb::Backend::kBit), g);
   EXPECT_TRUE(algo::is_valid_coloring(g.adjacency(), res.color));
   EXPECT_GE(res.num_colors, 2);
   EXPECT_LE(res.num_colors, 4);
@@ -115,7 +115,7 @@ TEST(Coloring, CompleteGraphNeedsAllColors) {
     }
   }
   const gb::Graph g = gb::Graph::from_coo(k4);
-  const auto res = algo::greedy_coloring(g, gb::Backend::kBit);
+  const auto res = algo::greedy_coloring(test::ctx(gb::Backend::kBit), g);
   EXPECT_TRUE(algo::is_valid_coloring(g.adjacency(), res.color));
   EXPECT_EQ(4, res.num_colors);
 }

@@ -6,9 +6,10 @@
 // graphs at all four tile dims.  bit_spgemm is additionally checked
 // against the float csrgemm baseline's structural product.
 //
-// ctest runs this binary twice — once with the process default pinned
-// to simd and once to scalar (BITGB_KERNEL_VARIANT) — under the
-// "pipeline" label.
+// ctest runs this binary twice, under both BITGB_KERNEL_VARIANT
+// values (an env-invariance regression — kernels take their variant
+// per call via Exec and read no environment), under the "pipeline"
+// label.
 #include "baseline/csrgemm.hpp"
 #include "core/bit_spgemm.hpp"
 #include "core/pack.hpp"

@@ -6,10 +6,10 @@
 // kernels.  All reductions are integer (OR / popcount-add), so the
 // comparison is exact equality, not tolerance.
 //
-// ctest runs this binary twice: once as-is (process default variant =
-// simd) and once as test_simd_parity_scalar_default with
-// BITGB_KERNEL_VARIANT=scalar, proving the suite holds whichever side
-// the global default resolves to.
+// ctest runs this binary twice, under both BITGB_KERNEL_VARIANT
+// values.  Kernels no longer read the environment (variants arrive
+// per call via Exec/Context), so the pair is an env-invariance
+// regression: ambient env must not change any result.
 #include "core/bmm.hpp"
 #include "core/bmv.hpp"
 #include "core/frontier_batch.hpp"
@@ -232,20 +232,29 @@ TEST(SimdEngine, BackendIsRuntimeVerified) {
 }
 
 TEST(SimdEngine, VariantPlumbing) {
-  const KernelVariant before = kernel_variant();
-  set_kernel_variant(KernelVariant::kScalar);
-  EXPECT_EQ(kernel_variant(), KernelVariant::kScalar);
-  EXPECT_EQ(resolve_kernel_variant(KernelVariant::kAuto),
+  // resolve_kernel_variant is a pure function of its arguments now — no
+  // process-wide state to set, observe, or restore.
+  EXPECT_EQ(resolve_kernel_variant(KernelVariant::kScalar),
             KernelVariant::kScalar);
   EXPECT_EQ(resolve_kernel_variant(KernelVariant::kSimd),
             KernelVariant::kSimd);
-  {
-    const ProfileScope scope(with_variant(pascal_analog(),
-                                          KernelVariant::kSimd));
-    EXPECT_EQ(kernel_variant(), KernelVariant::kSimd);
+  for (const int dim : {4, 8, 16, 32}) {
+    for (const HotKernel k :
+         {HotKernel::kBmvBinBinBin, HotKernel::kBmvBinBinFull,
+          HotKernel::kBmmBinBinSum, HotKernel::kSpgemmAccum}) {
+      // kAuto resolves through the preference table, never to kAuto.
+      const KernelVariant r =
+          resolve_kernel_variant(KernelVariant::kAuto, k, dim);
+      EXPECT_NE(r, KernelVariant::kAuto);
+      EXPECT_EQ(r, preferred_variant(k, dim));
+      // Explicit pins beat the table.
+      EXPECT_EQ(resolve_kernel_variant(KernelVariant::kScalar, k, dim),
+                KernelVariant::kScalar);
+    }
   }
-  EXPECT_EQ(kernel_variant(), KernelVariant::kScalar);  // scope restored
-  set_kernel_variant(before);
+  // The with_variant profile helper still names the ablation axis.
+  EXPECT_EQ(with_variant(pascal_analog(), KernelVariant::kSimd).name,
+            "pascal-analog+simd");
 }
 
 TEST(SimdEngine, TileStoreIsCacheLineAligned) {

@@ -3,6 +3,7 @@
 // comparison utilities.
 #pragma once
 
+#include "platform/context.hpp"
 #include "sparse/convert.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/generators.hpp"
@@ -15,6 +16,11 @@
 #include <vector>
 
 namespace bitgb::test {
+
+/// A Context pinned to one backend — the per-call descriptor most tests
+/// thread through the algorithm API.
+inline Context ctx(Backend b) { return Context{}.with_backend(b); }
+
 
 /// Expected shape of every entry in small_matrices(), in order.  This is
 /// the oracle the suite checks the fixture against (see
