@@ -1,0 +1,253 @@
+// Query-serving benchmark: the serving::Server under closed-loop
+// saturation and open-loop Poisson arrivals (BENCH_serving.json).
+//
+// Two experiments over one shared, prewarmed Graph:
+//
+//   saturation — every query submitted at once (a full backlog), once
+//     with max_batch = 1 (the worker pool alone) and once with the
+//     64-way auto-batcher.  The QPS ratio is the serving payoff of the
+//     batch engine: under backlog, pop_batch widens toward 64 and each
+//     wave's msbfs amortizes one BMM frontier sweep per level across
+//     the whole wave.
+//
+//   open-loop — a Poisson arrival process at several rates bracketing
+//     the unbatched capacity, both modes at each rate.  Reported:
+//     submit-to-reply latency percentiles (p50/p99/p999), achieved
+//     QPS, and the admission-control shed counts.  Above unbatched
+//     capacity the batched server keeps answering (wider waves) where
+//     the unbatched one sheds at the door — latency degrades into
+//     throughput instead of collapse.
+//
+// Before any measurement, every batched answer is verified
+// bit-identical against a serial algo::bfs pass; a mismatch fails the
+// run (exit 1).  Results go to BENCH_serving.json (schema
+// bitgb-serving-bench-v1, see BUILDING.md).
+#include "algorithms/bfs.hpp"
+#include "benchlib/reporting.hpp"
+#include "graphblas/graph.hpp"
+#include "platform/context.hpp"
+#include "platform/parallel.hpp"
+#include "platform/timer.hpp"
+#include "serving/server.hpp"
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace bitgb;
+using serving::QueryKind;
+using serving::Reply;
+using serving::Server;
+using serving::ServerOptions;
+using serving::Status;
+
+constexpr int kSaturationQueries = 1024;
+constexpr int kOpenLoopQueries = 1500;
+constexpr std::size_t kOpenLoopQueueCap = 256;
+
+std::vector<vidx_t> random_sources(int count, vidx_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<vidx_t> pick(0, n - 1);
+  std::vector<vidx_t> sources(static_cast<std::size_t>(count));
+  for (auto& s : sources) s = pick(rng);
+  return sources;
+}
+
+ServerOptions server_options(int max_batch, std::size_t queue_capacity) {
+  ServerOptions opts;
+  opts.workers = std::min(8, hardware_width());
+  opts.queue_capacity = queue_capacity;
+  opts.max_batch = max_batch;
+  return opts;
+}
+
+/// Closed-loop burst: submit everything, then drain.  QPS over the
+/// whole burst; every reply must be kOk (capacity covers the burst).
+bench::ServingSaturation run_saturation(const gb::Graph& g,
+                                        const std::vector<vidx_t>& sources,
+                                        int max_batch, const char* mode) {
+  Server server(g, server_options(
+                       max_batch, static_cast<std::size_t>(sources.size())));
+  std::vector<std::future<Reply>> futs;
+  futs.reserve(sources.size());
+  Stopwatch watch;
+  for (const vidx_t s : sources) {
+    futs.push_back(server.submit(QueryKind::kBfs, s));
+  }
+  for (auto& f : futs) {
+    if (f.get().status != Status::kOk) {
+      std::fprintf(stderr, "saturation burst shed a query (capacity bug)\n");
+      std::exit(1);
+    }
+  }
+  const double ms = watch.elapsed_ms();
+  server.shutdown();
+  bench::ServingSaturation cell;
+  cell.mode = mode;
+  cell.queries = static_cast<int>(sources.size());
+  cell.qps = 1000.0 * static_cast<double>(sources.size()) / ms;
+  cell.mean_wave = server.stats().mean_wave_width();
+  return cell;
+}
+
+/// Open-loop: Poisson arrivals on an absolute schedule (no coordinated
+/// omission — a late submitter submits immediately and the lateness
+/// shows up in the measured latency).
+bench::ServingRatePoint run_open_loop(const gb::Graph& g,
+                                      const std::vector<vidx_t>& sources,
+                                      int max_batch, const char* mode,
+                                      double arrival_qps, std::uint64_t seed) {
+  Server server(g, server_options(max_batch, kOpenLoopQueueCap));
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap_s(arrival_qps);
+
+  const auto t0 = serving::clock::now();
+  std::vector<std::future<Reply>> futs;
+  std::vector<serving::clock::time_point> submitted;
+  futs.reserve(sources.size());
+  submitted.reserve(sources.size());
+  auto due = t0;
+  for (const vidx_t s : sources) {
+    due += std::chrono::duration_cast<serving::clock::duration>(
+        std::chrono::duration<double>(gap_s(rng)));
+    std::this_thread::sleep_until(due);
+    submitted.push_back(serving::clock::now());
+    futs.push_back(server.submit(QueryKind::kBfs, s));
+  }
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(futs.size());
+  auto last_done = t0;
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Reply r = futs[i].get();
+    if (r.status != Status::kOk) continue;
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(r.completed - submitted[i])
+            .count());
+    last_done = std::max(last_done, r.completed);
+  }
+  server.shutdown();
+  const auto st = server.stats();
+
+  bench::ServingRatePoint pt;
+  pt.mode = mode;
+  pt.arrival_qps = arrival_qps;
+  pt.offered = static_cast<int>(sources.size());
+  pt.completed = st.completed;
+  pt.shed_queue_full = st.shed_queue_full;
+  pt.shed_deadline = st.shed_deadline;
+  const double span_ms =
+      std::chrono::duration<double, std::milli>(last_done - t0).count();
+  pt.achieved_qps =
+      span_ms > 0.0 ? 1000.0 * static_cast<double>(st.completed) / span_ms
+                    : 0.0;
+  pt.p50_ms = bench::percentile(latencies_ms, 50.0);
+  pt.p99_ms = bench::percentile(latencies_ms, 99.0);
+  pt.p999_ms = bench::percentile(latencies_ms, 99.9);
+  pt.mean_wave = st.mean_wave_width();
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  const std::string graph_name = "hybrid_4096";
+  const gb::Graph g = gb::Graph::from_coo(gen_hybrid(4096, 4));
+  g.prewarm(gb::kBitFormats);
+  const int workers = std::min(8, hardware_width());
+  std::printf("serving bench: %s, %d vertices, %lld edges, %d worker(s)\n\n",
+              graph_name.c_str(), g.num_vertices(),
+              static_cast<long long>(g.num_edges()), workers);
+
+  // --- Correctness gate: batched answers vs serial pass --------------
+  bool verified = true;
+  {
+    const auto sources = random_sources(128, g.num_vertices(), 11);
+    const Context serial_ctx = Context{}.with_threads(1);
+    Server server(g, server_options(FrontierBatch::kMaxBatch,
+                                    sources.size()));
+    std::vector<std::future<Reply>> futs;
+    for (const vidx_t s : sources) {
+      futs.push_back(server.submit(QueryKind::kBfs, s));
+    }
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const Reply r = futs[i].get();
+      if (r.status != Status::kOk ||
+          r.levels != algo::bfs(serial_ctx, g, {sources[i]}).levels) {
+        verified = false;
+      }
+    }
+    if (!verified) {
+      std::fprintf(stderr,
+                   "FAIL: batched served answers differ from serial bfs\n");
+      return 1;
+    }
+    std::printf("verified: 128 batched answers bit-identical to serial "
+                "bfs\n\n");
+  }
+
+  // --- Saturation ablation -------------------------------------------
+  const auto burst =
+      random_sources(kSaturationQueries, g.num_vertices(), 17);
+  // Warm both paths once before timing.
+  (void)run_saturation(g, random_sources(128, g.num_vertices(), 5), 1, "warm");
+  (void)run_saturation(g, random_sources(128, g.num_vertices(), 6),
+                       FrontierBatch::kMaxBatch, "warm");
+  const auto unbatched = run_saturation(g, burst, 1, "unbatched");
+  const auto batched =
+      run_saturation(g, burst, FrontierBatch::kMaxBatch, "batched");
+  const double speedup =
+      unbatched.qps > 0.0 ? batched.qps / unbatched.qps : 0.0;
+  std::printf("saturation (%d-query closed-loop burst):\n",
+              kSaturationQueries);
+  std::printf("  %-10s %10.0f q/s   mean wave %5.1f\n", "unbatched",
+              unbatched.qps, unbatched.mean_wave);
+  std::printf("  %-10s %10.0f q/s   mean wave %5.1f   %.1fx\n", "batched",
+              batched.qps, batched.mean_wave, speedup);
+
+  // --- Open-loop latency profile -------------------------------------
+  // Rates bracket the unbatched capacity: comfortably under, at, and
+  // over it (where only the auto-batcher has headroom).
+  const std::vector<double> rates = {0.5 * unbatched.qps, 1.0 * unbatched.qps,
+                                     2.0 * unbatched.qps};
+  std::vector<bench::ServingRatePoint> points;
+  std::printf("\nopen-loop Poisson arrivals (%d offered per cell):\n",
+              kOpenLoopQueries);
+  std::printf("  %-10s %12s %10s %8s %8s %8s %8s %6s\n", "mode",
+              "arrival q/s", "done q/s", "p50 ms", "p99 ms", "p999 ms",
+              "shed", "wave");
+  std::uint64_t seed = 23;
+  for (const double rate : rates) {
+    for (const auto& [mode, max_batch] :
+         {std::pair<const char*, int>{"unbatched", 1},
+          std::pair<const char*, int>{"batched", FrontierBatch::kMaxBatch}}) {
+      const auto srcs =
+          random_sources(kOpenLoopQueries, g.num_vertices(), seed);
+      const auto pt = run_open_loop(g, srcs, max_batch, mode, rate, seed);
+      std::printf("  %-10s %12.0f %10.0f %8.2f %8.2f %8.2f %8llu %6.1f\n",
+                  pt.mode.c_str(), pt.arrival_qps, pt.achieved_qps, pt.p50_ms,
+                  pt.p99_ms, pt.p999_ms,
+                  static_cast<unsigned long long>(pt.shed_queue_full +
+                                                  pt.shed_deadline),
+                  pt.mean_wave);
+      points.push_back(pt);
+      ++seed;
+    }
+  }
+
+  bench::write_serving_bench_json("BENCH_serving.json", graph_name,
+                                  g.num_vertices(), g.num_edges(), workers,
+                                  verified, {unbatched, batched}, speedup,
+                                  points);
+  std::printf("\nwrote BENCH_serving.json (batched/unbatched saturation "
+              "speedup: %.2fx)\n", speedup);
+  return 0;
+}

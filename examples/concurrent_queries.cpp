@@ -1,38 +1,42 @@
-// Concurrent queries: N serving threads over ONE shared Graph, each
-// query carrying its own Context — the execution model the
-// Context/Descriptor API exists for.
+// Concurrent queries, served: the serving::Server over ONE shared
+// Graph — the query-serving core the Context/Descriptor API exists
+// to make safe.
 //
 //   $ ./concurrent_queries
 //
 // A production graph service shares one immutable, prewarmed Graph
-// across all serving threads.  Each thread answers its queries with a
-// per-thread Context (here: serial thread budget — the concurrency
-// axis is the thread pool itself — and alternating kernel variants to
-// show two in-flight queries can use different execution policies) and
-// a per-thread Workspace (zero steady-state allocations).  The demo
-// verifies every concurrent answer bit-for-bit against a serial pass,
-// then shows the second serving gear the bit engine adds: draining the
-// queue in 64-wide msbfs batches (one BMM frontier sweep per level for
-// the whole batch).
+// across a pool of long-lived workers, each owning a Context +
+// Workspace pair.  Clients submit() single-source queries and get
+// futures; a bounded queue sheds on overload, and the auto-batcher
+// coalesces backlogged same-kind queries into up-to-64-wide msbfs
+// waves (one BMM frontier sweep per level for the whole wave).  The
+// demo drives the same request stream through three gears — a serial
+// reference pass, an unbatched server (max_batch = 1), and the
+// auto-batching server — and verifies every served answer bit-for-bit
+// against the serial pass.
 #include "algorithms/bfs.hpp"
-#include "algorithms/msbfs.hpp"
 #include "graphblas/graph.hpp"
 #include "platform/context.hpp"
 #include "platform/parallel.hpp"
 #include "platform/timer.hpp"
+#include "serving/server.hpp"
 #include "sparse/generators.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
+#include <future>
 #include <random>
-#include <thread>
 #include <vector>
 
 int main() {
   using namespace bitgb;
+  using serving::QueryKind;
+  using serving::Reply;
+  using serving::Server;
+  using serving::ServerOptions;
+  using serving::Status;
 
-  // The served graph, shared by every thread below.  prewarm() pays
+  // The served graph, shared by every worker below.  prewarm() pays
   // the one-time packing/transpose conversions before serving starts,
   // so no query ever hits a cold format cache.
   const gb::Graph g = gb::Graph::from_coo(gen_rmat(12, 32768, 7));
@@ -50,7 +54,7 @@ int main() {
   for (auto& q : queue) q = pick(rng);
 
   // --- Serial reference pass (one Context, one thread) ---------------
-  std::vector<int> expected_reached(kQueries);
+  std::vector<std::vector<std::int32_t>> expected(kQueries);
   Stopwatch serial_watch;
   {
     const Context ctx = Context{}.with_threads(1);
@@ -58,96 +62,69 @@ int main() {
     algo::BfsResult out;
     for (int q = 0; q < kQueries; ++q) {
       algo::bfs(ctx, g, {queue[static_cast<std::size_t>(q)]}, ws, out);
-      int reached = 0;
-      for (const auto lvl : out.levels) reached += (lvl != algo::kUnreached);
-      expected_reached[static_cast<std::size_t>(q)] = reached;
+      expected[static_cast<std::size_t>(q)] = out.levels;
     }
   }
   const double serial_ms = serial_watch.elapsed_ms();
 
-  // --- Concurrent pass: N threads, per-thread Contexts ---------------
-  const int nthreads = std::min(8, hardware_width());
-  std::vector<int> got_reached(kQueries, -1);
-  std::atomic<int> next_query{0};
-  std::atomic<int> mismatches{0};
-  Stopwatch conc_watch;
-  {
-    std::vector<std::thread> servers;
-    servers.reserve(static_cast<std::size_t>(nthreads));
-    for (int t = 0; t < nthreads; ++t) {
-      servers.emplace_back([&, t] {
-        // Per-thread descriptor: serial budget (the serving threads ARE
-        // the parallelism) and a per-thread variant choice — two
-        // queries in flight really do run different kernel paths.
-        const Context ctx =
-            Context{}
-                .with_threads(1)
-                .with_variant(t % 2 == 0 ? KernelVariant::kSimd
-                                         : KernelVariant::kScalar);
-        algo::Workspace ws;  // thread-owned: zero steady-state allocs
-        algo::BfsResult out;
-        for (;;) {
-          const int q = next_query.fetch_add(1);
-          if (q >= kQueries) break;
-          algo::bfs(ctx, g, {queue[static_cast<std::size_t>(q)]}, ws, out);
-          int reached = 0;
-          for (const auto lvl : out.levels) {
-            reached += (lvl != algo::kUnreached);
-          }
-          got_reached[static_cast<std::size_t>(q)] = reached;
-          if (reached != expected_reached[static_cast<std::size_t>(q)]) {
-            mismatches.fetch_add(1);
-          }
-        }
-      });
-    }
-    for (auto& s : servers) s.join();
-  }
-  const double conc_ms = conc_watch.elapsed_ms();
-  if (mismatches.load() != 0) {
-    std::printf("MISMATCH: %d concurrent answers differ from serial\n",
-                mismatches.load());
-    return 1;
-  }
+  // One closed-loop burst through a Server: submit everything, then
+  // collect.  Returns {elapsed_ms, mean wave width} and verifies every
+  // reply against the serial pass.
+  const int nworkers = std::min(8, hardware_width());
+  auto run_server = [&](int max_batch, double* mean_wave) -> double {
+    ServerOptions opts;
+    opts.workers = nworkers;
+    opts.queue_capacity = kQueries;  // burst fits: no shedding today
+    opts.max_batch = max_batch;
+    Server server(g, opts);
 
-  // --- Batched pass: drain the queue in 64-wide msbfs waves ----------
-  Stopwatch batched_watch;
-  long long batched_reached = 0;
-  {
-    const Context ctx;
-    algo::Workspace ws;
-    algo::MsBfsResult out;
-    for (int q0 = 0; q0 < kQueries; q0 += FrontierBatch::kMaxBatch) {
-      const auto q1 = std::min<int>(kQueries, q0 + FrontierBatch::kMaxBatch);
-      const algo::MsBfsParams params{
-          std::vector<vidx_t>(queue.begin() + q0, queue.begin() + q1)};
-      algo::msbfs(ctx, g, params, ws, out);
-      for (const auto lvl : out.levels) {
-        batched_reached += (lvl != algo::kUnreached);
+    std::vector<std::future<Reply>> futs;
+    futs.reserve(kQueries);
+    Stopwatch watch;
+    for (int q = 0; q < kQueries; ++q) {
+      futs.push_back(
+          server.submit(QueryKind::kBfs, queue[static_cast<std::size_t>(q)]));
+    }
+    int mismatches = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      const Reply r = futs[static_cast<std::size_t>(q)].get();
+      if (r.status != Status::kOk ||
+          r.levels != expected[static_cast<std::size_t>(q)]) {
+        ++mismatches;
       }
     }
-  }
-  const double batched_ms = batched_watch.elapsed_ms();
-  long long serial_total = 0;
-  for (const int r : expected_reached) serial_total += r;
-  if (batched_reached != serial_total) {
-    std::printf("MISMATCH: batched reached %lld vs serial %lld\n",
-                batched_reached, serial_total);
-    return 1;
-  }
+    const double ms = watch.elapsed_ms();
+    server.shutdown();
+    if (mismatches != 0) {
+      std::printf("MISMATCH: %d served answers differ from serial\n",
+                  mismatches);
+      std::exit(1);
+    }
+    *mean_wave = server.stats().mean_wave_width();
+    return ms;
+  };
 
-  std::printf("%d queries, one shared Graph:\n", kQueries);
-  std::printf("  1 thread, serial Contexts:      %8.2f ms (%6.0f q/s)\n",
+  // --- Unbatched server: the worker pool alone -----------------------
+  double unbatched_wave = 0.0;
+  const double unbatched_ms = run_server(1, &unbatched_wave);
+
+  // --- Auto-batching server: backlog coalesces into msbfs waves ------
+  double batched_wave = 0.0;
+  const double batched_ms =
+      run_server(FrontierBatch::kMaxBatch, &batched_wave);
+
+  std::printf("%d queries, one shared Graph, %d serving workers:\n",
+              kQueries, nworkers);
+  std::printf("  serial loop (no server):    %8.2f ms (%6.0f q/s)\n",
               serial_ms, 1000.0 * kQueries / serial_ms);
-  std::printf("  %d threads, per-query Contexts:  %8.2f ms (%6.0f q/s), "
-              "%.1fx\n",
-              nthreads, conc_ms, 1000.0 * kQueries / conc_ms,
-              serial_ms / conc_ms);
-  std::printf("  64-wide msbfs batches:          %8.2f ms (%6.0f q/s), "
-              "%.1fx\n",
+  std::printf("  server, max_batch=1:        %8.2f ms (%6.0f q/s), %.1fx\n",
+              unbatched_ms, 1000.0 * kQueries / unbatched_ms,
+              serial_ms / unbatched_ms);
+  std::printf("  server, 64-way auto-batch:  %8.2f ms (%6.0f q/s), %.1fx  "
+              "(mean wave %.1f)\n",
               batched_ms, 1000.0 * kQueries / batched_ms,
-              serial_ms / batched_ms);
-  std::printf("\nall %d concurrent answers verified against the serial "
-              "pass\n", kQueries);
+              serial_ms / batched_ms, batched_wave);
+  std::printf("\nall %d served answers verified against the serial pass\n",
+              kQueries);
   return 0;
 }

@@ -151,6 +151,24 @@ FrontierBatch batched_reach(const Context& ctx, const gb::Graph& g,
   return batched_reach(ctx, g, sources, ws);
 }
 
+void scatter_levels(const MsBfsResult& res, int b,
+                    std::vector<std::int32_t>& out) {
+  const auto batch = static_cast<std::size_t>(res.batch);
+  const std::size_t n = batch == 0 ? 0 : res.levels.size() / batch;
+  out.resize(n);
+  const std::int32_t* col = res.levels.data() + static_cast<std::size_t>(b);
+  for (std::size_t v = 0; v < n; ++v) out[v] = col[v * batch];
+}
+
+void scatter_reached(const FrontierBatch& reach, int b,
+                     std::vector<std::uint8_t>& out) {
+  const auto n = static_cast<std::size_t>(reach.n);
+  out.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out[v] = static_cast<std::uint8_t>(get_bit(reach.rows[v], b));
+  }
+}
+
 std::vector<std::int32_t> msbfs_gold(const Csr& a,
                                      const std::vector<vidx_t>& sources) {
   const auto batch = sources.size();

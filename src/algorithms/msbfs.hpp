@@ -78,6 +78,18 @@ const FrontierBatch& batched_reach(const Context& ctx, const gb::Graph& g,
                                    const std::vector<vidx_t>& sources,
                                    Workspace& ws);
 
+/// Scatter column b of the level matrix into a bfs()-shaped level
+/// vector, reusing `out`'s capacity — the serving auto-batcher's
+/// per-query result path (one call per coalesced query, no per-vertex
+/// level() indexing arithmetic in the caller).
+void scatter_levels(const MsBfsResult& res, int b,
+                    std::vector<std::int32_t>& out);
+
+/// Scatter reach column b of a batched_reach bit-matrix into a dense
+/// byte vector: out[v] = 1 iff sources[b] reaches v.
+void scatter_reached(const FrontierBatch& reach, int b,
+                     std::vector<std::uint8_t>& out);
+
 /// Gold reference: `batch` independent serial queue-BFS runs, assembled
 /// into the same row-major level matrix.
 [[nodiscard]] std::vector<std::int32_t> msbfs_gold(

@@ -38,20 +38,23 @@ void pagerank_loop(const gb::Graph& g, const PageRankParams& opts,
   scaled.assign(static_cast<std::size_t>(n), 0.0f);
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     // Pre-scale by out-degree (the v_out_degree divide) and collect the
-    // dangling mass.
-    value_t dangling = 0.0f;
+    // dangling mass.  The sum runs in double: accumulating n float
+    // terms of magnitude ~1/n in a float loses the tail once the
+    // accumulator dwarfs the increments, and the lost mass shows up as
+    // a convergence floor near epsilon on large dangling-heavy graphs.
+    double dangling = 0.0;
     for (std::size_t i = 0; i < scaled.size(); ++i) {
       if (deg[i] > 0) {
         scaled[i] = res.rank[i] / static_cast<value_t>(deg[i]);
       } else {
         scaled[i] = 0.0f;
-        dangling += res.rank[i];
+        dangling += static_cast<double>(res.rank[i]);
       }
     }
     mxv(scaled, y);
-    const double delta =
-        combine_iteration(y, opts.alpha, teleport,
-                          dangling / static_cast<value_t>(n), res.rank);
+    const double delta = combine_iteration(
+        y, opts.alpha, teleport,
+        static_cast<value_t>(dangling / static_cast<double>(n)), res.rank);
     res.iterations = iter + 1;
     if (delta < opts.epsilon) break;
   }
@@ -100,15 +103,18 @@ std::vector<value_t> pagerank_gold(const Csr& a, const PageRankParams& opts) {
   const value_t teleport = (1.0f - opts.alpha) / static_cast<value_t>(n);
   std::vector<value_t> scaled(static_cast<std::size_t>(n));
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    value_t dangling = 0.0f;
+    // Double accumulation, exactly as pagerank_loop above.
+    double dangling = 0.0;
     for (std::size_t i = 0; i < scaled.size(); ++i) {
       if (deg[i] > 0) {
         scaled[i] = pr[i] / static_cast<value_t>(deg[i]);
       } else {
         scaled[i] = 0.0f;
-        dangling += pr[i];
+        dangling += static_cast<double>(pr[i]);
       }
     }
+    const auto dangling_mass =
+        static_cast<value_t>(dangling / static_cast<double>(n));
     std::vector<value_t> next(static_cast<std::size_t>(n));
     double delta = 0.0;
     for (vidx_t v = 0; v < n; ++v) {
@@ -116,9 +122,7 @@ std::vector<value_t> pagerank_gold(const Csr& a, const PageRankParams& opts) {
       for (const vidx_t u : at.row_cols(v)) {
         acc += scaled[static_cast<std::size_t>(u)];
       }
-      const value_t nv =
-          teleport +
-          opts.alpha * (acc + dangling / static_cast<value_t>(n));
+      const value_t nv = teleport + opts.alpha * (acc + dangling_mass);
       delta += std::abs(
           static_cast<double>(nv - pr[static_cast<std::size_t>(v)]));
       next[static_cast<std::size_t>(v)] = nv;

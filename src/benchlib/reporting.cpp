@@ -211,4 +211,57 @@ void print_algo_table(std::ostream& os, const std::string& title,
   os << "\n";
 }
 
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+void write_serving_bench_json(const std::string& path,
+                              const std::string& graph_name, vidx_t vertices,
+                              eidx_t edges, int workers, bool verified,
+                              const std::vector<ServingSaturation>& saturation,
+                              double batched_speedup,
+                              const std::vector<ServingRatePoint>& rates) {
+  std::ofstream f(path);
+  if (!f) return;  // best-effort, like write_sweep_csv
+  f << "{\n";
+  f << "  \"schema\": \"bitgb-serving-bench-v1\",\n";
+  f << "  \"graph\": {\"name\": \"" << graph_name
+    << "\", \"vertices\": " << vertices << ", \"edges\": " << edges << "},\n";
+  f << "  \"workers\": " << workers << ",\n";
+  f << "  \"verified_bit_identical\": " << (verified ? "true" : "false")
+    << ",\n";
+  f << "  \"saturation\": [\n";
+  for (std::size_t i = 0; i < saturation.size(); ++i) {
+    const auto& s = saturation[i];
+    f << "    {\"mode\": \"" << s.mode << "\", \"queries\": " << s.queries
+      << ", \"qps\": " << s.qps << ", \"mean_wave\": " << s.mean_wave << '}'
+      << (i + 1 < saturation.size() ? "," : "") << '\n';
+  }
+  f << "  ],\n";
+  f << "  \"saturation_batched_speedup\": " << batched_speedup << ",\n";
+  f << "  \"open_loop\": [\n";
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const auto& r = rates[i];
+    f << "    {\"mode\": \"" << r.mode
+      << "\", \"arrival_qps\": " << r.arrival_qps
+      << ", \"offered\": " << r.offered << ", \"completed\": " << r.completed
+      << ", \"shed_queue_full\": " << r.shed_queue_full
+      << ", \"shed_deadline\": " << r.shed_deadline
+      << ", \"achieved_qps\": " << r.achieved_qps
+      << ", \"latency_ms\": {\"p50\": " << r.p50_ms
+      << ", \"p99\": " << r.p99_ms << ", \"p999\": " << r.p999_ms
+      << "}, \"mean_wave\": " << r.mean_wave << '}'
+      << (i + 1 < rates.size() ? "," : "") << '\n';
+  }
+  f << "  ]\n";
+  f << "}\n";
+}
+
 }  // namespace bitgb::bench

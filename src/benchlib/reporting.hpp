@@ -113,4 +113,53 @@ void write_kernel_bench_json(const std::string& path,
 void print_kernel_bench(std::ostream& os,
                         const std::vector<KernelBenchRecord>& records);
 
+// ---------------------------------------------------------------------
+// Query-serving trajectory (BENCH_serving.json)
+// ---------------------------------------------------------------------
+//
+// bench_serving emits one machine-readable record per PR of the serving
+// core's behavior: the closed-loop saturation ablation (auto-batched vs
+// unbatched QPS over the same request stream — the 64-way amortization
+// headline) and the open-loop latency profile (p50/p99/p999 against
+// Poisson arrivals at several rates, with admission-control shed
+// counts).  Schema "bitgb-serving-bench-v1", documented in BUILDING.md.
+
+/// Tail-aware percentile with linear interpolation between order
+/// statistics; `p` in [0, 100].  Returns 0 for empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// One closed-loop saturation cell (all queries submitted at once).
+struct ServingSaturation {
+  std::string mode;        ///< "batched" / "unbatched"
+  int queries = 0;
+  double qps = 0.0;        ///< completed / wall-clock
+  double mean_wave = 0.0;  ///< mean queries per executed wave
+};
+
+/// One open-loop cell: Poisson arrivals at `arrival_qps` against one
+/// server configuration.
+struct ServingRatePoint {
+  std::string mode;        ///< "batched" / "unbatched"
+  double arrival_qps = 0.0;
+  int offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  double achieved_qps = 0.0;  ///< completed / wall-clock
+  double p50_ms = 0.0;        ///< submit-to-reply, kOk queries only
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double mean_wave = 0.0;
+};
+
+/// Write the v1 JSON document.  `batched_speedup` is the saturation
+/// headline (batched QPS / unbatched QPS); `verified` records that the
+/// served answers were checked bit-identical against a serial pass.
+void write_serving_bench_json(const std::string& path,
+                              const std::string& graph_name, vidx_t vertices,
+                              eidx_t edges, int workers, bool verified,
+                              const std::vector<ServingSaturation>& saturation,
+                              double batched_speedup,
+                              const std::vector<ServingRatePoint>& rates);
+
 }  // namespace bitgb::bench

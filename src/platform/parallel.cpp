@@ -29,9 +29,14 @@ class WorkerPool {
   void run(std::int64_t begin, std::int64_t end, std::int64_t chunk,
            void (*body)(const void*, std::int64_t, std::int64_t),
            const void* ctx, int width) {
+    // Empty or inverted ranges dispatch nothing.  Without this guard an
+    // end < begin call drives `helpers` (and with it participants_ /
+    // busy_) negative, and done_cv_.wait below blocks forever on a
+    // busy_ count that can never reach zero.
+    if (end <= begin) return;
     const std::lock_guard<std::mutex> job_lock(job_mutex_);
-    const int helpers =
-        static_cast<int>(std::min<std::int64_t>(width - 1, (end - begin)));
+    const int helpers = static_cast<int>(std::max<std::int64_t>(
+        0, std::min<std::int64_t>(width - 1, end - begin)));
     ensure_workers(helpers);
     {
       const std::lock_guard<std::mutex> lk(m_);
@@ -115,10 +120,6 @@ class WorkerPool {
   bool stop_ = false;
 };
 
-std::atomic<std::uint32_t>& as_atomic_u32(std::uint32_t* p) noexcept {
-  return *reinterpret_cast<std::atomic<std::uint32_t>*>(p);
-}
-
 }  // namespace
 
 int hardware_width() noexcept {
@@ -157,7 +158,13 @@ void atomic_add_float(float* cell, float v) noexcept {
 }
 
 void atomic_or_u32(std::uint32_t* cell, std::uint32_t v) noexcept {
-  as_atomic_u32(cell).fetch_or(v, std::memory_order_relaxed);
+  // std::atomic_ref, like the float CAS helpers above: casting the
+  // plain uint32_t* to std::atomic<uint32_t>* is undefined behavior by
+  // the standard even where the object layouts happen to agree.
+  static_assert(std::atomic_ref<std::uint32_t>::is_always_lock_free,
+                "frontier word OR must be a lock-free RMW");
+  std::atomic_ref<std::uint32_t> ref(*cell);
+  ref.fetch_or(v, std::memory_order_relaxed);
 }
 
 }  // namespace bitgb

@@ -1,0 +1,131 @@
+#include "serving/batcher.hpp"
+
+#include "algorithms/bfs.hpp"
+#include "algorithms/msbfs.hpp"
+#include "core/frontier_batch.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace bitgb::serving {
+
+namespace {
+
+double ms_between(clock::time_point from, clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Fulfill one request with a shed status (no result payload).
+void shed(Request& r, Status status, clock::time_point now) {
+  Reply reply;
+  reply.status = status;
+  reply.kind = r.kind;
+  reply.source = r.source;
+  reply.queue_ms = ms_between(r.submitted, now);
+  reply.completed = now;
+  r.promise.set_value(std::move(reply));
+}
+
+/// Single-request fast path: the plain single-source algorithms — also
+/// the execution model of the unbatched (max_batch = 1) ablation.
+void serve_single(const Context& ctx, const gb::Graph& g, Request& r,
+                  algo::Workspace& ws, clock::time_point started) {
+  auto& out = ws.slot<algo::BfsResult>("serving.bfs_out");
+  algo::bfs(ctx, g, {r.source}, ws, out);
+
+  Reply reply;
+  reply.status = Status::kOk;
+  reply.kind = r.kind;
+  reply.source = r.source;
+  reply.batch_width = 1;
+  reply.queue_ms = ms_between(r.submitted, started);
+  if (r.kind == QueryKind::kBfs) {
+    reply.levels = out.levels;
+  } else {
+    reply.reached.resize(out.levels.size());
+    for (std::size_t v = 0; v < out.levels.size(); ++v) {
+      reply.reached[v] =
+          static_cast<std::uint8_t>(out.levels[v] != algo::kUnreached);
+    }
+  }
+  reply.completed = clock::now();
+  r.promise.set_value(std::move(reply));
+}
+
+}  // namespace
+
+BatchOutcome serve_batch(const Context& ctx, const gb::Graph& g,
+                         std::vector<Request>& batch, algo::Workspace& ws) {
+  BatchOutcome outcome;
+  if (batch.empty()) return outcome;
+  assert(batch.size() <=
+         static_cast<std::size_t>(FrontierBatch::kMaxBatch));
+
+  // Deadline gate: anything that expired while queued is shed without
+  // touching the graph — under overload the wave stays full of queries
+  // someone is still waiting for.
+  const clock::time_point started = clock::now();
+  auto& live = ws.slot<std::vector<Request*>>("serving.live");
+  live.clear();
+  for (auto& r : batch) {
+    if (r.deadline < started) {
+      shed(r, Status::kShedDeadline, started);
+      ++outcome.shed_deadline;
+    } else {
+      live.push_back(&r);
+    }
+  }
+  if (live.empty()) return outcome;
+  outcome.width = static_cast<int>(live.size());
+  outcome.executed = static_cast<int>(live.size());
+
+  if (live.size() == 1) {
+    serve_single(ctx, g, *live.front(), ws, started);
+    return outcome;
+  }
+
+  // The wave: every live source rides one batched traversal.
+  auto& sources = ws.slot<std::vector<vidx_t>>("serving.sources");
+  sources.clear();
+  for (const Request* r : live) sources.push_back(r->source);
+
+  const QueryKind kind = live.front()->kind;
+  if (kind == QueryKind::kBfs) {
+    auto& params = ws.slot<algo::MsBfsParams>("serving.msbfs_params");
+    params.sources = sources;
+    auto& out = ws.slot<algo::MsBfsResult>("serving.msbfs_out");
+    algo::msbfs(ctx, g, params, ws, out);
+    const clock::time_point done = clock::now();
+    for (std::size_t b = 0; b < live.size(); ++b) {
+      Request& r = *live[b];
+      Reply reply;
+      reply.status = Status::kOk;
+      reply.kind = r.kind;
+      reply.source = r.source;
+      reply.batch_width = static_cast<int>(live.size());
+      reply.queue_ms = ms_between(r.submitted, started);
+      algo::scatter_levels(out, static_cast<int>(b), reply.levels);
+      reply.completed = done;
+      r.promise.set_value(std::move(reply));
+    }
+  } else {
+    const FrontierBatch& reach = algo::batched_reach(ctx, g, sources, ws);
+    const clock::time_point done = clock::now();
+    for (std::size_t b = 0; b < live.size(); ++b) {
+      Request& r = *live[b];
+      Reply reply;
+      reply.status = Status::kOk;
+      reply.kind = r.kind;
+      reply.source = r.source;
+      reply.batch_width = static_cast<int>(live.size());
+      reply.queue_ms = ms_between(r.submitted, started);
+      algo::scatter_reached(reach, static_cast<int>(b), reply.reached);
+      reply.completed = done;
+      r.promise.set_value(std::move(reply));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace bitgb::serving

@@ -1,0 +1,46 @@
+// Auto-batcher — the enactor half of the serving core.
+//
+// A worker hands it a run of same-kind requests (what RequestQueue's
+// pop_batch produced); the batcher sheds the ones whose deadline
+// already passed, coalesces the survivors' sources into ONE
+// msbfs / batched_reach wave over the shared Graph, and scatters the
+// per-source columns of the wave's result back into each request's
+// promise (algo::scatter_levels / scatter_reached).  A single-request
+// batch skips the wave and runs the plain single-source path — which
+// is also the whole execution story of the unbatched ablation
+// (max_batch = 1).
+//
+// Batched and unbatched answers are bit-identical: msbfs's level
+// matrix equals independent bfs() runs column for column (test_batched
+// proves the engine property, test_serving proves it end to end
+// through the server).
+//
+// The batcher is stateless per call: all scratch lives in the caller's
+// Workspace slots, so a long-lived serving worker executes any number
+// of waves with zero steady-state allocations on the wave path.
+#pragma once
+
+#include "graphblas/graph.hpp"
+#include "platform/context.hpp"
+#include "serving/request.hpp"
+
+#include "algorithms/workspace.hpp"
+
+#include <vector>
+
+namespace bitgb::serving {
+
+/// What one serve() call did, for the server's counters.
+struct BatchOutcome {
+  int executed = 0;       ///< requests answered kOk
+  int shed_deadline = 0;  ///< requests expired before execution
+  int width = 0;          ///< sources coalesced into the wave (0 = none ran)
+};
+
+/// Serve `batch` (all the same QueryKind, 1..64 requests) on behalf of
+/// one worker: shed expired requests, run the survivors as one wave,
+/// fulfill every promise.  `batch` is left in moved-from state.
+BatchOutcome serve_batch(const Context& ctx, const gb::Graph& g,
+                         std::vector<Request>& batch, algo::Workspace& ws);
+
+}  // namespace bitgb::serving

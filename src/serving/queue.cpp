@@ -1,0 +1,59 @@
+#include "serving/queue.hpp"
+
+#include <algorithm>
+
+namespace bitgb::serving {
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool RequestQueue::try_push(Request&& r) {
+  {
+    const std::lock_guard<std::mutex> lk(m_);
+    if (closed_ || total_unlocked() >= capacity_) return false;
+    kinds_[static_cast<std::size_t>(r.kind)].push_back(std::move(r));
+  }
+  // One waiter per push: a batch pop drains several pushes, so waking
+  // all workers for every arrival would only stampede the mutex.
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t RequestQueue::pop_batch(std::vector<Request>& out, int max_batch) {
+  out.clear();
+  const auto take = static_cast<std::size_t>(std::max(1, max_batch));
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk, [&] { return closed_ || total_unlocked() > 0; });
+  if (total_unlocked() == 0) return 0;  // closed and drained
+
+  auto& bfs_q = kinds_[static_cast<std::size_t>(QueryKind::kBfs)];
+  auto& reach_q = kinds_[static_cast<std::size_t>(QueryKind::kReach)];
+  // Serve the kind whose head has waited longest (FIFO across kinds);
+  // an empty FIFO never wins because the other one is non-empty here.
+  std::deque<Request>* q = &bfs_q;
+  if (bfs_q.empty() ||
+      (!reach_q.empty() && reach_q.front().submitted < bfs_q.front().submitted)) {
+    q = &reach_q;
+  }
+  const std::size_t count = std::min(take, q->size());
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(std::move(q->front()));
+    q->pop_front();
+  }
+  return count;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lk(m_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return total_unlocked();
+}
+
+}  // namespace bitgb::serving

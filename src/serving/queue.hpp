@@ -1,0 +1,62 @@
+// Bounded MPMC request queue with kind-segregated batch pops.
+//
+// The admission side (any number of submitter threads) pushes with
+// try_push, which refuses — instead of blocking — when the queue is at
+// capacity: overload sheds at the door with a bounded queue depth, so
+// queueing delay stays bounded under any arrival rate (the shed-on-full
+// half of the server's admission control).
+//
+// The execution side (the serving workers) pops with pop_batch, which
+// returns up to max_batch requests *of one kind* in a single lock hold.
+// Pending requests wait in one FIFO per kind (sharing the capacity
+// bound), so a worker's pop IS the auto-batcher's admission step: the
+// queue naturally hands over the longest same-kind run that has
+// accumulated while every worker was busy — deeper backlog, wider
+// msbfs waves, which is exactly the load-adaptive batching the bit
+// engine's 64-way amortization wants.  Across kinds, pop_batch serves
+// the FIFO whose head request has waited longest.
+#pragma once
+
+#include "serving/request.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace bitgb::serving {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Admission: enqueue if total depth < capacity.  Returns false (and
+  /// leaves `r` untouched) when full or closed — the caller sheds.
+  [[nodiscard]] bool try_push(Request&& r);
+
+  /// Pop up to max_batch requests of one kind, appended to `out`
+  /// (which is cleared first).  Blocks while the queue is empty and
+  /// open; returns the number popped, 0 only when closed and drained.
+  std::size_t pop_batch(std::vector<Request>& out, int max_batch);
+
+  /// Close admission.  Pending requests still drain through pop_batch;
+  /// once empty, pop_batch returns 0 to every worker.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  [[nodiscard]] std::size_t total_unlocked() const {
+    return kinds_[0].size() + kinds_[1].size();
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<Request> kinds_[2];  ///< indexed by QueryKind
+  bool closed_ = false;
+};
+
+}  // namespace bitgb::serving

@@ -1,0 +1,87 @@
+// Serving request/reply types — the admission-side vocabulary of the
+// query server (the "frame" half of Gunrock's frame/enactor split: what
+// a request is, is independent of how a worker executes it).
+//
+// A Request is one single-source traversal query (BFS levels or
+// reachability) with an optional deadline; a Reply carries the result
+// plus the serving telemetry (status, how long it queued, how wide the
+// msbfs wave it rode was).  Results travel through std::future — the
+// submitting thread keeps the future, the worker that executes the
+// query fulfills the promise, and shed requests are fulfilled
+// immediately with a shed status so no future is ever left dangling.
+#pragma once
+
+#include "sparse/types.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+namespace bitgb::serving {
+
+using clock = std::chrono::steady_clock;
+
+/// The query kinds the auto-batcher can coalesce: both are
+/// single-source traversals, so up to 64 of a kind collapse into one
+/// msbfs / batched_reach wave (PR 2 measured 3.0x geomean for exactly
+/// this amortization).
+enum class QueryKind : std::uint8_t {
+  kBfs,    ///< single-source BFS level vector
+  kReach,  ///< single-source reachability (level != unreached)
+};
+
+[[nodiscard]] constexpr const char* query_kind_name(QueryKind k) {
+  return k == QueryKind::kBfs ? "bfs" : "reach";
+}
+
+/// Why a reply carries no result.
+enum class Status : std::uint8_t {
+  kOk,            ///< result fields are valid
+  kShedQueueFull, ///< admission refused: queue at capacity
+  kShedDeadline,  ///< expired in the queue before a worker reached it
+};
+
+[[nodiscard]] constexpr const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kShedQueueFull: return "shed-queue-full";
+    default: return "shed-deadline";
+  }
+}
+
+struct Reply {
+  Status status = Status::kOk;
+  QueryKind kind = QueryKind::kBfs;
+  vidx_t source = 0;
+
+  /// kBfs: level per vertex (algo::kUnreached if never visited) —
+  /// bit-identical to a standalone algo::bfs run from `source`.
+  std::vector<std::int32_t> levels;
+  /// kReach: 1 iff `source` reaches the vertex (a source reaches
+  /// itself) — bit-identical to levels != kUnreached.
+  std::vector<std::uint8_t> reached;
+
+  /// How many queries shared the wave that produced this reply
+  /// (1 = executed unbatched).
+  int batch_width = 0;
+  /// Admission-to-execution queueing delay.
+  double queue_ms = 0.0;
+  /// When the worker fulfilled the promise — submit-side latency
+  /// accounting without a clock call on the future-wait side.
+  clock::time_point completed{};
+};
+
+struct Request {
+  QueryKind kind = QueryKind::kBfs;
+  vidx_t source = 0;
+  /// Absolute expiry: a worker that reaches the request after this
+  /// instant sheds it unexecuted (admission control's second gate;
+  /// clock::time_point::max() = no deadline).
+  clock::time_point deadline = clock::time_point::max();
+  /// Stamped by Server::submit; queue_ms telemetry measures from here.
+  clock::time_point submitted{};
+  std::promise<Reply> promise;
+};
+
+}  // namespace bitgb::serving

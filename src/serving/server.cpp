@@ -1,0 +1,114 @@
+#include "serving/server.hpp"
+
+#include "algorithms/workspace.hpp"
+#include "platform/parallel.hpp"
+#include "serving/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bitgb::serving {
+
+Server::Server(const gb::Graph& g, ServerOptions opts)
+    : graph_(g), opts_(opts), queue_(opts.queue_capacity) {
+  opts_.max_batch =
+      std::clamp(opts_.max_batch, 1, FrontierBatch::kMaxBatch);
+  const int n = opts_.workers <= 0 ? hardware_width()
+                                   : std::min(opts_.workers, kMaxWorkerWidth);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Reply> Server::submit(QueryKind kind, vidx_t source) {
+  const auto deadline =
+      opts_.default_deadline.count() > 0
+          ? clock::now() + opts_.default_deadline
+          : clock::time_point::max();
+  return submit(kind, source, deadline);
+}
+
+std::future<Reply> Server::submit(QueryKind kind, vidx_t source,
+                                  clock::time_point deadline) {
+  if (source < 0 || source >= graph_.num_vertices()) {
+    throw std::invalid_argument("serving: source " + std::to_string(source) +
+                                " out of range [0, " +
+                                std::to_string(graph_.num_vertices()) + ")");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  Request r;
+  r.kind = kind;
+  r.source = source;
+  r.deadline = deadline;
+  r.submitted = clock::now();
+  std::future<Reply> fut = r.promise.get_future();
+  if (!queue_.try_push(std::move(r))) {
+    // Shed at the door: the queue is at capacity (or the server is
+    // shutting down).  try_push left the request intact, so the
+    // promise is still ours to fulfill.
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    Reply reply;
+    reply.status = Status::kShedQueueFull;
+    reply.kind = kind;
+    reply.source = source;
+    reply.completed = clock::now();
+    r.promise.set_value(std::move(reply));
+  }
+  return fut;
+}
+
+void Server::worker_main() {
+  // The long-lived per-worker execution state: one descriptor, one
+  // scratch arena.  Steady state allocates nothing on the wave path.
+  const Context ctx = opts_.context;
+  algo::Workspace ws;
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(opts_.max_batch));
+  while (queue_.pop_batch(batch, opts_.max_batch) > 0) {
+    const BatchOutcome outcome = serve_batch(ctx, graph_, batch, ws);
+    completed_.fetch_add(static_cast<std::uint64_t>(outcome.executed),
+                         std::memory_order_relaxed);
+    shed_deadline_.fetch_add(static_cast<std::uint64_t>(outcome.shed_deadline),
+                             std::memory_order_relaxed);
+    if (outcome.width > 0) {
+      waves_.fetch_add(1, std::memory_order_relaxed);
+      batched_queries_.fetch_add(static_cast<std::uint64_t>(outcome.width),
+                                 std::memory_order_relaxed);
+      std::uint64_t prev = widest_wave_.load(std::memory_order_relaxed);
+      const auto width = static_cast<std::uint64_t>(outcome.width);
+      while (prev < width && !widest_wave_.compare_exchange_weak(
+                                 prev, width, std::memory_order_relaxed)) {
+      }
+    }
+  }
+}
+
+void Server::shutdown() {
+  // Serialized so an explicit shutdown() and the destructor's cannot
+  // race on the joins.
+  const std::lock_guard<std::mutex> lk(shutdown_mutex_);
+  if (stopped_) return;
+  queue_.close();
+  for (auto& w : workers_) w.join();
+  stopped_ = true;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.waves = waves_.load(std::memory_order_relaxed);
+  s.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  s.widest_wave = widest_wave_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace bitgb::serving

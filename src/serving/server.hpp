@@ -1,0 +1,130 @@
+// Server — the query-serving core over the Context API.
+//
+// One Server owns a bounded MPMC request queue (admission control:
+// shed-on-full plus per-request deadlines) feeding a pool of long-lived
+// serving workers.  Each worker owns a Context + Workspace pair — the
+// per-thread descriptor model examples/concurrent_queries demonstrates,
+// made durable — and drains the queue in up-to-64-wide same-kind
+// batches that the auto-batcher (serving/batcher.hpp) executes as one
+// msbfs / batched_reach wave over the ONE shared, prewarmed Graph.
+//
+// The architecture is Gunrock's frame/enactor split on the host:
+// submit() is the frame (validate, stamp, admit), the workers are the
+// enactors (pop, coalesce, execute, scatter), and the Graph handle —
+// lazy, immutable-after-materialization — is what makes any worker
+// count safe (PR 5's Context redesign).  Under light load a pop
+// returns one request and the worker runs the plain single-source
+// path; under backlog pops widen toward 64 and the bit engine's
+// batched amortization kicks in automatically — latency degrades into
+// throughput instead of collapse.
+//
+// Serving workers default to serial (threads = 1) Contexts: the worker
+// pool itself is the parallelism, and the batch dimension — not the
+// tile-row loop — is where a loaded server scales.
+#pragma once
+
+#include "core/frontier_batch.hpp"
+#include "graphblas/graph.hpp"
+#include "platform/context.hpp"
+#include "serving/queue.hpp"
+#include "serving/request.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bitgb::serving {
+
+struct ServerOptions {
+  /// Serving workers (0 = hardware width).
+  int workers = 0;
+  /// Bounded queue depth; admission sheds beyond it.
+  std::size_t queue_capacity = 1024;
+  /// Widest wave the auto-batcher may form (clamped to
+  /// FrontierBatch::kMaxBatch; 1 = unbatched, the ablation baseline).
+  int max_batch = FrontierBatch::kMaxBatch;
+  /// Per-worker execution descriptor.  Serial thread budget by
+  /// default — a serving worker's parallelism axis is the batch, and
+  /// the worker pool supplies the concurrency.
+  Context context = Context{}.with_threads(1);
+  /// Deadline applied by submit() when the caller passes none
+  /// (zero = requests without an explicit deadline never expire).
+  std::chrono::milliseconds default_deadline{0};
+};
+
+/// Monotonic counters, snapshot via Server::stats().  submitted ==
+/// completed + shed_queue_full + shed_deadline once the server is
+/// drained (every future is always fulfilled).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;        ///< answered kOk
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t waves = 0;            ///< serve_batch calls that executed
+  std::uint64_t batched_queries = 0;  ///< kOk queries summed over waves
+  std::uint64_t widest_wave = 0;
+
+  /// Mean queries per executed wave — the auto-batching payoff metric.
+  [[nodiscard]] double mean_wave_width() const {
+    return waves == 0 ? 0.0
+                      : static_cast<double>(batched_queries) /
+                            static_cast<double>(waves);
+  }
+};
+
+class Server {
+ public:
+  /// Starts the workers immediately.  The Graph must outlive the
+  /// Server; prewarm it (gb::kBitFormats) first so no query pays the
+  /// one-time format conversions.
+  Server(const gb::Graph& g, ServerOptions opts = {});
+
+  /// Drains and joins (shutdown()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit one query.  The future is always eventually fulfilled:
+  /// kOk from a worker, kShedQueueFull immediately when the queue is
+  /// at capacity, or kShedDeadline if it expires before execution.
+  /// Throws std::invalid_argument on an out-of-range source.
+  std::future<Reply> submit(QueryKind kind, vidx_t source);
+  std::future<Reply> submit(QueryKind kind, vidx_t source,
+                            clock::time_point deadline);
+
+  /// Stop admission, serve everything already queued, join the
+  /// workers.  Idempotent; submit() after shutdown sheds.
+  void shutdown();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] int worker_count() const {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+
+ private:
+  void worker_main();
+
+  const gb::Graph& graph_;
+  ServerOptions opts_;
+  RequestQueue queue_;
+  std::vector<std::thread> workers_;
+  std::mutex shutdown_mutex_;
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
+  std::atomic<std::uint64_t> waves_{0};
+  std::atomic<std::uint64_t> batched_queries_{0};
+  std::atomic<std::uint64_t> widest_wave_{0};
+};
+
+}  // namespace bitgb::serving

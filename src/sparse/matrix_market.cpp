@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <string>
 
 namespace bitgb {
 
@@ -71,13 +73,32 @@ Coo read_matrix_market(std::istream& in) {
     }
   }
   if (nr < 0 || nc < 0 || nz < 0) throw MatrixMarketError("negative size");
+  // Range-check the header against the library's index types before the
+  // narrowing casts: a dimension beyond vidx_t would otherwise truncate
+  // silently and mis-index every entry, and symmetric inputs store up
+  // to two entries per declared nonzero.
+  constexpr long long kMaxDim = std::numeric_limits<vidx_t>::max();
+  if (nr > kMaxDim || nc > kMaxDim) {
+    throw MatrixMarketError("matrix dimensions " + std::to_string(nr) + " x " +
+                            std::to_string(nc) + " exceed the 32-bit index "
+                            "limit (" + std::to_string(kMaxDim) + ")");
+  }
+  const long long stored_factor = h.symmetric ? 2 : 1;
+  if (nz > std::numeric_limits<eidx_t>::max() / stored_factor) {
+    throw MatrixMarketError("declared nonzero count " + std::to_string(nz) +
+                            (h.symmetric ? " (x2 symmetric mirroring)" : "") +
+                            " exceeds the 64-bit nonzero limit");
+  }
 
   Coo out;
   out.nrows = static_cast<vidx_t>(nr);
   out.ncols = static_cast<vidx_t>(nc);
-  out.row.reserve(static_cast<std::size_t>(nz));
-  out.col.reserve(static_cast<std::size_t>(nz));
-  if (!h.pattern) out.val.reserve(static_cast<std::size_t>(nz));
+  // Symmetric inputs mirror every off-diagonal entry, so reserving only
+  // nz would force a reallocation mid-parse; 2*nz covers the worst case.
+  const auto stored_cap = static_cast<std::size_t>(nz * stored_factor);
+  out.row.reserve(stored_cap);
+  out.col.reserve(stored_cap);
+  if (!h.pattern) out.val.reserve(stored_cap);
 
   long long seen = 0;
   while (seen < nz && std::getline(in, line)) {

@@ -94,6 +94,22 @@ TEST(Reporting, Geomean) {
   EXPECT_NEAR(3.0, geomean({3.0, 3.0, 3.0}), 1e-12);
 }
 
+TEST(Reporting, PercentileInterpolatesOrderStatistics) {
+  EXPECT_DOUBLE_EQ(0.0, percentile({}, 50.0));
+  EXPECT_DOUBLE_EQ(7.0, percentile({7.0}, 99.9));
+  // Unsorted input; {1..4}: p50 sits halfway between 2 and 3.
+  EXPECT_NEAR(2.5, percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 1e-12);
+  EXPECT_NEAR(1.0, percentile({4.0, 1.0, 3.0, 2.0}, 0.0), 1e-12);
+  EXPECT_NEAR(4.0, percentile({4.0, 1.0, 3.0, 2.0}, 100.0), 1e-12);
+  // 1..1000: p99 = 990.01, p999 = 999.001 (linear interpolation).
+  std::vector<double> xs(1000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(1000 - i);
+  }
+  EXPECT_NEAR(990.01, percentile(xs, 99.0), 1e-9);
+  EXPECT_NEAR(999.001, percentile(xs, 99.9), 1e-9);
+}
+
 TEST(Reporting, SpeedupString) {
   EXPECT_EQ("3.0x", speedup_str(3.0, 1.0));
   EXPECT_EQ("152x", speedup_str(152.0, 1.0));

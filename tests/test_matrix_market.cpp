@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 namespace bitgb {
@@ -88,6 +89,55 @@ TEST(MatrixMarket, RejectsUnsupportedFormat) {
       "%%MatrixMarket matrix array real general\n"
       "2 2\n");
   EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, RejectsDimensionBeyondIndexType) {
+  // 3e9 rows exceeds the 32-bit vidx_t; the old reader truncated the
+  // cast silently and mis-indexed every entry.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3000000000 3 1\n"
+      "1 1\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+  std::istringstream in2(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3000000000 1\n"
+      "1 1\n");
+  EXPECT_THROW(read_matrix_market(in2), MatrixMarketError);
+}
+
+TEST(MatrixMarket, AcceptsDimensionAtIndexTypeLimit) {
+  // Exactly INT32_MAX rows is representable and must keep working.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2147483647 2147483647 1\n"
+      "2147483647 1\n");
+  const Coo a = read_matrix_market(in);
+  EXPECT_EQ(std::numeric_limits<vidx_t>::max(), a.nrows);
+  EXPECT_EQ(std::numeric_limits<vidx_t>::max() - 1, a.row[0]);
+}
+
+TEST(MatrixMarket, RejectsSymmetricNnzBeyondEdgeType) {
+  // Symmetric inputs store up to 2*nz entries; a declared count whose
+  // doubling overflows eidx_t must be rejected up front, not after an
+  // hours-long parse.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "100 100 5000000000000000000\n"
+      "2 1\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+}
+
+TEST(MatrixMarket, SymmetricReserveAvoidsMidParseRealloc) {
+  // Functional cover for the 2*nz reserve: a fully off-diagonal
+  // symmetric pattern mirrors every entry and must land intact.
+  std::ostringstream src;
+  src << "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      << "64 64 63\n";
+  for (int r = 2; r <= 64; ++r) src << r << " " << (r - 1) << "\n";
+  std::istringstream in(src.str());
+  const Coo a = read_matrix_market(in);
+  EXPECT_EQ(2 * 63, a.nnz());
 }
 
 TEST(MatrixMarket, WriteReadRoundTripPattern) {

@@ -1,0 +1,110 @@
+// Regression tests for the shared worker pool and the atomic helpers
+// (src/platform/parallel.*).
+//
+// The pool tests call detail::pool_run directly: parallel_for guards
+// empty ranges itself, but pool_run is an exported entry point and an
+// inverted range used to drive the participant accounting negative and
+// hang the caller forever on done_cv_ (the ctest TIMEOUT would fire).
+#include "platform/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace bitgb {
+namespace {
+
+struct SumCtx {
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<std::int64_t> calls{0};
+};
+
+void sum_body(const void* ctx, std::int64_t lo, std::int64_t hi) {
+  auto* c = const_cast<SumCtx*>(static_cast<const SumCtx*>(ctx));
+  std::int64_t s = 0;
+  for (std::int64_t i = lo; i < hi; ++i) s += i;
+  c->sum.fetch_add(s, std::memory_order_relaxed);
+  c->calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST(PoolRun, InvertedRangeReturnsImmediately) {
+  // end < begin: must be a no-op, not a negative-participant hang.
+  SumCtx c;
+  detail::pool_run(10, 0, 4, sum_body, &c, 4);
+  EXPECT_EQ(0, c.sum.load());
+  EXPECT_EQ(0, c.calls.load());
+}
+
+TEST(PoolRun, EmptyRangeReturnsImmediately) {
+  SumCtx c;
+  detail::pool_run(5, 5, 4, sum_body, &c, 4);
+  EXPECT_EQ(0, c.sum.load());
+  EXPECT_EQ(0, c.calls.load());
+}
+
+TEST(PoolRun, InvertedRangeDoesNotPoisonLaterJobs) {
+  // A discarded job must leave the pool able to run real work (the old
+  // failure mode left busy_ negative, wedging every later caller).
+  SumCtx bad;
+  detail::pool_run(100, -100, 8, sum_body, &bad, 8);
+  SumCtx good;
+  detail::pool_run(0, 1000, 16, sum_body, &good, 8);
+  EXPECT_EQ(1000 * 999 / 2, good.sum.load());
+}
+
+TEST(PoolRun, SingleElementRange) {
+  SumCtx c;
+  detail::pool_run(7, 8, 4, sum_body, &c, 4);
+  EXPECT_EQ(7, c.sum.load());
+  EXPECT_EQ(1, c.calls.load());
+}
+
+TEST(PoolRun, CoversRangeExactlyOnce) {
+  for (const int width : {1, 2, 4, 16}) {
+    SumCtx c;
+    detail::pool_run(0, 4097, 64, sum_body, &c, width);
+    EXPECT_EQ(static_cast<std::int64_t>(4097) * 4096 / 2, c.sum.load())
+        << "width " << width;
+  }
+}
+
+TEST(ParallelFor, InvertedRangeIsANoOp) {
+  std::atomic<int> hits{0};
+  parallel_for(4, 10, 0, [&](int) { hits.fetch_add(1); });
+  EXPECT_EQ(0, hits.load());
+}
+
+TEST(AtomicOrU32, ConcurrentOrsAllLand) {
+  // 32 threads OR one distinct bit each into the same word; every bit
+  // must survive (the old reinterpret_cast version worked by accident,
+  // the atomic_ref version works by contract — TSan runs this too).
+  std::uint32_t word = 0;
+  std::vector<std::thread> ts;
+  for (int b = 0; b < 32; ++b) {
+    ts.emplace_back([&word, b] {
+      for (int rep = 0; rep < 1000; ++rep) {
+        atomic_or_u32(&word, std::uint32_t{1} << b);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(0xffffffffu, word);
+}
+
+TEST(AtomicOrU32, UnderParallelForFrontierScatter) {
+  // The real usage shape: parallel region scattering frontier bits into
+  // shared packed words.
+  std::vector<std::uint32_t> words(64, 0);
+  parallel_for(0, 64 * 32, [&](int i) {
+    atomic_or_u32(&words[static_cast<std::size_t>(i / 32)],
+                  std::uint32_t{1} << (i % 32));
+  });
+  for (const auto w : words) EXPECT_EQ(0xffffffffu, w);
+}
+
+}  // namespace
+}  // namespace bitgb

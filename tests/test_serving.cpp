@@ -1,0 +1,384 @@
+// Serving-core tests (ctest label "serving"; runs in the TSan lane):
+// the bounded queue's backpressure and batch-pop contract, and the
+// Server end to end — batched answers bit-identical to per-query
+// serial runs under concurrent submission, deadline-shed accounting,
+// queue-full shedding, and drain-on-shutdown.
+#include "serving/server.hpp"
+
+#include "algorithms/bfs.hpp"
+#include "serving/batcher.hpp"
+#include "serving/queue.hpp"
+#include "sparse/generators.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace bitgb {
+namespace {
+
+using namespace std::chrono_literals;
+using serving::QueryKind;
+using serving::Reply;
+using serving::Request;
+using serving::RequestQueue;
+using serving::Server;
+using serving::ServerOptions;
+using serving::Status;
+
+gb::Graph serving_graph() {
+  gb::GraphOptions opts;
+  opts.tile_dim = 8;
+  gb::Graph g = gb::Graph::from_coo(gen_rmat(10, 4096, 7), opts);
+  g.prewarm(gb::kBitFormats);
+  return g;
+}
+
+Request make_request(QueryKind kind, vidx_t source) {
+  Request r;
+  r.kind = kind;
+  r.source = source;
+  r.submitted = serving::clock::now();
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------------
+
+TEST(RequestQueue, ShedsOnFullDeterministically) {
+  RequestQueue q(4);
+  std::vector<std::future<Reply>> futs;
+  for (int i = 0; i < 4; ++i) {
+    Request r = make_request(QueryKind::kBfs, i);
+    futs.push_back(r.promise.get_future());
+    EXPECT_TRUE(q.try_push(std::move(r)));
+  }
+  EXPECT_EQ(4u, q.depth());
+  // The fifth push must be refused, and must leave the request (and
+  // its promise) with the caller.
+  Request fifth = make_request(QueryKind::kBfs, 4);
+  auto fifth_fut = fifth.promise.get_future();
+  EXPECT_FALSE(q.try_push(std::move(fifth)));
+  EXPECT_EQ(4u, q.depth());
+  fifth.promise.set_value(Reply{});  // still ours: fulfillable
+  EXPECT_EQ(Status::kOk, fifth_fut.get().status);
+}
+
+TEST(RequestQueue, PopBatchCoalescesSameKindInFifoOrder) {
+  RequestQueue q(64);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, i)));
+  }
+  std::vector<Request> batch;
+  EXPECT_EQ(10u, q.pop_batch(batch, 64));
+  ASSERT_EQ(10u, batch.size());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(i, batch[static_cast<std::size_t>(i)].source);
+  for (auto& r : batch) r.promise.set_value(Reply{});
+}
+
+TEST(RequestQueue, PopBatchNeverMixesKinds) {
+  RequestQueue q(64);
+  ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, 0)));
+  ASSERT_TRUE(q.try_push(make_request(QueryKind::kReach, 1)));
+  ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, 2)));
+  std::vector<Request> batch;
+  // First pop: the BFS FIFO head is oldest -> both BFS requests, and
+  // only those.
+  EXPECT_EQ(2u, q.pop_batch(batch, 64));
+  for (const auto& r : batch) EXPECT_EQ(QueryKind::kBfs, r.kind);
+  for (auto& r : batch) r.promise.set_value(Reply{});
+  EXPECT_EQ(1u, q.pop_batch(batch, 64));
+  EXPECT_EQ(QueryKind::kReach, batch[0].kind);
+  for (auto& r : batch) r.promise.set_value(Reply{});
+}
+
+TEST(RequestQueue, PopBatchHonorsMaxBatch) {
+  RequestQueue q(64);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, i)));
+  }
+  std::vector<Request> batch;
+  EXPECT_EQ(1u, q.pop_batch(batch, 1));  // unbatched ablation shape
+  for (auto& r : batch) r.promise.set_value(Reply{});
+  EXPECT_EQ(4u, q.pop_batch(batch, 4));
+  for (auto& r : batch) r.promise.set_value(Reply{});
+  EXPECT_EQ(5u, q.depth());
+  while (q.pop_batch(batch, 64) > 0) {
+    for (auto& r : batch) r.promise.set_value(Reply{});
+    if (q.depth() == 0) break;
+  }
+}
+
+TEST(RequestQueue, CloseDrainsThenReturnsZero) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, 3)));
+  q.close();
+  EXPECT_FALSE(q.try_push(make_request(QueryKind::kBfs, 4)));
+  std::vector<Request> batch;
+  EXPECT_EQ(1u, q.pop_batch(batch, 64));  // queued work still drains
+  for (auto& r : batch) r.promise.set_value(Reply{});
+  EXPECT_EQ(0u, q.pop_batch(batch, 64));  // then every pop sees "done"
+}
+
+// ---------------------------------------------------------------------
+// Server end to end
+// ---------------------------------------------------------------------
+
+TEST(Serving, BatchedMatchesSerialUnderConcurrentSubmission) {
+  const gb::Graph g = serving_graph();
+  constexpr int kQueries = 256;
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<vidx_t> pick(0, g.num_vertices() - 1);
+  std::vector<vidx_t> sources(kQueries);
+  for (auto& s : sources) s = pick(rng);
+
+  // Serial per-query reference (the bit-identity oracle).
+  const Context serial_ctx = Context{}.with_threads(1);
+  std::vector<std::vector<std::int32_t>> expected;
+  expected.reserve(kQueries);
+  for (const vidx_t s : sources) {
+    expected.push_back(algo::bfs(serial_ctx, g, {s}).levels);
+  }
+
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = kQueries;
+  Server server(g, opts);
+
+  // 4 submitter threads racing 4 workers: replies must be bit-identical
+  // to the serial pass regardless of which wave each query rode.
+  std::vector<std::future<Reply>> futs(kQueries);
+  {
+    std::vector<std::thread> submitters;
+    std::atomic<int> next{0};
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        for (;;) {
+          const int i = next.fetch_add(1);
+          if (i >= kQueries) return;
+          futs[static_cast<std::size_t>(i)] = server.submit(
+              QueryKind::kBfs, sources[static_cast<std::size_t>(i)]);
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    const Reply r = futs[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(Status::kOk, r.status) << "query " << i;
+    EXPECT_EQ(expected[static_cast<std::size_t>(i)], r.levels)
+        << "query " << i << " source " << sources[static_cast<std::size_t>(i)]
+        << " rode a wave of " << r.batch_width;
+  }
+  server.shutdown();
+  const auto st = server.stats();
+  EXPECT_EQ(kQueries, static_cast<int>(st.submitted));
+  EXPECT_EQ(kQueries, static_cast<int>(st.completed));
+  EXPECT_EQ(0u, st.shed_queue_full);
+  EXPECT_EQ(0u, st.shed_deadline);
+  EXPECT_EQ(kQueries, static_cast<int>(st.batched_queries));
+}
+
+TEST(Serving, ReachRepliesMatchBfsDerivedReachability) {
+  const gb::Graph g = serving_graph();
+  constexpr int kQueries = 96;  // > one wave, with odd tail
+  const Context serial_ctx = Context{}.with_threads(1);
+
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = kQueries;
+  Server server(g, opts);
+  std::vector<std::future<Reply>> futs;
+  futs.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    futs.push_back(server.submit(QueryKind::kReach,
+                                 static_cast<vidx_t>(i * 7) %
+                                     g.num_vertices()));
+  }
+  for (auto& f : futs) {
+    const Reply r = f.get();
+    ASSERT_EQ(Status::kOk, r.status);
+    ASSERT_EQ(static_cast<std::size_t>(g.num_vertices()), r.reached.size());
+    const auto levels = algo::bfs(serial_ctx, g, {r.source}).levels;
+    for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(levels[static_cast<std::size_t>(v)] != algo::kUnreached,
+                r.reached[static_cast<std::size_t>(v)] != 0)
+          << "source " << r.source << " vertex " << v;
+    }
+  }
+}
+
+TEST(Serving, UnbatchedAblationMatchesBatched) {
+  const gb::Graph g = serving_graph();
+  constexpr int kQueries = 64;
+  std::vector<std::future<Reply>> batched, unbatched;
+  {
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = kQueries;
+    Server server(g, opts);
+    for (int i = 0; i < kQueries; ++i) {
+      batched.push_back(server.submit(QueryKind::kBfs,
+                                      static_cast<vidx_t>(i * 13) %
+                                          g.num_vertices()));
+    }
+  }  // destructor drains
+  {
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = kQueries;
+    opts.max_batch = 1;  // the ablation: per-query execution
+    Server server(g, opts);
+    for (int i = 0; i < kQueries; ++i) {
+      unbatched.push_back(server.submit(QueryKind::kBfs,
+                                        static_cast<vidx_t>(i * 13) %
+                                            g.num_vertices()));
+    }
+    server.shutdown();
+    EXPECT_EQ(1u, server.stats().widest_wave);
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    const Reply b = batched[static_cast<std::size_t>(i)].get();
+    const Reply u = unbatched[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(Status::kOk, b.status);
+    ASSERT_EQ(Status::kOk, u.status);
+    EXPECT_EQ(u.levels, b.levels) << "query " << i;
+    EXPECT_EQ(1, u.batch_width);
+  }
+}
+
+TEST(Serving, ExpiredDeadlinesAreShedAndAccounted) {
+  const gb::Graph g = serving_graph();
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 64;
+  Server server(g, opts);
+
+  // A deadline already in the past when submitted is guaranteed to be
+  // past when a worker reaches it: deterministically shed.
+  const auto expired = serving::clock::now() - 1ms;
+  std::vector<std::future<Reply>> doomed;
+  for (int i = 0; i < 8; ++i) {
+    doomed.push_back(server.submit(QueryKind::kBfs, i, expired));
+  }
+  // And a live one rides through normally.
+  auto ok = server.submit(QueryKind::kBfs, 0);
+  for (auto& f : doomed) {
+    const Reply r = f.get();
+    EXPECT_EQ(Status::kShedDeadline, r.status);
+    EXPECT_TRUE(r.levels.empty());
+  }
+  EXPECT_EQ(Status::kOk, ok.get().status);
+  server.shutdown();
+  const auto st = server.stats();
+  EXPECT_EQ(8u, st.shed_deadline);
+  EXPECT_EQ(1u, st.completed);
+  EXPECT_EQ(st.submitted, st.completed + st.shed_queue_full + st.shed_deadline);
+}
+
+TEST(Serving, QueueFullBackpressureShedsAtTheDoor) {
+  const gb::Graph g = serving_graph();
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;  // every pop is width 1; storms must shed
+  Server server(g, opts);
+
+  constexpr int kStorm = 400;
+  std::vector<std::future<Reply>> futs;
+  futs.reserve(kStorm);
+  for (int i = 0; i < kStorm; ++i) {
+    futs.push_back(server.submit(QueryKind::kBfs,
+                                 static_cast<vidx_t>(i) % g.num_vertices()));
+  }
+  int ok = 0, shed = 0;
+  for (auto& f : futs) {
+    const Reply r = f.get();
+    if (r.status == Status::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(Status::kShedQueueFull, r.status);
+      ++shed;
+    }
+  }
+  server.shutdown();
+  const auto st = server.stats();
+  // Conservation: every submission is accounted exactly once.
+  EXPECT_EQ(kStorm, ok + shed);
+  EXPECT_EQ(static_cast<std::uint64_t>(kStorm), st.submitted);
+  EXPECT_EQ(st.submitted, st.completed + st.shed_queue_full + st.shed_deadline);
+  EXPECT_EQ(static_cast<std::uint64_t>(ok), st.completed);
+  EXPECT_EQ(static_cast<std::uint64_t>(shed), st.shed_queue_full);
+  // A 400-query burst against capacity 1 and ms-scale queries cannot
+  // all be admitted.
+  EXPECT_GT(shed, 0);
+}
+
+TEST(Serving, SubmitRejectsOutOfRangeSource) {
+  const gb::Graph g = serving_graph();
+  Server server(g, {});
+  EXPECT_THROW((void)server.submit(QueryKind::kBfs, -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)server.submit(QueryKind::kBfs, g.num_vertices()),
+               std::invalid_argument);
+  server.shutdown();
+}
+
+TEST(Serving, ShutdownDrainsEveryPendingFuture) {
+  const gb::Graph g = serving_graph();
+  std::vector<std::future<Reply>> futs;
+  {
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = 512;
+    Server server(g, opts);
+    for (int i = 0; i < 200; ++i) {
+      futs.push_back(server.submit(QueryKind::kBfs,
+                                   static_cast<vidx_t>(i) %
+                                       g.num_vertices()));
+    }
+  }  // destructor: close + drain + join
+  for (auto& f : futs) {
+    const Reply r = f.get();  // would block forever on a dropped promise
+    EXPECT_EQ(Status::kOk, r.status);
+  }
+}
+
+TEST(Serving, MixedKindsUnderLoadStaySegregatedAndCorrect) {
+  const gb::Graph g = serving_graph();
+  const Context serial_ctx = Context{}.with_threads(1);
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 256;
+  Server server(g, opts);
+  std::vector<std::future<Reply>> futs;
+  for (int i = 0; i < 128; ++i) {
+    futs.push_back(server.submit(i % 2 == 0 ? QueryKind::kBfs
+                                            : QueryKind::kReach,
+                                 static_cast<vidx_t>(i * 5) %
+                                     g.num_vertices()));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Reply r = futs[i].get();
+    ASSERT_EQ(Status::kOk, r.status);
+    const auto levels = algo::bfs(serial_ctx, g, {r.source}).levels;
+    if (r.kind == QueryKind::kBfs) {
+      EXPECT_EQ(levels, r.levels);
+    } else {
+      for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(levels[static_cast<std::size_t>(v)] != algo::kUnreached,
+                  r.reached[static_cast<std::size_t>(v)] != 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bitgb
