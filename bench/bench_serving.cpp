@@ -1,7 +1,8 @@
 // Query-serving benchmark: the serving::Server under closed-loop
-// saturation and open-loop Poisson arrivals (BENCH_serving.json).
+// saturation, open-loop Poisson arrivals, and the multi-tenant
+// scenarios (BENCH_serving.json).
 //
-// Two experiments over one shared, prewarmed Graph:
+// Four experiments:
 //
 //   saturation — every query submitted at once (a full backlog), once
 //     with max_batch = 1 (the worker pool alone) and once with the
@@ -18,10 +19,19 @@
 //     the unbatched one sheds at the door — latency degrades into
 //     throughput instead of collapse.
 //
+//   multi-graph — the same closed-loop storm fired round-robin across
+//     a three-graph GraphRegistry: the batcher partitions each popped
+//     run by graph, so the cell reports how much wave width survives
+//     tenancy (mean wave vs the single-graph saturation cell).
+//
+//   mixed-kinds — one graph, the storm drawing uniformly from all four
+//     QueryKinds: per-kind completion counts plus the executed
+//     wave-width histogram, the adaptive batcher's decision record.
+//
 // Before any measurement, every batched answer is verified
 // bit-identical against a serial algo::bfs pass; a mismatch fails the
 // run (exit 1).  Results go to BENCH_serving.json (schema
-// bitgb-serving-bench-v1, see BUILDING.md).
+// bitgb-serving-bench-v2, see BUILDING.md).
 #include "algorithms/bfs.hpp"
 #include "benchlib/reporting.hpp"
 #include "graphblas/graph.hpp"
@@ -156,6 +166,104 @@ bench::ServingRatePoint run_open_loop(const gb::Graph& g,
   return pt;
 }
 
+/// Snapshot the stats a scenario cell reports.
+bench::ServingScenario scenario_from_stats(const char* name, int graphs,
+                                           int queries, double ms,
+                                           const serving::ServerStats& st) {
+  bench::ServingScenario cell;
+  cell.name = name;
+  cell.graphs = graphs;
+  cell.queries = queries;
+  cell.qps = ms > 0.0 ? 1000.0 * static_cast<double>(queries) / ms : 0.0;
+  cell.mean_wave = st.mean_wave_width();
+  cell.widest_wave = st.widest_wave;
+  for (std::size_t k = 0; k < serving::kNumQueryKinds; ++k) {
+    cell.completed_by_kind.emplace_back(
+        serving::query_kind_name(static_cast<QueryKind>(k)),
+        st.completed_by_kind[k]);
+  }
+  cell.wave_width_hist.assign(st.wave_width_hist.begin(),
+                              st.wave_width_hist.end());
+  return cell;
+}
+
+/// Multi-graph storm: the saturation burst fired round-robin across a
+/// three-graph registry.  Partitioning by graph caps the achievable
+/// wave width at ~storm/graphs, so mean_wave vs the single-graph cell
+/// is the price of tenancy.
+bench::ServingScenario run_multi_graph(std::uint64_t seed) {
+  serving::GraphRegistry reg;
+  const char* names[] = {"hybrid_4096", "rmat_s11", "road_64x64"};
+  reg.add(names[0], gb::Graph::from_coo(gen_hybrid(4096, 4)));
+  reg.add(names[1], gb::Graph::from_coo(gen_rmat(11, 16384, 9)));
+  reg.add(names[2], gb::Graph::from_coo(gen_road(64, 64, 0.02, 13)));
+  Server server(reg, server_options(FrontierBatch::kMaxBatch,
+                                    kSaturationQueries));
+  std::mt19937_64 rng(seed);
+  std::vector<std::future<Reply>> futs;
+  futs.reserve(kSaturationQueries);
+  Stopwatch watch;
+  for (int i = 0; i < kSaturationQueries; ++i) {
+    const char* name = names[rng() % 3];
+    const vidx_t n = reg.lookup(name)->graph().num_vertices();
+    futs.push_back(server.submit(
+        name, QueryKind::kBfs,
+        static_cast<vidx_t>(rng() % static_cast<std::uint64_t>(n))));
+  }
+  for (auto& f : futs) {
+    if (f.get().status != Status::kOk) {
+      std::fprintf(stderr, "multi-graph storm shed a query\n");
+      std::exit(1);
+    }
+  }
+  const double ms = watch.elapsed_ms();
+  server.shutdown();
+  return scenario_from_stats("multi-graph", 3, kSaturationQueries, ms,
+                             server.stats());
+}
+
+/// Mixed-kind storm: one graph, all four QueryKinds drawn uniformly.
+bench::ServingScenario run_mixed_kinds(const gb::Graph& g,
+                                       std::uint64_t seed) {
+  Server server(g, server_options(FrontierBatch::kMaxBatch,
+                                  kSaturationQueries));
+  std::mt19937_64 rng(seed);
+  std::vector<std::future<Reply>> futs;
+  futs.reserve(kSaturationQueries);
+  Stopwatch watch;
+  for (int i = 0; i < kSaturationQueries; ++i) {
+    const auto kind =
+        static_cast<QueryKind>(rng() % serving::kNumQueryKinds);
+    const auto source = static_cast<vidx_t>(
+        rng() % static_cast<std::uint64_t>(g.num_vertices()));
+    futs.push_back(kind == QueryKind::kPagerank
+                       ? server.submit_pagerank()
+                       : server.submit(kind, source));
+  }
+  for (auto& f : futs) {
+    if (f.get().status != Status::kOk) {
+      std::fprintf(stderr, "mixed-kind storm shed a query\n");
+      std::exit(1);
+    }
+  }
+  const double ms = watch.elapsed_ms();
+  server.shutdown();
+  return scenario_from_stats("mixed-kinds", 1, kSaturationQueries, ms,
+                             server.stats());
+}
+
+void print_scenario(const bench::ServingScenario& s) {
+  std::printf("  %-12s %2d graph(s) %10.0f q/s   mean wave %5.1f   widest %llu\n",
+              s.name.c_str(), s.graphs, s.qps, s.mean_wave,
+              static_cast<unsigned long long>(s.widest_wave));
+  std::printf("    by kind:");
+  for (const auto& [kind, done] : s.completed_by_kind) {
+    std::printf(" %s=%llu", kind.c_str(),
+                static_cast<unsigned long long>(done));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main() {
@@ -243,10 +351,18 @@ int main() {
     }
   }
 
+  // --- Multi-tenant scenarios ----------------------------------------
+  std::printf("\nmulti-tenant scenarios (%d-query closed-loop storms):\n",
+              kSaturationQueries);
+  const auto multi_graph = run_multi_graph(31);
+  print_scenario(multi_graph);
+  const auto mixed_kinds = run_mixed_kinds(g, 37);
+  print_scenario(mixed_kinds);
+
   bench::write_serving_bench_json("BENCH_serving.json", graph_name,
                                   g.num_vertices(), g.num_edges(), workers,
                                   verified, {unbatched, batched}, speedup,
-                                  points);
+                                  points, {multi_graph, mixed_kinds});
   std::printf("\nwrote BENCH_serving.json (batched/unbatched saturation "
               "speedup: %.2fx)\n", speedup);
   return 0;

@@ -227,11 +227,12 @@ void write_serving_bench_json(const std::string& path,
                               eidx_t edges, int workers, bool verified,
                               const std::vector<ServingSaturation>& saturation,
                               double batched_speedup,
-                              const std::vector<ServingRatePoint>& rates) {
+                              const std::vector<ServingRatePoint>& rates,
+                              const std::vector<ServingScenario>& scenarios) {
   std::ofstream f(path);
   if (!f) return;  // best-effort, like write_sweep_csv
   f << "{\n";
-  f << "  \"schema\": \"bitgb-serving-bench-v1\",\n";
+  f << "  \"schema\": \"bitgb-serving-bench-v2\",\n";
   f << "  \"graph\": {\"name\": \"" << graph_name
     << "\", \"vertices\": " << vertices << ", \"edges\": " << edges << "},\n";
   f << "  \"workers\": " << workers << ",\n";
@@ -259,6 +260,27 @@ void write_serving_bench_json(const std::string& path,
       << ", \"p99\": " << r.p99_ms << ", \"p999\": " << r.p999_ms
       << "}, \"mean_wave\": " << r.mean_wave << '}'
       << (i + 1 < rates.size() ? "," : "") << '\n';
+  }
+  f << "  ],\n";
+  f << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& s = scenarios[i];
+    f << "    {\"name\": \"" << s.name << "\", \"graphs\": " << s.graphs
+      << ", \"queries\": " << s.queries << ", \"qps\": " << s.qps
+      << ", \"mean_wave\": " << s.mean_wave
+      << ", \"widest_wave\": " << s.widest_wave
+      << ",\n     \"completed_by_kind\": {";
+    for (std::size_t k = 0; k < s.completed_by_kind.size(); ++k) {
+      f << '"' << s.completed_by_kind[k].first
+        << "\": " << s.completed_by_kind[k].second
+        << (k + 1 < s.completed_by_kind.size() ? ", " : "");
+    }
+    f << "},\n     \"wave_width_hist\": [";
+    for (std::size_t b = 0; b < s.wave_width_hist.size(); ++b) {
+      f << s.wave_width_hist[b]
+        << (b + 1 < s.wave_width_hist.size() ? ", " : "");
+    }
+    f << "]}" << (i + 1 < scenarios.size() ? "," : "") << '\n';
   }
   f << "  ]\n";
   f << "}\n";

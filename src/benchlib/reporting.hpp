@@ -120,9 +120,12 @@ void print_kernel_bench(std::ostream& os,
 // bench_serving emits one machine-readable record per PR of the serving
 // core's behavior: the closed-loop saturation ablation (auto-batched vs
 // unbatched QPS over the same request stream — the 64-way amortization
-// headline) and the open-loop latency profile (p50/p99/p999 against
+// headline), the open-loop latency profile (p50/p99/p999 against
 // Poisson arrivals at several rates, with admission-control shed
-// counts).  Schema "bitgb-serving-bench-v1", documented in BUILDING.md.
+// counts), and the multi-tenant scenarios (a storm across a 3-graph
+// registry, and a mixed stream of all four query kinds, each with
+// per-kind counts and the executed wave-width histogram).  Schema
+// "bitgb-serving-bench-v2", documented in BUILDING.md.
 
 /// Tail-aware percentile with linear interpolation between order
 /// statistics; `p` in [0, 100].  Returns 0 for empty input.
@@ -152,14 +155,32 @@ struct ServingRatePoint {
   double mean_wave = 0.0;
 };
 
-/// Write the v1 JSON document.  `batched_speedup` is the saturation
+/// One multi-tenant scenario cell (v2): a closed-loop storm against a
+/// registry (multi-graph) or a mixed-kind stream against one graph.
+struct ServingScenario {
+  std::string name;   ///< "multi-graph" / "mixed-kinds"
+  int graphs = 0;     ///< registered graphs the storm spanned
+  int queries = 0;
+  double qps = 0.0;          ///< completed / wall-clock
+  double mean_wave = 0.0;    ///< mean queries per executed wave
+  std::uint64_t widest_wave = 0;
+  /// Completed count per query kind, keyed by query_kind_name.
+  std::vector<std::pair<std::string, std::uint64_t>> completed_by_kind;
+  /// Executed wave widths, bucketed [1][2][3-4]...[33-64].
+  std::vector<std::uint64_t> wave_width_hist;
+};
+
+/// Write the v2 JSON document.  `batched_speedup` is the saturation
 /// headline (batched QPS / unbatched QPS); `verified` records that the
-/// served answers were checked bit-identical against a serial pass.
+/// served answers were checked bit-identical against a serial pass;
+/// `scenarios` holds the multi-tenant cells (empty is valid — the
+/// array is still emitted, so consumers can rely on the key).
 void write_serving_bench_json(const std::string& path,
                               const std::string& graph_name, vidx_t vertices,
                               eidx_t edges, int workers, bool verified,
                               const std::vector<ServingSaturation>& saturation,
                               double batched_speedup,
-                              const std::vector<ServingRatePoint>& rates);
+                              const std::vector<ServingRatePoint>& rates,
+                              const std::vector<ServingScenario>& scenarios);
 
 }  // namespace bitgb::bench

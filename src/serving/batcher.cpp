@@ -2,6 +2,7 @@
 
 #include "algorithms/bfs.hpp"
 #include "algorithms/msbfs.hpp"
+#include "algorithms/pagerank.hpp"
 #include "core/frontier_batch.hpp"
 
 #include <cassert>
@@ -22,24 +23,39 @@ void shed(Request& r, Status status, clock::time_point now) {
   reply.status = status;
   reply.kind = r.kind;
   reply.source = r.source;
+  if (r.slot) {
+    reply.graph = r.slot->name();
+    reply.graph_generation = r.slot->generation();
+  }
   reply.queue_ms = ms_between(r.submitted, now);
   reply.completed = now;
   r.promise.set_value(std::move(reply));
 }
 
-/// Single-request fast path: the plain single-source algorithms — also
-/// the execution model of the unbatched (max_batch = 1) ablation.
-void serve_single(const Context& ctx, const gb::Graph& g, Request& r,
-                  algo::Workspace& ws, clock::time_point started) {
-  auto& out = ws.slot<algo::BfsResult>("serving.bfs_out");
-  algo::bfs(ctx, g, {r.source}, ws, out);
-
+/// The serving-telemetry header every kOk reply carries.
+Reply ok_reply(const Request& r, int width, clock::time_point started) {
   Reply reply;
   reply.status = Status::kOk;
   reply.kind = r.kind;
   reply.source = r.source;
-  reply.batch_width = 1;
+  reply.graph = r.slot->name();
+  reply.graph_generation = r.slot->generation();
+  reply.batch_width = width;
   reply.queue_ms = ms_between(r.submitted, started);
+  return reply;
+}
+
+/// Single-request traversal fast path: the plain single-source
+/// algorithms — also the execution model of the unbatched (max_batch =
+/// 1) ablation.
+void serve_single_traversal(const Context& ctx, Request& r,
+                            algo::Workspace& ws,
+                            clock::time_point started) {
+  const gb::Graph& g = r.slot->graph();
+  auto& out = ws.slot<algo::BfsResult>("serving.bfs_out");
+  algo::bfs(ctx, g, {r.source}, ws, out);
+
+  Reply reply = ok_reply(r, 1, started);
   if (r.kind == QueryKind::kBfs) {
     reply.levels = out.levels;
   } else {
@@ -53,10 +69,90 @@ void serve_single(const Context& ctx, const gb::Graph& g, Request& r,
   r.promise.set_value(std::move(reply));
 }
 
+/// One same-graph traversal wave: every live source rides one batched
+/// msbfs / batched_reach sweep.
+void serve_traversal_wave(const Context& ctx,
+                          std::vector<Request*>::iterator first,
+                          std::vector<Request*>::iterator last,
+                          algo::Workspace& ws, clock::time_point started) {
+  const auto width = static_cast<int>(last - first);
+  if (width == 1) {
+    serve_single_traversal(ctx, **first, ws, started);
+    return;
+  }
+  const gb::Graph& g = (*first)->slot->graph();
+  auto& sources = ws.slot<std::vector<vidx_t>>("serving.sources");
+  sources.clear();
+  for (auto it = first; it != last; ++it) sources.push_back((*it)->source);
+
+  const QueryKind kind = (*first)->kind;
+  if (kind == QueryKind::kBfs) {
+    auto& params = ws.slot<algo::MsBfsParams>("serving.msbfs_params");
+    params.sources = sources;
+    auto& out = ws.slot<algo::MsBfsResult>("serving.msbfs_out");
+    algo::msbfs(ctx, g, params, ws, out);
+    const clock::time_point done = clock::now();
+    for (auto it = first; it != last; ++it) {
+      Request& r = **it;
+      Reply reply = ok_reply(r, width, started);
+      algo::scatter_levels(out, static_cast<int>(it - first), reply.levels);
+      reply.completed = done;
+      r.promise.set_value(std::move(reply));
+    }
+  } else {
+    const FrontierBatch& reach = algo::batched_reach(ctx, g, sources, ws);
+    const clock::time_point done = clock::now();
+    for (auto it = first; it != last; ++it) {
+      Request& r = **it;
+      Reply reply = ok_reply(r, width, started);
+      algo::scatter_reached(reach, static_cast<int>(it - first),
+                            reply.reached);
+      reply.completed = done;
+      r.promise.set_value(std::move(reply));
+    }
+  }
+}
+
+/// One same-graph components wave: every request in the partition reads
+/// the slot's memoized labelling (the first ever reader computes it).
+void serve_components_wave(const Context& ctx,
+                           std::vector<Request*>::iterator first,
+                           std::vector<Request*>::iterator last,
+                           algo::Workspace& ws, clock::time_point started) {
+  const auto width = static_cast<int>(last - first);
+  const GraphSlot& slot = *(*first)->slot;
+  const algo::BatchedCcResult& cc = slot.components(ctx, ws);
+  const clock::time_point done = clock::now();
+  for (auto it = first; it != last; ++it) {
+    Request& r = **it;
+    Reply reply = ok_reply(r, width, started);
+    reply.component = cc.component;
+    reply.iterations = cc.waves;
+    reply.completed = done;
+    r.promise.set_value(std::move(reply));
+  }
+}
+
+/// PageRank runs per-request: the params travelled in the request, the
+/// scratch is the worker's own Workspace.
+void serve_pagerank(const Context& ctx, Request& r, algo::Workspace& ws,
+                    clock::time_point started) {
+  const gb::Graph& g = r.slot->graph();
+  auto& out = ws.slot<algo::PageRankResult>("serving.pagerank_out");
+  algo::pagerank(ctx, g, r.pagerank, ws, out);
+
+  Reply reply = ok_reply(r, 1, started);
+  reply.rank = out.rank;
+  reply.iterations = out.iterations;
+  reply.completed = clock::now();
+  r.promise.set_value(std::move(reply));
+}
+
 }  // namespace
 
-BatchOutcome serve_batch(const Context& ctx, const gb::Graph& g,
-                         std::vector<Request>& batch, algo::Workspace& ws) {
+BatchOutcome serve_batch(const Context& ctx, std::vector<Request>& batch,
+                         algo::Workspace& ws,
+                         std::vector<int>& wave_widths) {
   BatchOutcome outcome;
   if (batch.empty()) return outcome;
   assert(batch.size() <=
@@ -77,53 +173,45 @@ BatchOutcome serve_batch(const Context& ctx, const gb::Graph& g,
     }
   }
   if (live.empty()) return outcome;
-  outcome.width = static_cast<int>(live.size());
   outcome.executed = static_cast<int>(live.size());
 
-  if (live.size() == 1) {
-    serve_single(ctx, g, *live.front(), ws, started);
-    return outcome;
-  }
-
-  // The wave: every live source rides one batched traversal.
-  auto& sources = ws.slot<std::vector<vidx_t>>("serving.sources");
-  sources.clear();
-  for (const Request* r : live) sources.push_back(r->source);
-
+  // Partition by graph slot: a popped run is same-kind but may span
+  // registered graphs, and a wave can only sweep one adjacency.  FIFO
+  // order within each partition is preserved (stable partitioning by
+  // first-seen slot), so a graph's own queries still serve in order.
+  auto record_wave = [&](int width) {
+    ++outcome.waves;
+    outcome.widest = std::max(outcome.widest, width);
+    wave_widths.push_back(width);
+  };
   const QueryKind kind = live.front()->kind;
-  if (kind == QueryKind::kBfs) {
-    auto& params = ws.slot<algo::MsBfsParams>("serving.msbfs_params");
-    params.sources = sources;
-    auto& out = ws.slot<algo::MsBfsResult>("serving.msbfs_out");
-    algo::msbfs(ctx, g, params, ws, out);
-    const clock::time_point done = clock::now();
-    for (std::size_t b = 0; b < live.size(); ++b) {
-      Request& r = *live[b];
-      Reply reply;
-      reply.status = Status::kOk;
-      reply.kind = r.kind;
-      reply.source = r.source;
-      reply.batch_width = static_cast<int>(live.size());
-      reply.queue_ms = ms_between(r.submitted, started);
-      algo::scatter_levels(out, static_cast<int>(b), reply.levels);
-      reply.completed = done;
-      r.promise.set_value(std::move(reply));
+  auto begin = live.begin();
+  while (begin != live.end()) {
+    const GraphSlot* slot = (*begin)->slot.get();
+    auto end = std::stable_partition(
+        begin, live.end(),
+        [slot](const Request* r) { return r->slot.get() == slot; });
+    const auto width = static_cast<int>(end - begin);
+    switch (kind) {
+      case QueryKind::kBfs:
+      case QueryKind::kReach:
+        serve_traversal_wave(ctx, begin, end, ws, started);
+        record_wave(width);
+        break;
+      case QueryKind::kComponents:
+        serve_components_wave(ctx, begin, end, ws, started);
+        record_wave(width);
+        break;
+      case QueryKind::kPagerank:
+        // Nothing to coalesce: params differ per request, so each one
+        // is its own width-1 wave on the worker's workspace.
+        for (auto it = begin; it != end; ++it) {
+          serve_pagerank(ctx, **it, ws, started);
+          record_wave(1);
+        }
+        break;
     }
-  } else {
-    const FrontierBatch& reach = algo::batched_reach(ctx, g, sources, ws);
-    const clock::time_point done = clock::now();
-    for (std::size_t b = 0; b < live.size(); ++b) {
-      Request& r = *live[b];
-      Reply reply;
-      reply.status = Status::kOk;
-      reply.kind = r.kind;
-      reply.source = r.source;
-      reply.batch_width = static_cast<int>(live.size());
-      reply.queue_ms = ms_between(r.submitted, started);
-      algo::scatter_reached(reach, static_cast<int>(b), reply.reached);
-      reply.completed = done;
-      r.promise.set_value(std::move(reply));
-    }
+    begin = end;
   }
   return outcome;
 }

@@ -26,14 +26,14 @@ std::size_t RequestQueue::pop_batch(std::vector<Request>& out, int max_batch) {
   cv_.wait(lk, [&] { return closed_ || total_unlocked() > 0; });
   if (total_unlocked() == 0) return 0;  // closed and drained
 
-  auto& bfs_q = kinds_[static_cast<std::size_t>(QueryKind::kBfs)];
-  auto& reach_q = kinds_[static_cast<std::size_t>(QueryKind::kReach)];
   // Serve the kind whose head has waited longest (FIFO across kinds);
-  // an empty FIFO never wins because the other one is non-empty here.
-  std::deque<Request>* q = &bfs_q;
-  if (bfs_q.empty() ||
-      (!reach_q.empty() && reach_q.front().submitted < bfs_q.front().submitted)) {
-    q = &reach_q;
+  // at least one FIFO is non-empty here.
+  std::deque<Request>* q = nullptr;
+  for (auto& fifo : kinds_) {
+    if (fifo.empty()) continue;
+    if (q == nullptr || fifo.front().submitted < q->front().submitted) {
+      q = &fifo;
+    }
   }
   const std::size_t count = std::min(take, q->size());
   for (std::size_t i = 0; i < count; ++i) {

@@ -8,17 +8,20 @@
 //
 // The execution side (the serving workers) pops with pop_batch, which
 // returns up to max_batch requests *of one kind* in a single lock hold.
-// Pending requests wait in one FIFO per kind (sharing the capacity
-// bound), so a worker's pop IS the auto-batcher's admission step: the
-// queue naturally hands over the longest same-kind run that has
-// accumulated while every worker was busy — deeper backlog, wider
+// Pending requests wait in one FIFO per QueryKind (all sharing the
+// capacity bound), so a worker's pop IS the auto-batcher's admission
+// step: the queue naturally hands over the longest same-kind run that
+// has accumulated while every worker was busy — deeper backlog, wider
 // msbfs waves, which is exactly the load-adaptive batching the bit
 // engine's 64-way amortization wants.  Across kinds, pop_batch serves
-// the FIFO whose head request has waited longest.
+// the FIFO whose head request has waited longest.  A popped run may
+// span graphs — the batcher partitions it per graph slot before
+// executing.
 #pragma once
 
 #include "serving/request.hpp"
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -49,13 +52,15 @@ class RequestQueue {
 
  private:
   [[nodiscard]] std::size_t total_unlocked() const {
-    return kinds_[0].size() + kinds_[1].size();
+    std::size_t total = 0;
+    for (const auto& q : kinds_) total += q.size();
+    return total;
   }
 
   const std::size_t capacity_;
   mutable std::mutex m_;
   std::condition_variable cv_;
-  std::deque<Request> kinds_[2];  ///< indexed by QueryKind
+  std::array<std::deque<Request>, kNumQueryKinds> kinds_;  ///< by QueryKind
   bool closed_ = false;
 };
 

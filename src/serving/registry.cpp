@@ -1,0 +1,60 @@
+#include "serving/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bitgb::serving {
+
+GraphRef GraphRegistry::add(std::string name, gb::Graph g,
+                            gb::FormatSet warm) {
+  // Prewarm before publication: materialization is the expensive part,
+  // so it runs outside the lock and no query ever observes a cold slot.
+  g.prewarm(warm);
+  std::uint64_t generation;
+  {
+    const std::lock_guard<std::mutex> lk(m_);
+    generation = next_generation_++;
+  }
+  auto slot = std::make_shared<const GraphSlot>(name, generation,
+                                               std::move(g));
+  const std::lock_guard<std::mutex> lk(m_);
+  for (auto& [n, s] : slots_) {
+    if (n == name) {
+      s = slot;  // replace: the old slot drains via its in-flight refs
+      return slot;
+    }
+  }
+  slots_.emplace_back(std::move(name), slot);
+  return slot;
+}
+
+bool GraphRegistry::remove(std::string_view name) {
+  const std::lock_guard<std::mutex> lk(m_);
+  const auto it = std::find_if(slots_.begin(), slots_.end(),
+                               [&](const auto& p) { return p.first == name; });
+  if (it == slots_.end()) return false;
+  slots_.erase(it);
+  return true;
+}
+
+GraphRef GraphRegistry::lookup(std::string_view name) const {
+  const std::lock_guard<std::mutex> lk(m_);
+  const auto it = std::find_if(slots_.begin(), slots_.end(),
+                               [&](const auto& p) { return p.first == name; });
+  return it == slots_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> GraphRegistry::names() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [n, s] : slots_) out.push_back(n);
+  return out;
+}
+
+std::size_t GraphRegistry::size() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return slots_.size();
+}
+
+}  // namespace bitgb::serving

@@ -1,0 +1,117 @@
+// GraphRegistry — named, prewarmed graphs behind one server.
+//
+// Production traffic is many datasets, not one: the registry maps graph
+// names to GraphSlot entries, each holding a prewarmed gb::Graph plus
+// the per-registration metadata the serving layer needs.  Lookups are
+// snapshot-consistent: submit() resolves a name to a
+// shared_ptr<const GraphSlot> once at admission, the Request carries
+// that snapshot, and a concurrent remove() (or a replacing add()) only
+// drops the registry's own reference — every in-flight query keeps its
+// graph alive through shared ownership and drains safely, after which
+// the slot (and its Graph) is freed by the last reply.
+//
+// Each registration gets a monotonically increasing generation.  A
+// re-add under the same name is a NEW slot with a NEW generation, which
+// is what invalidates memoized whole-graph results: the kComponents
+// memo lives inside the slot, so a stale answer cannot outlive the
+// registration that produced it.
+#pragma once
+
+#include "algorithms/batched_cc.hpp"
+#include "graphblas/graph.hpp"
+#include "platform/context.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bitgb::serving {
+
+/// One registered graph: the handle, its registration identity, and the
+/// memoized whole-graph results every same-generation query shares.
+class GraphSlot {
+ public:
+  /// Owning slot (the registry path; the Graph moves in).
+  GraphSlot(std::string name, std::uint64_t generation, gb::Graph g)
+      : name_(std::move(name)),
+        generation_(generation),
+        owned_(std::move(g)),
+        graph_(&*owned_) {}
+
+  /// Borrowing slot (the single-graph Server constructor; the caller
+  /// guarantees the Graph outlives the slot).
+  GraphSlot(std::string name, std::uint64_t generation, const gb::Graph* g)
+      : name_(std::move(name)), generation_(generation), graph_(g) {}
+
+  GraphSlot(const GraphSlot&) = delete;
+  GraphSlot& operator=(const GraphSlot&) = delete;
+
+  [[nodiscard]] const gb::Graph& graph() const { return *graph_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// The memoized connected-components labelling: the first kComponents
+  /// query on this slot pays one batched_cc over the whole graph (under
+  /// the caller's descriptor and workspace); every later query — from
+  /// any worker — reads the shared result.  Thread-safe; the memo dies
+  /// with the slot, so a registry re-add (new slot, new generation) can
+  /// never serve a stale labelling.
+  [[nodiscard]] const algo::BatchedCcResult& components(
+      const Context& ctx, algo::Workspace& ws) const {
+    std::call_once(cc_once_, [&] {
+      algo::batched_cc(ctx, *graph_, {}, ws, cc_);
+    });
+    return cc_;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t generation_ = 0;
+  std::optional<gb::Graph> owned_;
+  const gb::Graph* graph_ = nullptr;
+  mutable std::once_flag cc_once_;
+  mutable algo::BatchedCcResult cc_;
+};
+
+using GraphRef = std::shared_ptr<const GraphSlot>;
+
+/// Concurrent name → GraphSlot map.  add/remove/lookup may race freely;
+/// a lookup returns the slot registered at that instant (or null), and
+/// holding the returned GraphRef is what keeps the slot alive.
+class GraphRegistry {
+ public:
+  GraphRegistry() = default;
+  GraphRegistry(const GraphRegistry&) = delete;
+  GraphRegistry& operator=(const GraphRegistry&) = delete;
+
+  /// Register `name`, replacing any previous registration (the old slot
+  /// stays alive for its in-flight queries).  The graph is prewarmed
+  /// (`warm` formats, off the query path) before the slot becomes
+  /// visible, so no query pays a one-time conversion.  Returns the new
+  /// slot.
+  GraphRef add(std::string name, gb::Graph g,
+               gb::FormatSet warm = gb::kBitFormats);
+
+  /// Drop `name` from the map.  In-flight queries holding the slot
+  /// drain safely; returns false if the name was not registered.
+  bool remove(std::string_view name);
+
+  /// Snapshot lookup: the slot registered under `name` right now, or
+  /// null.  The returned reference stays valid across any later
+  /// remove()/add().
+  [[nodiscard]] GraphRef lookup(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex m_;
+  std::vector<std::pair<std::string, GraphRef>> slots_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace bitgb::serving

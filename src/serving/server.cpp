@@ -11,10 +11,37 @@
 
 namespace bitgb::serving {
 
-Server::Server(const gb::Graph& g, ServerOptions opts)
-    : graph_(g), opts_(opts), queue_(opts.queue_capacity) {
+namespace {
+
+/// Name of the slot the single-graph constructor wraps the caller's
+/// Graph in; nameless submits route here.
+constexpr const char* kDefaultGraphName = "default";
+
+bool is_traversal(QueryKind kind) {
+  return kind == QueryKind::kBfs || kind == QueryKind::kReach;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(opts), queue_(opts.queue_capacity) {
   opts_.max_batch =
       std::clamp(opts_.max_batch, 1, FrontierBatch::kMaxBatch);
+}
+
+Server::Server(const GraphRegistry& registry, ServerOptions opts)
+    : Server(opts) {
+  registry_ = &registry;
+  start_workers();
+}
+
+Server::Server(const gb::Graph& g, ServerOptions opts) : Server(opts) {
+  default_slot_ =
+      std::make_shared<const GraphSlot>(kDefaultGraphName, 0, &g);
+  start_workers();
+}
+
+void Server::start_workers() {
   const int n = opts_.workers <= 0 ? hardware_width()
                                    : std::min(opts_.workers, kMaxWorkerWidth);
   workers_.reserve(static_cast<std::size_t>(n));
@@ -25,26 +52,100 @@ Server::Server(const gb::Graph& g, ServerOptions opts)
 
 Server::~Server() { shutdown(); }
 
+clock::time_point Server::default_deadline_now() const {
+  return opts_.default_deadline.count() > 0
+             ? clock::now() + opts_.default_deadline
+             : clock::time_point::max();
+}
+
+std::future<Reply> Server::refuse(QueryKind kind, vidx_t source,
+                                  Status status, const GraphSlot* slot) {
+  Reply reply;
+  reply.status = status;
+  reply.kind = kind;
+  reply.source = source;
+  if (slot != nullptr) {
+    reply.graph = slot->name();
+    reply.graph_generation = slot->generation();
+  }
+  reply.completed = clock::now();
+  std::promise<Reply> p;
+  std::future<Reply> fut = p.get_future();
+  p.set_value(std::move(reply));
+  return fut;
+}
+
+std::future<Reply> Server::submit(std::string_view graph, QueryKind kind,
+                                  vidx_t source) {
+  return submit(graph, kind, source, default_deadline_now());
+}
+
+std::future<Reply> Server::submit(std::string_view graph, QueryKind kind,
+                                  vidx_t source, clock::time_point deadline) {
+  GraphRef slot = registry_ != nullptr ? registry_->lookup(graph)
+                  : (default_slot_ && graph == default_slot_->name())
+                      ? default_slot_
+                      : nullptr;
+  return submit_resolved(std::move(slot), kind, source, {}, deadline);
+}
+
 std::future<Reply> Server::submit(QueryKind kind, vidx_t source) {
-  const auto deadline =
-      opts_.default_deadline.count() > 0
-          ? clock::now() + opts_.default_deadline
-          : clock::time_point::max();
-  return submit(kind, source, deadline);
+  return submit(kind, source, default_deadline_now());
 }
 
 std::future<Reply> Server::submit(QueryKind kind, vidx_t source,
                                   clock::time_point deadline) {
-  if (source < 0 || source >= graph_.num_vertices()) {
-    throw std::invalid_argument("serving: source " + std::to_string(source) +
-                                " out of range [0, " +
-                                std::to_string(graph_.num_vertices()) + ")");
+  return submit_resolved(default_slot_, kind, source, {}, deadline);
+}
+
+std::future<Reply> Server::submit_pagerank(std::string_view graph,
+                                           const algo::PageRankParams& params,
+                                           clock::time_point deadline) {
+  GraphRef slot = registry_ != nullptr ? registry_->lookup(graph)
+                  : (default_slot_ && graph == default_slot_->name())
+                      ? default_slot_
+                      : nullptr;
+  return submit_resolved(std::move(slot), QueryKind::kPagerank, 0, params,
+                         deadline);
+}
+
+std::future<Reply> Server::submit_pagerank(const algo::PageRankParams& params,
+                                           clock::time_point deadline) {
+  return submit_resolved(default_slot_, QueryKind::kPagerank, 0, params,
+                         deadline);
+}
+
+std::future<Reply> Server::submit_resolved(GraphRef slot, QueryKind kind,
+                                           vidx_t source,
+                                           const algo::PageRankParams& params,
+                                           clock::time_point deadline) {
+  if (slot == nullptr) {
+    // Unknown name: accounted, and the future resolves immediately —
+    // a routing miss is an answer, not an exception, because the
+    // registry may legitimately have changed between the caller's
+    // lookup and this submit.
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    submitted_by_kind_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    shed_bad_graph_.fetch_add(1, std::memory_order_relaxed);
+    return refuse(kind, source, Status::kBadGraph, nullptr);
+  }
+  if (is_traversal(kind) &&
+      (source < 0 || source >= slot->graph().num_vertices())) {
+    throw std::invalid_argument(
+        "serving: source " + std::to_string(source) + " out of range [0, " +
+        std::to_string(slot->graph().num_vertices()) + ") on graph '" +
+        slot->name() + "'");
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_by_kind_[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
 
   Request r;
   r.kind = kind;
   r.source = source;
+  r.slot = std::move(slot);
+  r.pagerank = params;
   r.deadline = deadline;
   r.submitted = clock::now();
   std::future<Reply> fut = r.promise.get_future();
@@ -57,6 +158,8 @@ std::future<Reply> Server::submit(QueryKind kind, vidx_t source,
     reply.status = Status::kShedQueueFull;
     reply.kind = kind;
     reply.source = source;
+    reply.graph = r.slot->name();
+    reply.graph_generation = r.slot->generation();
     reply.completed = clock::now();
     r.promise.set_value(std::move(reply));
   }
@@ -65,26 +168,52 @@ std::future<Reply> Server::submit(QueryKind kind, vidx_t source,
 
 void Server::worker_main() {
   // The long-lived per-worker execution state: one descriptor, one
-  // scratch arena.  Steady state allocates nothing on the wave path.
+  // scratch arena, one adaptive window.  Steady state allocates
+  // nothing on the wave path.
   const Context ctx = opts_.context;
   algo::Workspace ws;
+  AdaptiveBatch adapt(opts_.max_batch);
   std::vector<Request> batch;
+  std::vector<int> wave_widths;
   batch.reserve(static_cast<std::size_t>(opts_.max_batch));
-  while (queue_.pop_batch(batch, opts_.max_batch) > 0) {
-    const BatchOutcome outcome = serve_batch(ctx, graph_, batch, ws);
+  wave_widths.reserve(static_cast<std::size_t>(opts_.max_batch));
+  int window = opts_.adaptive ? adapt.window() : opts_.max_batch;
+  while (queue_.pop_batch(batch, window) > 0) {
+    const QueryKind kind = batch.front().kind;
+    wave_widths.clear();
+    const BatchOutcome outcome = serve_batch(ctx, batch, ws, wave_widths);
     completed_.fetch_add(static_cast<std::uint64_t>(outcome.executed),
                          std::memory_order_relaxed);
+    completed_by_kind_[static_cast<std::size_t>(kind)].fetch_add(
+        static_cast<std::uint64_t>(outcome.executed),
+        std::memory_order_relaxed);
     shed_deadline_.fetch_add(static_cast<std::uint64_t>(outcome.shed_deadline),
                              std::memory_order_relaxed);
-    if (outcome.width > 0) {
-      waves_.fetch_add(1, std::memory_order_relaxed);
-      batched_queries_.fetch_add(static_cast<std::uint64_t>(outcome.width),
+    if (outcome.waves > 0) {
+      waves_.fetch_add(static_cast<std::uint64_t>(outcome.waves),
+                       std::memory_order_relaxed);
+      batched_queries_.fetch_add(static_cast<std::uint64_t>(outcome.executed),
                                  std::memory_order_relaxed);
+      for (const int w : wave_widths) {
+        wave_hist_[wave_hist_bucket(w)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+      }
       std::uint64_t prev = widest_wave_.load(std::memory_order_relaxed);
-      const auto width = static_cast<std::uint64_t>(outcome.width);
+      const auto width = static_cast<std::uint64_t>(outcome.widest);
       while (prev < width && !widest_wave_.compare_exchange_weak(
                                  prev, width, std::memory_order_relaxed)) {
       }
+    }
+    if (opts_.adaptive) {
+      // Feed the window policy what this wave saw: the backlog left
+      // behind and the widest wave the pop actually produced.
+      const int next = adapt.update(queue_.depth(), outcome.widest);
+      if (next > window) {
+        window_grew_.fetch_add(1, std::memory_order_relaxed);
+      } else if (next < window) {
+        window_shrank_.fetch_add(1, std::memory_order_relaxed);
+      }
+      window = next;
     }
   }
 }
@@ -105,9 +234,21 @@ ServerStats Server::stats() const {
   s.completed = completed_.load(std::memory_order_relaxed);
   s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_bad_graph = shed_bad_graph_.load(std::memory_order_relaxed);
   s.waves = waves_.load(std::memory_order_relaxed);
   s.batched_queries = batched_queries_.load(std::memory_order_relaxed);
   s.widest_wave = widest_wave_.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+    s.submitted_by_kind[k] =
+        submitted_by_kind_[k].load(std::memory_order_relaxed);
+    s.completed_by_kind[k] =
+        completed_by_kind_[k].load(std::memory_order_relaxed);
+  }
+  for (std::size_t b = 0; b < kWaveHistBuckets; ++b) {
+    s.wave_width_hist[b] = wave_hist_[b].load(std::memory_order_relaxed);
+  }
+  s.window_grew = window_grew_.load(std::memory_order_relaxed);
+  s.window_shrank = window_shrank_.load(std::memory_order_relaxed);
   return s;
 }
 

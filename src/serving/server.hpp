@@ -1,22 +1,30 @@
-// Server — the query-serving core over the Context API.
+// Server — the multi-tenant query-serving core over the Context API.
 //
 // One Server owns a bounded MPMC request queue (admission control:
 // shed-on-full plus per-request deadlines) feeding a pool of long-lived
 // serving workers.  Each worker owns a Context + Workspace pair — the
 // per-thread descriptor model examples/concurrent_queries demonstrates,
-// made durable — and drains the queue in up-to-64-wide same-kind
-// batches that the auto-batcher (serving/batcher.hpp) executes as one
-// msbfs / batched_reach wave over the ONE shared, prewarmed Graph.
+// made durable — and drains the queue in same-kind batches that the
+// auto-batcher (serving/batcher.hpp) executes as msbfs / batched_reach
+// waves (BFS / reach), memoized batched_cc reads (components), or
+// per-request pagerank runs, over the graphs of a GraphRegistry.
 //
-// The architecture is Gunrock's frame/enactor split on the host:
-// submit() is the frame (validate, stamp, admit), the workers are the
-// enactors (pop, coalesce, execute, scatter), and the Graph handle —
-// lazy, immutable-after-materialization — is what makes any worker
-// count safe (PR 5's Context redesign).  Under light load a pop
-// returns one request and the worker runs the plain single-source
-// path; under backlog pops widen toward 64 and the bit engine's
-// batched amortization kicks in automatically — latency degrades into
-// throughput instead of collapse.
+// Multi-tenancy: submit() takes a graph name, resolved against the
+// registry ONCE at admission into a shared GraphRef snapshot.  An
+// unknown name resolves the future immediately with Status::kBadGraph;
+// a registry remove() racing in-flight queries is safe because every
+// queued request co-owns its slot — the graph drains with its last
+// reply.  The single-graph constructor remains for the embedded case:
+// it wraps the caller's Graph in an anonymous slot and the nameless
+// submit() overloads route to it.
+//
+// Batching is adaptive by default: each worker sizes its next pop from
+// an AdaptiveBatch depth-feedback window (1..max_batch) instead of
+// always popping the cap — backlog widens the window toward the 64-way
+// amortization within a wave or two, a drained queue decays it back to
+// single-query pops.  ServerOptions::max_batch remains the override
+// cap, and adaptive = false restores the static knob exactly
+// (max_batch every pop — the ablation baseline uses max_batch = 1).
 //
 // Serving workers default to serial (threads = 1) Contexts: the worker
 // pool itself is the parallelism, and the batch dimension — not the
@@ -27,13 +35,16 @@
 #include "graphblas/graph.hpp"
 #include "platform/context.hpp"
 #include "serving/queue.hpp"
+#include "serving/registry.hpp"
 #include "serving/request.hpp"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -44,9 +55,15 @@ struct ServerOptions {
   int workers = 0;
   /// Bounded queue depth; admission sheds beyond it.
   std::size_t queue_capacity = 1024;
-  /// Widest wave the auto-batcher may form (clamped to
-  /// FrontierBatch::kMaxBatch; 1 = unbatched, the ablation baseline).
+  /// Widest wave a worker may form (clamped to
+  /// FrontierBatch::kMaxBatch) — the adaptive window's cap, or the
+  /// fixed pop width when adaptive = false (1 = unbatched, the
+  /// ablation baseline).
   int max_batch = FrontierBatch::kMaxBatch;
+  /// Depth-feedback window sizing (serving/batcher.hpp AdaptiveBatch).
+  /// false = the pre-adaptive static knob: every pop asks for
+  /// max_batch.
+  bool adaptive = true;
   /// Per-worker execution descriptor.  Serial thread budget by
   /// default — a serving worker's parallelism axis is the batch, and
   /// the worker pool supplies the concurrency.
@@ -56,17 +73,42 @@ struct ServerOptions {
   std::chrono::milliseconds default_deadline{0};
 };
 
+/// Wave-width histogram buckets: [1] [2] [3-4] [5-8] [9-16] [17-32]
+/// [33-64] — power-of-two bands up to FrontierBatch::kMaxBatch.
+inline constexpr std::size_t kWaveHistBuckets = 7;
+
+/// Bucket index for an executed wave width (1..64).
+[[nodiscard]] constexpr std::size_t wave_hist_bucket(int width) {
+  std::size_t b = 0;
+  for (int top = 1; top < width; top *= 2) ++b;
+  return b < kWaveHistBuckets ? b : kWaveHistBuckets - 1;
+}
+
 /// Monotonic counters, snapshot via Server::stats().  submitted ==
-/// completed + shed_queue_full + shed_deadline once the server is
-/// drained (every future is always fulfilled).
+/// completed + shed_queue_full + shed_deadline + shed_bad_graph once
+/// the server is drained (every future is always fulfilled).
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;        ///< answered kOk
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_deadline = 0;
-  std::uint64_t waves = 0;            ///< serve_batch calls that executed
+  std::uint64_t shed_bad_graph = 0;   ///< unknown graph name at submit
+  std::uint64_t waves = 0;            ///< execution waves run
   std::uint64_t batched_queries = 0;  ///< kOk queries summed over waves
   std::uint64_t widest_wave = 0;
+
+  /// Per-kind admission/completion counters, indexed by QueryKind.
+  std::array<std::uint64_t, kNumQueryKinds> submitted_by_kind{};
+  std::array<std::uint64_t, kNumQueryKinds> completed_by_kind{};
+
+  /// Executed wave widths, bucketed (see wave_hist_bucket) — the
+  /// adaptive batcher's observable decision record.
+  std::array<std::uint64_t, kWaveHistBuckets> wave_width_hist{};
+
+  /// Adaptive-window transitions: pops whose window grew / shrank
+  /// relative to the worker's previous one (0/0 when adaptive = false).
+  std::uint64_t window_grew = 0;
+  std::uint64_t window_shrank = 0;
 
   /// Mean queries per executed wave — the auto-batching payoff metric.
   [[nodiscard]] double mean_wave_width() const {
@@ -78,9 +120,15 @@ struct ServerStats {
 
 class Server {
  public:
-  /// Starts the workers immediately.  The Graph must outlive the
+  /// Multi-tenant form: serve every graph registered in `registry`
+  /// (which must outlive the Server; add/remove stay allowed while
+  /// serving).  Starts the workers immediately.
+  Server(const GraphRegistry& registry, ServerOptions opts = {});
+
+  /// Single-graph form: the embedded case.  The Graph must outlive the
   /// Server; prewarm it (gb::kBitFormats) first so no query pays the
-  /// one-time format conversions.
+  /// one-time format conversions.  Nameless submit() overloads route
+  /// here.
   Server(const gb::Graph& g, ServerOptions opts = {});
 
   /// Drains and joins (shutdown()).
@@ -89,10 +137,29 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Admit one query.  The future is always eventually fulfilled:
-  /// kOk from a worker, kShedQueueFull immediately when the queue is
-  /// at capacity, or kShedDeadline if it expires before execution.
-  /// Throws std::invalid_argument on an out-of-range source.
+  /// Admit one query against a named graph.  The future is always
+  /// eventually fulfilled: kOk from a worker, kShedQueueFull
+  /// immediately when the queue is at capacity, kShedDeadline if it
+  /// expires before execution, or kBadGraph immediately when no graph
+  /// is registered under `graph`.  Throws std::invalid_argument on an
+  /// out-of-range source for the traversal kinds (whole-graph kinds
+  /// ignore `source`).
+  std::future<Reply> submit(std::string_view graph, QueryKind kind,
+                            vidx_t source = 0);
+  std::future<Reply> submit(std::string_view graph, QueryKind kind,
+                            vidx_t source, clock::time_point deadline);
+
+  /// PageRank with explicit params (carried in the request; the
+  /// nameless form routes to the single-graph slot).
+  std::future<Reply> submit_pagerank(
+      std::string_view graph, const algo::PageRankParams& params = {},
+      clock::time_point deadline = clock::time_point::max());
+  std::future<Reply> submit_pagerank(
+      const algo::PageRankParams& params = {},
+      clock::time_point deadline = clock::time_point::max());
+
+  /// Single-graph submits (the embedded constructor's slot; on a
+  /// registry server these reply kBadGraph).
   std::future<Reply> submit(QueryKind kind, vidx_t source);
   std::future<Reply> submit(QueryKind kind, vidx_t source,
                             clock::time_point deadline);
@@ -109,9 +176,21 @@ class Server {
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
 
  private:
+  explicit Server(ServerOptions opts);  // common init; workers started after
+  void start_workers();
   void worker_main();
+  std::future<Reply> submit_resolved(GraphRef slot, QueryKind kind,
+                                     vidx_t source,
+                                     const algo::PageRankParams& params,
+                                     clock::time_point deadline);
+  [[nodiscard]] clock::time_point default_deadline_now() const;
+  /// Fulfill a request admission refused (shed/bad-graph) — the future
+  /// still resolves immediately.
+  std::future<Reply> refuse(QueryKind kind, vidx_t source, Status status,
+                            const GraphSlot* slot);
 
-  const gb::Graph& graph_;
+  const GraphRegistry* registry_ = nullptr;  ///< null in single-graph mode
+  GraphRef default_slot_;                    ///< null in registry mode
   ServerOptions opts_;
   RequestQueue queue_;
   std::vector<std::thread> workers_;
@@ -122,9 +201,15 @@ class Server {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> shed_queue_full_{0};
   std::atomic<std::uint64_t> shed_deadline_{0};
+  std::atomic<std::uint64_t> shed_bad_graph_{0};
   std::atomic<std::uint64_t> waves_{0};
   std::atomic<std::uint64_t> batched_queries_{0};
   std::atomic<std::uint64_t> widest_wave_{0};
+  std::array<std::atomic<std::uint64_t>, kNumQueryKinds> submitted_by_kind_{};
+  std::array<std::atomic<std::uint64_t>, kNumQueryKinds> completed_by_kind_{};
+  std::array<std::atomic<std::uint64_t>, kWaveHistBuckets> wave_hist_{};
+  std::atomic<std::uint64_t> window_grew_{0};
+  std::atomic<std::uint64_t> window_shrank_{0};
 };
 
 }  // namespace bitgb::serving

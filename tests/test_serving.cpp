@@ -1,13 +1,19 @@
 // Serving-core tests (ctest label "serving"; runs in the TSan lane):
-// the bounded queue's backpressure and batch-pop contract, and the
-// Server end to end — batched answers bit-identical to per-query
-// serial runs under concurrent submission, deadline-shed accounting,
-// queue-full shedding, and drain-on-shutdown.
+// the bounded queue's backpressure and batch-pop contract, the
+// GraphRegistry's snapshot semantics, and the Server end to end —
+// batched answers bit-identical to per-query serial runs under
+// concurrent submission, the kPagerank/kComponents differentials over
+// the oracle corpus (including memo invalidation across a registry
+// re-add), deadline-shed accounting, queue-full shedding, bad-graph
+// routing, adaptive-window accounting, and drain-on-shutdown.
 #include "serving/server.hpp"
 
 #include "algorithms/bfs.hpp"
+#include "algorithms/cc.hpp"
+#include "algorithms/pagerank.hpp"
 #include "serving/batcher.hpp"
 #include "serving/queue.hpp"
+#include "serving/registry.hpp"
 #include "sparse/generators.hpp"
 
 #include "test_util.hpp"
@@ -16,7 +22,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <future>
+#include <numeric>
 #include <random>
 #include <thread>
 #include <vector>
@@ -25,6 +33,7 @@ namespace bitgb {
 namespace {
 
 using namespace std::chrono_literals;
+using serving::GraphRegistry;
 using serving::QueryKind;
 using serving::Reply;
 using serving::Request;
@@ -378,6 +387,398 @@ TEST(Serving, MixedKindsUnderLoadStaySegregatedAndCorrect) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Kind/status name tables
+// ---------------------------------------------------------------------
+
+TEST(ServingNames, QueryKindNamesAreTableDrivenAndComplete) {
+  // Every enumerator prints its own name — the two-way-ternary
+  // regression this table replaced made every new kind print "reach".
+  EXPECT_STREQ("bfs", serving::query_kind_name(QueryKind::kBfs));
+  EXPECT_STREQ("reach", serving::query_kind_name(QueryKind::kReach));
+  EXPECT_STREQ("pagerank", serving::query_kind_name(QueryKind::kPagerank));
+  EXPECT_STREQ("components",
+               serving::query_kind_name(QueryKind::kComponents));
+  // Pairwise distinct.
+  for (std::size_t a = 0; a < serving::kNumQueryKinds; ++a) {
+    for (std::size_t b = a + 1; b < serving::kNumQueryKinds; ++b) {
+      EXPECT_STRNE(serving::query_kind_name(static_cast<QueryKind>(a)),
+                   serving::query_kind_name(static_cast<QueryKind>(b)));
+    }
+  }
+}
+
+TEST(ServingNames, StatusNamesAreTableDrivenAndComplete) {
+  EXPECT_STREQ("ok", serving::status_name(Status::kOk));
+  EXPECT_STREQ("shed-queue-full",
+               serving::status_name(Status::kShedQueueFull));
+  EXPECT_STREQ("shed-deadline", serving::status_name(Status::kShedDeadline));
+  EXPECT_STREQ("bad-graph", serving::status_name(Status::kBadGraph));
+}
+
+// ---------------------------------------------------------------------
+// GraphRegistry
+// ---------------------------------------------------------------------
+
+gb::Graph small_graph(std::uint64_t seed, vidx_t n = 256) {
+  gb::GraphOptions opts;
+  opts.tile_dim = 8;
+  return gb::Graph::from_coo(gen_random(n, 4 * n, seed), opts);
+}
+
+TEST(Registry, AddLookupRemoveAndGenerations) {
+  GraphRegistry reg;
+  EXPECT_EQ(nullptr, reg.lookup("a"));
+  EXPECT_EQ(0u, reg.size());
+
+  const auto a1 = reg.add("a", small_graph(1));
+  ASSERT_NE(nullptr, a1);
+  EXPECT_EQ("a", a1->name());
+  // add() prewarms before publication: the bit formats are ready.
+  EXPECT_EQ(gb::kBitFormats,
+            a1->graph().formats() & gb::kBitFormats);
+  EXPECT_EQ(a1.get(), reg.lookup("a").get());
+  EXPECT_EQ(1u, reg.size());
+
+  const auto b1 = reg.add("b", small_graph(2));
+  EXPECT_GT(b1->generation(), a1->generation());
+  EXPECT_EQ(2u, reg.size());
+  const auto names = reg.names();
+  EXPECT_NE(names.end(), std::find(names.begin(), names.end(), "a"));
+  EXPECT_NE(names.end(), std::find(names.begin(), names.end(), "b"));
+
+  // Re-add under the same name: a NEW slot with a HIGHER generation;
+  // the old snapshot stays alive for whoever still holds it.
+  const auto a2 = reg.add("a", small_graph(3));
+  EXPECT_NE(a1.get(), a2.get());
+  EXPECT_GT(a2->generation(), a1->generation());
+  EXPECT_EQ(a2.get(), reg.lookup("a").get());
+  EXPECT_EQ(256, a1->graph().num_vertices());  // snapshot still usable
+
+  EXPECT_TRUE(reg.remove("a"));
+  EXPECT_FALSE(reg.remove("a"));
+  EXPECT_EQ(nullptr, reg.lookup("a"));
+  EXPECT_EQ(1u, reg.size());
+}
+
+TEST(Registry, UnknownGraphRepliesBadGraphImmediately) {
+  GraphRegistry reg;
+  reg.add("known", small_graph(4));
+  ServerOptions opts;
+  opts.workers = 1;
+  Server server(reg, opts);
+  auto bad = server.submit("unknown", QueryKind::kBfs, 0);
+  const Reply r = bad.get();
+  EXPECT_EQ(Status::kBadGraph, r.status);
+  EXPECT_TRUE(r.levels.empty());
+  auto ok = server.submit("known", QueryKind::kBfs, 0);
+  EXPECT_EQ(Status::kOk, ok.get().status);
+  server.shutdown();
+  const auto st = server.stats();
+  EXPECT_EQ(2u, st.submitted);
+  EXPECT_EQ(1u, st.completed);
+  EXPECT_EQ(1u, st.shed_bad_graph);
+  EXPECT_EQ(st.submitted, st.completed + st.shed_queue_full +
+                              st.shed_deadline + st.shed_bad_graph);
+}
+
+TEST(Registry, NamedRoutingServesTheNamedGraph) {
+  GraphRegistry reg;
+  reg.add("g64", small_graph(5, 64));
+  reg.add("g256", small_graph(6, 256));
+  ServerOptions opts;
+  opts.workers = 2;
+  Server server(reg, opts);
+  auto f64 = server.submit("g64", QueryKind::kBfs, 0);
+  auto f256 = server.submit("g256", QueryKind::kBfs, 0);
+  const Reply r64 = f64.get();
+  const Reply r256 = f256.get();
+  ASSERT_EQ(Status::kOk, r64.status);
+  ASSERT_EQ(Status::kOk, r256.status);
+  EXPECT_EQ(64u, r64.levels.size());
+  EXPECT_EQ("g64", r64.graph);
+  EXPECT_EQ(256u, r256.levels.size());
+  EXPECT_EQ("g256", r256.graph);
+  // Source validation is per-graph: 100 is valid on g256, not on g64.
+  EXPECT_THROW((void)server.submit("g64", QueryKind::kBfs, 100),
+               std::invalid_argument);
+  EXPECT_EQ(Status::kOk,
+            server.submit("g256", QueryKind::kBfs, 100).get().status);
+}
+
+TEST(Registry, RemoveWithInFlightQueriesDrainsSafely) {
+  GraphRegistry reg;
+  reg.add("doomed", small_graph(7, 512));
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 512;
+  Server server(reg, opts);
+  std::vector<std::future<Reply>> futs;
+  for (int i = 0; i < 128; ++i) {
+    futs.push_back(server.submit("doomed", QueryKind::kBfs,
+                                 static_cast<vidx_t>(i * 3) % 512));
+  }
+  // Remove while the storm is (likely) still in flight: queued
+  // requests co-own the slot, so every future must still resolve with
+  // a full-size result from the removed graph.
+  EXPECT_TRUE(reg.remove("doomed"));
+  for (auto& f : futs) {
+    const Reply r = f.get();
+    ASSERT_EQ(Status::kOk, r.status);
+    EXPECT_EQ(512u, r.levels.size());
+    EXPECT_EQ("doomed", r.graph);
+  }
+  // After removal, new submits route nowhere.
+  EXPECT_EQ(Status::kBadGraph,
+            server.submit("doomed", QueryKind::kBfs, 0).get().status);
+}
+
+// ---------------------------------------------------------------------
+// kPagerank / kComponents differentials (oracle corpus)
+// ---------------------------------------------------------------------
+
+TEST(ServingKinds, PagerankRepliesMatchDirectCallsOverOracleCorpus) {
+  const Context serial_ctx = Context{}.with_threads(1);
+  for (const auto& [name, csr] : test::small_matrices()) {
+    GraphRegistry reg;
+    gb::GraphOptions gopts;
+    gopts.tile_dim = 8;
+    reg.add(name, gb::Graph::from_csr(csr, gopts));
+    const auto slot = reg.lookup(name);
+    ASSERT_NE(nullptr, slot);
+
+    ServerOptions opts;
+    opts.workers = 2;
+    Server server(reg, opts);
+    const algo::PageRankParams defaults{};
+    algo::PageRankParams tweaked;
+    tweaked.max_iterations = 25;
+    tweaked.alpha = 0.9f;
+    auto f_default = server.submit_pagerank(name);
+    auto f_tweaked = server.submit_pagerank(name, tweaked);
+    const Reply r_default = f_default.get();
+    const Reply r_tweaked = f_tweaked.get();
+    server.shutdown();
+
+    ASSERT_EQ(Status::kOk, r_default.status) << name;
+    ASSERT_EQ(Status::kOk, r_tweaked.status) << name;
+    // Bit-identical to the direct call on the same graph handle under
+    // the same (serial, bit-backend) descriptor the workers use.
+    const auto direct_default =
+        algo::pagerank(serial_ctx, slot->graph(), defaults);
+    const auto direct_tweaked =
+        algo::pagerank(serial_ctx, slot->graph(), tweaked);
+    EXPECT_EQ(direct_default.rank, r_default.rank) << name;
+    EXPECT_EQ(direct_default.iterations, r_default.iterations) << name;
+    EXPECT_EQ(direct_tweaked.rank, r_tweaked.rank) << name;
+    EXPECT_EQ(direct_tweaked.iterations, r_tweaked.iterations) << name;
+  }
+}
+
+TEST(ServingKinds, ComponentsRepliesMatchDirectCallsOverOracleCorpus) {
+  const Context serial_ctx = Context{}.with_threads(1);
+  for (const auto& [name, csr] : test::small_matrices()) {
+    GraphRegistry reg;
+    gb::GraphOptions gopts;
+    gopts.tile_dim = 8;
+    reg.add(name, gb::Graph::from_csr(csr, gopts));
+    const auto slot = reg.lookup(name);
+    ASSERT_NE(nullptr, slot);
+
+    ServerOptions opts;
+    opts.workers = 2;
+    Server server(reg, opts);
+    auto f1 = server.submit(name, QueryKind::kComponents);
+    auto f2 = server.submit(name, QueryKind::kComponents);  // memo hit
+    const Reply r1 = f1.get();
+    const Reply r2 = f2.get();
+    server.shutdown();
+
+    ASSERT_EQ(Status::kOk, r1.status) << name;
+    ASSERT_EQ(Status::kOk, r2.status) << name;
+    // Element-identical to FastSV and to the batched labelling (all
+    // three normalize to min-vertex-id labels).
+    const auto fastsv =
+        algo::connected_components(serial_ctx, slot->graph());
+    EXPECT_EQ(fastsv.component, r1.component) << name;
+    EXPECT_EQ(r1.component, r2.component) << name;
+    EXPECT_EQ(r1.graph_generation, r2.graph_generation) << name;
+  }
+}
+
+TEST(ServingKinds, ComponentsMemoInvalidatedByRegistryReAdd) {
+  const Context serial_ctx = Context{}.with_threads(1);
+  GraphRegistry reg;
+  gb::GraphOptions gopts;
+  gopts.tile_dim = 8;
+  // Two structurally different graphs destined for the same name.
+  reg.add("g", gb::Graph::from_coo(gen_block(96, 16, 5, 0.5, 15, true),
+                                   gopts));
+  ServerOptions opts;
+  opts.workers = 1;
+  Server server(reg, opts);
+
+  const auto first_slot = reg.lookup("g");
+  const Reply before = server.submit("g", QueryKind::kComponents).get();
+  ASSERT_EQ(Status::kOk, before.status);
+  EXPECT_EQ(algo::connected_components(serial_ctx, first_slot->graph())
+                .component,
+            before.component);
+
+  // Re-add: new slot, new generation — the memoized labelling of the
+  // old registration must NOT survive into the new one.
+  reg.add("g", gb::Graph::from_coo(gen_road(10, 7, 0.05, 17), gopts));
+  const auto second_slot = reg.lookup("g");
+  ASSERT_NE(first_slot.get(), second_slot.get());
+  const Reply after = server.submit("g", QueryKind::kComponents).get();
+  ASSERT_EQ(Status::kOk, after.status);
+  EXPECT_GT(after.graph_generation, before.graph_generation);
+  EXPECT_EQ(algo::connected_components(serial_ctx, second_slot->graph())
+                .component,
+            after.component);
+  EXPECT_NE(before.component.size(), after.component.size());
+}
+
+TEST(ServingKinds, AllFourKindsMixedUnderLoadStayCorrect) {
+  GraphRegistry reg;
+  gb::GraphOptions gopts;
+  gopts.tile_dim = 8;
+  reg.add("mix", gb::Graph::from_coo(gen_rmat(9, 2048, 7), gopts));
+  const auto slot = reg.lookup("mix");
+  const vidx_t n = slot->graph().num_vertices();
+  const Context serial_ctx = Context{}.with_threads(1);
+
+  ServerOptions opts;
+  opts.workers = 4;
+  opts.queue_capacity = 512;
+  Server server(reg, opts);
+  std::vector<std::future<Reply>> futs;
+  for (int i = 0; i < 128; ++i) {
+    const auto kind = static_cast<QueryKind>(i % serving::kNumQueryKinds);
+    if (kind == QueryKind::kPagerank) {
+      futs.push_back(server.submit_pagerank("mix"));
+    } else {
+      futs.push_back(
+          server.submit("mix", kind, static_cast<vidx_t>(i * 5) % n));
+    }
+  }
+  const auto expected_pr = algo::pagerank(serial_ctx, slot->graph());
+  const auto expected_cc =
+      algo::connected_components(serial_ctx, slot->graph());
+  for (auto& f : futs) {
+    const Reply r = f.get();
+    ASSERT_EQ(Status::kOk, r.status);
+    switch (r.kind) {
+      case QueryKind::kBfs: {
+        EXPECT_EQ(algo::bfs(serial_ctx, slot->graph(), {r.source}).levels,
+                  r.levels);
+        break;
+      }
+      case QueryKind::kReach: {
+        const auto levels =
+            algo::bfs(serial_ctx, slot->graph(), {r.source}).levels;
+        ASSERT_EQ(static_cast<std::size_t>(n), r.reached.size());
+        for (vidx_t v = 0; v < n; ++v) {
+          EXPECT_EQ(levels[static_cast<std::size_t>(v)] != algo::kUnreached,
+                    r.reached[static_cast<std::size_t>(v)] != 0);
+        }
+        break;
+      }
+      case QueryKind::kPagerank:
+        EXPECT_EQ(expected_pr.rank, r.rank);
+        break;
+      case QueryKind::kComponents:
+        EXPECT_EQ(expected_cc.component, r.component);
+        break;
+    }
+  }
+  server.shutdown();
+  const auto st = server.stats();
+  EXPECT_EQ(128u, st.submitted);
+  EXPECT_EQ(128u, st.completed);
+  // Per-kind counters partition the totals.
+  std::uint64_t by_kind_submitted = 0, by_kind_completed = 0;
+  for (std::size_t k = 0; k < serving::kNumQueryKinds; ++k) {
+    by_kind_submitted += st.submitted_by_kind[k];
+    by_kind_completed += st.completed_by_kind[k];
+    EXPECT_EQ(32u, st.submitted_by_kind[k]);
+  }
+  EXPECT_EQ(st.submitted, by_kind_submitted);
+  EXPECT_EQ(st.completed, by_kind_completed);
+  // Every executed wave landed in exactly one histogram bucket.
+  const std::uint64_t hist_total =
+      std::accumulate(st.wave_width_hist.begin(), st.wave_width_hist.end(),
+                      std::uint64_t{0});
+  EXPECT_EQ(st.waves, hist_total);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive batching through the server
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveServing, BacklogWidensWavesAndDrainNarrowsThem) {
+  const gb::Graph g = serving_graph();
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1024;
+  ASSERT_TRUE(opts.adaptive);  // the default
+  Server server(g, opts);
+  std::vector<std::future<Reply>> futs;
+  for (int i = 0; i < 512; ++i) {
+    futs.push_back(server.submit(QueryKind::kBfs,
+                                 static_cast<vidx_t>(i * 11) %
+                                     g.num_vertices()));
+  }
+  for (auto& f : futs) EXPECT_EQ(Status::kOk, f.get().status);
+  server.shutdown();
+  const auto st = server.stats();
+  // A 512-deep backlog against one worker must have widened the window
+  // well past 1 (the depth signal saturates the 64 cap within a wave
+  // or two) and recorded the growth decisions.
+  EXPECT_GT(st.widest_wave, 8u);
+  EXPECT_GT(st.window_grew, 0u);
+  EXPECT_GT(st.mean_wave_width(), 4.0);
+}
+
+TEST(AdaptiveServing, OverrideCapStillPinsTheWindow) {
+  const gb::Graph g = serving_graph();
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 512;
+  opts.max_batch = 4;  // the override: adaptive may never exceed it
+  Server server(g, opts);
+  std::vector<std::future<Reply>> futs;
+  for (int i = 0; i < 256; ++i) {
+    futs.push_back(server.submit(QueryKind::kBfs,
+                                 static_cast<vidx_t>(i * 7) %
+                                     g.num_vertices()));
+  }
+  for (auto& f : futs) EXPECT_EQ(Status::kOk, f.get().status);
+  server.shutdown();
+  EXPECT_LE(server.stats().widest_wave, 4u);
+}
+
+TEST(AdaptiveServing, StaticKnobStillAvailable) {
+  const gb::Graph g = serving_graph();
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 256;
+  opts.adaptive = false;  // the pre-adaptive static pop width
+  opts.max_batch = 1;     // the unbatched ablation
+  Server server(g, opts);
+  std::vector<std::future<Reply>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(server.submit(QueryKind::kBfs,
+                                 static_cast<vidx_t>(i) %
+                                     g.num_vertices()));
+  }
+  for (auto& f : futs) EXPECT_EQ(Status::kOk, f.get().status);
+  server.shutdown();
+  const auto st = server.stats();
+  EXPECT_EQ(1u, st.widest_wave);
+  EXPECT_EQ(0u, st.window_grew + st.window_shrank);
 }
 
 }  // namespace

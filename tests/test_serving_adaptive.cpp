@@ -1,0 +1,199 @@
+// AdaptiveBatch property tests (ctest label "serving"): the
+// depth-feedback coalescing-window policy exercised in ISOLATION — no
+// server, no threads, just the pure value and recorded arrival traces.
+//
+// The policy's contract (serving/batcher.hpp):
+//   1. the window never exceeds the cap, under any trace;
+//   2. the steady-state window is monotone in sustained queue depth;
+//   3. the window decays back to 1 when the queue drains;
+//   4. a backlog attacks fast — saturation reaches the cap within a
+//      handful of waves (this is what protects the batched-vs-unbatched
+//      saturation throughput ratio end to end);
+//   5. bursty on/off arrivals do not collapse the window between
+//      bursts faster than the decay constant allows.
+//
+// Traces are replayed through a tiny discrete wave-loop simulator:
+// each step draws arrivals, serves min(queue, window) as one wave, and
+// feeds the policy the depth it left behind plus the width it ran —
+// exactly the observation Server::worker_main records.
+#include "serving/batcher.hpp"
+
+#include "core/frontier_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace bitgb {
+namespace {
+
+using serving::AdaptiveBatch;
+
+/// One simulated serving wave against a queue of `depth` outstanding
+/// queries: pop up to the policy's window, then report the leftover
+/// depth and the executed width back to the policy (the same feedback
+/// Server::worker_main provides).
+int step(AdaptiveBatch& adapt, std::size_t& depth) {
+  const auto width = static_cast<std::size_t>(
+      std::min<std::size_t>(depth, static_cast<std::size_t>(adapt.window())));
+  depth -= width;
+  return adapt.update(depth, static_cast<int>(width));
+}
+
+/// Replay an arrival trace (queries arriving before each wave) and
+/// return the window after every wave.
+std::vector<int> replay(AdaptiveBatch& adapt,
+                        const std::vector<int>& arrivals) {
+  std::vector<int> windows;
+  windows.reserve(arrivals.size());
+  std::size_t depth = 0;
+  for (const int a : arrivals) {
+    depth += static_cast<std::size_t>(a);
+    windows.push_back(step(adapt, depth));
+  }
+  return windows;
+}
+
+std::vector<int> poisson_trace(double mean, std::size_t waves,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::poisson_distribution<int> arrivals(mean);
+  std::vector<int> trace(waves);
+  for (auto& a : trace) a = arrivals(rng);
+  return trace;
+}
+
+TEST(AdaptiveBatch, WindowNeverExceedsCapOnAnyTrace) {
+  for (const int cap : {1, 3, 4, 16, 64}) {
+    for (const double mean : {0.5, 4.0, 32.0, 128.0}) {
+      for (const std::uint64_t seed : {11u, 12u, 13u}) {
+        AdaptiveBatch adapt(cap);
+        for (const int w : replay(adapt, poisson_trace(mean, 400, seed))) {
+          ASSERT_GE(w, 1);
+          ASSERT_LE(w, cap) << "cap=" << cap << " mean=" << mean;
+        }
+      }
+    }
+  }
+}
+
+TEST(AdaptiveBatch, CapIsClampedToTheEngineBatchWidth) {
+  EXPECT_EQ(FrontierBatch::kMaxBatch, AdaptiveBatch(10'000).cap());
+  EXPECT_EQ(1, AdaptiveBatch(0).cap());
+  EXPECT_EQ(1, AdaptiveBatch(-5).cap());
+  EXPECT_EQ(FrontierBatch::kMaxBatch, AdaptiveBatch().cap());
+}
+
+TEST(AdaptiveBatch, SteadyWindowIsMonotoneInSustainedQueueDepth) {
+  // Hold each depth constant (refill whatever a wave served) long
+  // enough to converge, and compare the settled windows.
+  int previous = 0;
+  for (const std::size_t depth : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
+    AdaptiveBatch adapt;
+    int window = adapt.window();
+    for (int i = 0; i < 64; ++i) window = adapt.update(depth, window);
+    EXPECT_GE(window, previous) << "depth=" << depth;
+    previous = window;
+  }
+  // The extremes pin down the range: empty queue -> 1, deep queue -> cap.
+  AdaptiveBatch idle;
+  int w = idle.window();
+  for (int i = 0; i < 16; ++i) w = idle.update(0, w);
+  EXPECT_EQ(1, w);
+  AdaptiveBatch deep;
+  w = deep.window();
+  for (int i = 0; i < 16; ++i) w = deep.update(256, w);
+  EXPECT_EQ(FrontierBatch::kMaxBatch, w);
+}
+
+TEST(AdaptiveBatch, BacklogAttacksToTheCapWithinAFewWaves) {
+  // A saturated queue must widen the window to the full 64-way
+  // amortization almost immediately — this bound is what keeps the
+  // end-to-end batched/unbatched saturation ratio intact when the
+  // server starts cold.
+  AdaptiveBatch adapt;
+  int window = adapt.window();
+  int waves = 0;
+  while (window < adapt.cap()) {
+    window = adapt.update(512, window);
+    ASSERT_LE(++waves, 8) << "attack too slow: window=" << window;
+  }
+  EXPECT_LE(waves, 4);
+}
+
+TEST(AdaptiveBatch, DecaysToOneWhenTheQueueDrains) {
+  AdaptiveBatch adapt;
+  int window = adapt.window();
+  for (int i = 0; i < 8; ++i) window = adapt.update(512, window);
+  ASSERT_EQ(adapt.cap(), window);
+  // Drain: depth 0, width 1 (the single-query pops an idle worker
+  // runs).  The window must come back down to 1 — and smoothly, never
+  // rising along the way.
+  int waves = 0;
+  while (window > 1) {
+    const int next = adapt.update(0, 1);
+    ASSERT_LE(next, window) << "decay must be monotone";
+    window = next;
+    ASSERT_LE(++waves, 64) << "decay too slow";
+  }
+  EXPECT_EQ(1, adapt.window());
+}
+
+TEST(AdaptiveBatch, PoissonLoadSweepTracksOfferedLoad) {
+  // Poisson arrivals at 0.5x / 1x / 2x of a reference 8-query-per-wave
+  // rate.  Because each wave serves up to the window, the settled
+  // window is the arrival rate the worker must coalesce per wave — the
+  // policy's whole point is that it tracks offered load: settled means
+  // must be ordered by load and sit near it (within a 2x band), not
+  // stuck at 1 or pinned at the cap.
+  const std::size_t kWaves = 600, kWarmup = 100;
+  double mean_window[3] = {0, 0, 0};
+  const double loads[3] = {4.0, 8.0, 16.0};
+  for (int i = 0; i < 3; ++i) {
+    AdaptiveBatch adapt;
+    const auto windows =
+        replay(adapt, poisson_trace(loads[i], kWaves,
+                                    0xadaBa7c4u + static_cast<unsigned>(i)));
+    for (std::size_t t = kWarmup; t < kWaves; ++t) {
+      mean_window[i] += windows[t];
+    }
+    mean_window[i] /= static_cast<double>(kWaves - kWarmup);
+  }
+  EXPECT_LT(mean_window[0], mean_window[1]);
+  EXPECT_LT(mean_window[1], mean_window[2]);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(mean_window[i], loads[i] / 2) << "load=" << loads[i];
+    EXPECT_LT(mean_window[i], loads[i] * 2) << "load=" << loads[i];
+  }
+}
+
+TEST(AdaptiveBatch, BurstyOnOffTraceHoldsTheWindowThroughGaps) {
+  // On/off arrivals: 32 queries per wave for 20 waves, then silence for
+  // 5, repeated.  The slow decay constant must keep the window well
+  // above 1 across the short gaps (no batching-collapse between
+  // bursts), while a LONG silence still releases it back to 1.
+  AdaptiveBatch adapt;
+  std::vector<int> trace;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    trace.insert(trace.end(), 20, 32);
+    trace.insert(trace.end(), 5, 0);
+  }
+  const auto windows = replay(adapt, trace);
+  // Sample the window at the end of each silent gap (just before the
+  // next burst): it must not have collapsed.
+  for (int cycle = 1; cycle < 10; ++cycle) {
+    const std::size_t gap_end = static_cast<std::size_t>(cycle) * 25 - 1;
+    EXPECT_GT(windows[gap_end], 4)
+        << "window collapsed during gap " << cycle;
+  }
+  // A long drain after the final burst does release it.
+  int window = adapt.window();
+  for (int i = 0; i < 64; ++i) window = adapt.update(0, 1);
+  EXPECT_EQ(1, window);
+}
+
+}  // namespace
+}  // namespace bitgb

@@ -1,0 +1,244 @@
+// Serving chaos suite (ctest label "serving-stress"; runs in the ASan
+// and TSan lanes): randomized fault injection against the full
+// multi-tenant serving stack.
+//
+// Each seed runs one storm: submitter threads fire random kinds with
+// random deadlines (some already expired at submit) at three registered
+// graphs — plus a name that was never registered — while a chaos thread
+// removes and re-registers graphs mid-storm and, on half the seeds,
+// calls shutdown() while submitters are still firing.  The invariants
+// that must hold under EVERY seed are the serving core's contract:
+//
+//   * every future is fulfilled — no reply is ever dropped, no matter
+//     how the storm interleaves with remove()/shutdown();
+//   * conservation: submitted == completed + shed_queue_full +
+//     shed_deadline + shed_bad_graph, exactly, per the server's own
+//     counters and per the replies the callers actually observed;
+//   * no reply leaks a dangling graph: a kOk payload always has the
+//     full vertex count of the graph its request targeted, readable
+//     after the registry dropped that registration (shared slot
+//     ownership — ASan is the judge of "readable");
+//   * per-kind counters partition the totals and the wave-width
+//     histogram accounts for every executed wave.
+#include "serving/server.hpp"
+
+#include "serving/registry.hpp"
+#include "sparse/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <numeric>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bitgb {
+namespace {
+
+using namespace std::chrono_literals;
+using serving::GraphRegistry;
+using serving::QueryKind;
+using serving::Reply;
+using serving::Server;
+using serving::ServerOptions;
+using serving::Status;
+
+struct TenantSpec {
+  const char* name;
+  vidx_t n;
+};
+
+/// Three tenants with distinct vertex counts, so a payload sized for
+/// the wrong graph is unmistakable.  Re-adds keep each name's size
+/// fixed (fresh edges, same n) — the size IS the per-name oracle.
+constexpr TenantSpec kTenants[] = {
+    {"small", 128}, {"medium", 256}, {"large", 384}};
+constexpr int kNumTenants = 3;
+
+gb::Graph tenant_graph(vidx_t n, std::uint64_t seed) {
+  gb::GraphOptions opts;
+  opts.tile_dim = 8;
+  return gb::Graph::from_coo(gen_random(n, 4 * n, seed), opts);
+}
+
+/// One submitted query and what its reply must look like if it is kOk.
+struct Pending {
+  std::future<Reply> fut;
+  QueryKind kind = QueryKind::kBfs;
+  int tenant = -1;  ///< index into kTenants, or -1 for the ghost name
+};
+
+void run_storm(std::uint64_t seed) {
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 120;
+
+  GraphRegistry reg;
+  for (const auto& t : kTenants) {
+    reg.add(t.name, tenant_graph(t.n, seed ^ static_cast<std::uint64_t>(t.n)));
+  }
+
+  ServerOptions opts;
+  opts.workers = 3;
+  opts.queue_capacity = 48;  // small on purpose: force queue-full sheds
+  Server server(reg, opts);
+
+  std::vector<std::vector<Pending>> submitted(kSubmitters);
+  std::atomic<bool> storm_done{false};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      std::mt19937_64 rng(seed * 7919 + static_cast<std::uint64_t>(s));
+      auto& mine = submitted[static_cast<std::size_t>(s)];
+      mine.reserve(kPerSubmitter);
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        Pending p;
+        p.kind = static_cast<QueryKind>(rng() % serving::kNumQueryKinds);
+        // 1-in-12 submits target a name that was never registered.
+        p.tenant = rng() % 12 == 0 ? -1 : static_cast<int>(rng() % kNumTenants);
+        const char* name = p.tenant < 0 ? "ghost" : kTenants[p.tenant].name;
+        const vidx_t source =
+            p.tenant < 0 ? 0
+                         : static_cast<vidx_t>(
+                               rng() % static_cast<std::uint64_t>(
+                                           kTenants[p.tenant].n));
+        // Deadlines: mostly none, 1-in-10 already expired at submit,
+        // 1-in-10 tight enough to be a coin flip under load.
+        auto deadline = serving::clock::time_point::max();
+        const auto dice = rng() % 10;
+        if (dice == 0) {
+          deadline = serving::clock::now() - 1ms;
+        } else if (dice == 1) {
+          deadline = serving::clock::now() + 500us;
+        }
+        p.fut = p.kind == QueryKind::kPagerank
+                    ? server.submit_pagerank(name, {}, deadline)
+                    : server.submit(name, p.kind, source, deadline);
+        mine.push_back(std::move(p));
+        if (rng() % 4 == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  // The chaos thread: remove and re-register random tenants while the
+  // storm runs; on even seeds, also shut the server down mid-storm
+  // (submits after close shed at the door — their futures must still
+  // resolve).
+  std::thread chaos([&] {
+    std::mt19937_64 rng(seed ^ 0xc4a05u);
+    const bool early_shutdown = seed % 2 == 0;
+    const int shutdown_after = 3 + static_cast<int>(rng() % 8);
+    int iteration = 0;
+    while (!storm_done.load(std::memory_order_relaxed)) {
+      const auto& t = kTenants[rng() % kNumTenants];
+      reg.remove(t.name);
+      std::this_thread::yield();
+      reg.add(t.name, tenant_graph(t.n, rng()));
+      if (early_shutdown && ++iteration == shutdown_after) {
+        server.shutdown();
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng() % 300));
+    }
+  });
+
+  for (auto& s : submitters) s.join();
+  storm_done.store(true, std::memory_order_relaxed);
+  chaos.join();
+  server.shutdown();  // idempotent with any early shutdown
+
+  // Every future must resolve (a hang here trips the ctest timeout),
+  // and the callers' view must reconcile exactly with the server's.
+  std::uint64_t ok = 0, shed_full = 0, shed_deadline = 0, bad_graph = 0;
+  for (auto& lane : submitted) {
+    for (auto& p : lane) {
+      const Reply r = p.fut.get();
+      switch (r.status) {
+        case Status::kOk: {
+          ++ok;
+          ASSERT_GE(p.tenant, 0) << "ghost name answered kOk";
+          const auto n =
+              static_cast<std::size_t>(kTenants[p.tenant].n);
+          EXPECT_EQ(kTenants[p.tenant].name, r.graph);
+          // The payload must be full-size for the graph the request
+          // targeted — and fully readable even though the registry may
+          // have dropped that registration long ago.
+          switch (p.kind) {
+            case QueryKind::kBfs:
+              ASSERT_EQ(n, r.levels.size());
+              EXPECT_GE(r.levels[n - 1], -1);
+              break;
+            case QueryKind::kReach:
+              ASSERT_EQ(n, r.reached.size());
+              EXPECT_LE(static_cast<int>(r.reached[n - 1]), 1);
+              break;
+            case QueryKind::kPagerank: {
+              ASSERT_EQ(n, r.rank.size());
+              const double mass = std::accumulate(
+                  r.rank.begin(), r.rank.end(), 0.0);
+              EXPECT_GT(mass, 0.0);
+              break;
+            }
+            case QueryKind::kComponents:
+              ASSERT_EQ(n, r.component.size());
+              EXPECT_GE(r.component[n - 1], 0);
+              break;
+          }
+          break;
+        }
+        case Status::kShedQueueFull:
+          ++shed_full;
+          break;
+        case Status::kShedDeadline:
+          ++shed_deadline;
+          break;
+        case Status::kBadGraph:
+          ++bad_graph;
+          break;
+      }
+    }
+  }
+
+  const auto st = server.stats();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kSubmitters) * kPerSubmitter;
+  EXPECT_EQ(total, st.submitted);
+  EXPECT_EQ(ok, st.completed);
+  EXPECT_EQ(shed_full, st.shed_queue_full);
+  EXPECT_EQ(shed_deadline, st.shed_deadline);
+  EXPECT_EQ(bad_graph, st.shed_bad_graph);
+  EXPECT_EQ(st.submitted, st.completed + st.shed_queue_full +
+                              st.shed_deadline + st.shed_bad_graph);
+
+  std::uint64_t by_kind_submitted = 0, by_kind_completed = 0;
+  for (std::size_t k = 0; k < serving::kNumQueryKinds; ++k) {
+    by_kind_submitted += st.submitted_by_kind[k];
+    by_kind_completed += st.completed_by_kind[k];
+  }
+  EXPECT_EQ(st.submitted, by_kind_submitted);
+  EXPECT_EQ(st.completed, by_kind_completed);
+  const std::uint64_t hist_total =
+      std::accumulate(st.wave_width_hist.begin(), st.wave_width_hist.end(),
+                      std::uint64_t{0});
+  EXPECT_EQ(st.waves, hist_total);
+}
+
+class ServingChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServingChaos, InvariantsHoldUnderRandomizedStorm) {
+  run_storm(GetParam());
+}
+
+// Six distinct seeds: three with mid-storm shutdown (even), three that
+// drain normally (odd).  Add a failing seed here to pin a regression.
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingChaos,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace bitgb
