@@ -28,10 +28,20 @@
 //     QueryKinds: per-kind completion counts plus the executed
 //     wave-width histogram, the adaptive batcher's decision record.
 //
+//   cancellation-overhead — the batched saturation burst run with no
+//     deadlines (no CancelToken armed: zero polling) vs with a
+//     far-future default deadline (every wave arms a token, polled at
+//     every level boundary).  The pair guards the hot path: the
+//     cooperative-cancellation poll must stay in the noise.
+//
 // Before any measurement, every batched answer is verified
 // bit-identical against a serial algo::bfs pass; a mismatch fails the
-// run (exit 1).  Results go to BENCH_serving.json (schema
-// bitgb-serving-bench-v2, see BUILDING.md).
+// run (exit 1).  The batched/unbatched saturation speedup is asserted
+// against the >= 2.9x floor (the PR-2 payoff this trajectory must not
+// regress); BITGB_BENCH_NO_PERF_GATE=1 downgrades the gate to a
+// warning for runs on contended machines (the ctest smoke lane sets
+// it — timing under `ctest -j` is not meaningful).  Results go to
+// BENCH_serving.json (schema bitgb-serving-bench-v3, see BUILDING.md).
 #include "algorithms/bfs.hpp"
 #include "benchlib/reporting.hpp"
 #include "graphblas/graph.hpp"
@@ -44,6 +54,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <random>
 #include <string>
@@ -71,21 +82,31 @@ std::vector<vidx_t> random_sources(int count, vidx_t n, std::uint64_t seed) {
   return sources;
 }
 
-ServerOptions server_options(int max_batch, std::size_t queue_capacity) {
+ServerOptions server_options(int max_batch, std::size_t queue_capacity,
+                             std::chrono::milliseconds default_deadline =
+                                 std::chrono::milliseconds{0}) {
   ServerOptions opts;
   opts.workers = std::min(8, hardware_width());
   opts.queue_capacity = queue_capacity;
   opts.max_batch = max_batch;
+  opts.default_deadline = default_deadline;
   return opts;
 }
 
 /// Closed-loop burst: submit everything, then drain.  QPS over the
 /// whole burst; every reply must be kOk (capacity covers the burst).
+/// A non-zero `default_deadline` arms a CancelToken on every wave (the
+/// cancellation-overhead cell passes a far-future one so the deadline
+/// never fires but the per-level poll runs).
 bench::ServingSaturation run_saturation(const gb::Graph& g,
                                         const std::vector<vidx_t>& sources,
-                                        int max_batch, const char* mode) {
-  Server server(g, server_options(
-                       max_batch, static_cast<std::size_t>(sources.size())));
+                                        int max_batch, const char* mode,
+                                        std::chrono::milliseconds
+                                            default_deadline =
+                                                std::chrono::milliseconds{0}) {
+  Server server(g, server_options(max_batch,
+                                  static_cast<std::size_t>(sources.size()),
+                                  default_deadline));
   std::vector<std::future<Reply>> futs;
   futs.reserve(sources.size());
   Stopwatch watch;
@@ -309,17 +330,59 @@ int main() {
   (void)run_saturation(g, random_sources(128, g.num_vertices(), 5), 1, "warm");
   (void)run_saturation(g, random_sources(128, g.num_vertices(), 6),
                        FrontierBatch::kMaxBatch, "warm");
-  const auto unbatched = run_saturation(g, burst, 1, "unbatched");
-  const auto batched =
-      run_saturation(g, burst, FrontierBatch::kMaxBatch, "batched");
-  const double speedup =
-      unbatched.qps > 0.0 ? batched.qps / unbatched.qps : 0.0;
+  // The speedup is a regression gate (>= kSpeedupFloor); one noisy
+  // neighbour can sink a single run, so measure up to kGateAttempts
+  // times and keep the best pair.  BITGB_BENCH_NO_PERF_GATE=1 (the
+  // ctest smoke lane) takes the first measurement and only warns.
+  constexpr double kSpeedupFloor = 2.9;
+  constexpr int kGateAttempts = 3;
+  const bool gate_enabled = std::getenv("BITGB_BENCH_NO_PERF_GATE") == nullptr;
+  bench::ServingSaturation unbatched, batched;
+  double speedup = 0.0;
+  for (int attempt = 0; attempt < kGateAttempts; ++attempt) {
+    const auto un = run_saturation(g, burst, 1, "unbatched");
+    const auto ba = run_saturation(g, burst, FrontierBatch::kMaxBatch,
+                                   "batched");
+    const double s = un.qps > 0.0 ? ba.qps / un.qps : 0.0;
+    if (s > speedup) {
+      unbatched = un;
+      batched = ba;
+      speedup = s;
+    }
+    if (!gate_enabled || speedup >= kSpeedupFloor) break;
+  }
   std::printf("saturation (%d-query closed-loop burst):\n",
               kSaturationQueries);
   std::printf("  %-10s %10.0f q/s   mean wave %5.1f\n", "unbatched",
               unbatched.qps, unbatched.mean_wave);
   std::printf("  %-10s %10.0f q/s   mean wave %5.1f   %.1fx\n", "batched",
               batched.qps, batched.mean_wave, speedup);
+  if (speedup < kSpeedupFloor) {
+    std::fprintf(stderr,
+                 "%s: batched/unbatched speedup %.2fx below the %.1fx floor\n",
+                 gate_enabled ? "FAIL" : "warning (gate disabled)", speedup,
+                 kSpeedupFloor);
+    if (gate_enabled) return 1;
+  }
+
+  // --- Cancellation overhead -----------------------------------------
+  // Same batched burst, polling off (no deadline => no token armed)
+  // vs polling on (a far-future default deadline arms a token on every
+  // wave; bfs/msbfs poll it at every level boundary but it never
+  // fires).  The delta is the pure cost of the cooperative poll.
+  const auto cancel_off = run_saturation(g, burst, FrontierBatch::kMaxBatch,
+                                         "polling-off");
+  const auto cancel_on =
+      run_saturation(g, burst, FrontierBatch::kMaxBatch, "polling-on",
+                     std::chrono::milliseconds{3600 * 1000});
+  bench::ServingCancellation cancellation;
+  cancellation.polling_off_qps = cancel_off.qps;
+  cancellation.polling_on_qps = cancel_on.qps;
+  std::printf("\ncancellation overhead (batched burst, deadline token "
+              "armed vs not):\n");
+  std::printf("  %-12s %10.0f q/s\n", "polling off", cancel_off.qps);
+  std::printf("  %-12s %10.0f q/s   overhead %+.1f%%\n", "polling on",
+              cancel_on.qps, cancellation.overhead_pct());
 
   // --- Open-loop latency profile -------------------------------------
   // Rates bracket the unbatched capacity: comfortably under, at, and
@@ -362,7 +425,8 @@ int main() {
   bench::write_serving_bench_json("BENCH_serving.json", graph_name,
                                   g.num_vertices(), g.num_edges(), workers,
                                   verified, {unbatched, batched}, speedup,
-                                  points, {multi_graph, mixed_kinds});
+                                  kSpeedupFloor, points,
+                                  {multi_graph, mixed_kinds}, cancellation);
   std::printf("\nwrote BENCH_serving.json (batched/unbatched saturation "
               "speedup: %.2fx)\n", speedup);
   return 0;

@@ -12,12 +12,17 @@ void batched_cc(const Context& ctx, const gb::Graph& g,
   constexpr vidx_t kUnassigned = std::numeric_limits<vidx_t>::max();
   const vidx_t n = g.num_vertices();
 
+  ctx.check_alloc();  // fault-injection hook at the sizing prologue
   res.component.assign(static_cast<std::size_t>(n), kUnassigned);
   res.waves = 0;
 
   auto& seeds = ws.slot<std::vector<vidx_t>>("bcc.seeds");
   vidx_t cursor = 0;  // every vertex below it is assigned or seeded
   while (cursor < n) {
+    // Wave boundary: cancellation leaves a valid prefix — every vertex
+    // labelled so far keeps its final component id, the rest stay
+    // unassigned (the inner msbfs loop also polls per level).
+    if (ctx.cancelled()) return;
     seeds.clear();
     while (cursor < n &&
            seeds.size() < static_cast<std::size_t>(FrontierBatch::kMaxBatch)) {
@@ -32,6 +37,10 @@ void batched_cc(const Context& ctx, const gb::Graph& g,
     // with this workspace's scratch; the returned reference stays valid
     // until the next wave reuses it, which is after the labelling loop.
     const FrontierBatch& reach = batched_reach(ctx, g, seeds, ws);
+    // A token that fired inside the reach leaves it incomplete — the
+    // lowest-set-lane rule below would then assign non-final labels, so
+    // discard the wave and return the prefix of fully labelled waves.
+    if (ctx.cancelled()) return;
     ++res.waves;
     for (vidx_t v = 0; v < n; ++v) {
       const FrontierBatch::word_t w = reach.rows[static_cast<std::size_t>(v)];

@@ -15,6 +15,7 @@ void bfs_bit(const Context& ctx, const gb::Graph& g, vidx_t source,
   const auto& at = g.packed_t().as<Dim>();
   const vidx_t n = g.num_vertices();
 
+  ctx.check_alloc();  // fault-injection hook at the sizing prologue
   res.levels.assign(static_cast<std::size_t>(n), kUnreached);
   res.levels[static_cast<std::size_t>(source)] = 0;
   res.iterations = 0;
@@ -37,6 +38,11 @@ void bfs_bit(const Context& ctx, const gb::Graph& g, vidx_t source,
 
   std::int32_t level = 0;
   while (frontier_count > 0) {
+    // Level boundary: the fault hook may throw, the cancellation poll
+    // returns early with the levels scattered so far (a valid prefix —
+    // res.iterations reflects completed levels only).
+    ctx.check_kernel();
+    if (ctx.cancelled()) return;
     ++level;
     // Direction optimization, as in GraphBLAST: push (frontier-
     // proportional, active-list) while the frontier is sparse, pull
@@ -86,6 +92,7 @@ void bfs_ref(const Context& ctx, const gb::Graph& g, vidx_t source,
   const Csr& at = g.adjacency_t();
   const vidx_t n = g.num_vertices();
 
+  ctx.check_alloc();  // fault-injection hook at the sizing prologue
   res.levels.assign(static_cast<std::size_t>(n), kUnreached);
   res.levels[static_cast<std::size_t>(source)] = 0;
   res.iterations = 0;
@@ -102,6 +109,8 @@ void bfs_ref(const Context& ctx, const gb::Graph& g, vidx_t source,
   auto& next_dense = ws.slot<std::vector<std::uint8_t>>("bfs.ref.next_dense");
   auto& next = ws.slot<std::vector<vidx_t>>("bfs.ref.next");
   while (!frontier.empty()) {
+    ctx.check_kernel();
+    if (ctx.cancelled()) return;
     ++level;
     next.clear();
     if (static_cast<vidx_t>(frontier.size()) <

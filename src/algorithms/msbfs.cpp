@@ -27,6 +27,7 @@ void run_msbfs(const Context& ctx, const gb::Graph& g,
                const std::vector<vidx_t>& sources, Workspace& ws,
                MsBfsResult& res, FrontierBatch& visited) {
   const vidx_t n = g.num_vertices();
+  ctx.check_alloc();  // fault-injection hook at the sizing prologue
   auto& frontier = ws.slot<FrontierBatch>("msbfs.frontier");
   frontier.assign_sources(n, sources);  // in-place: reuses the row buffer
   const int batch = frontier.batch;
@@ -62,6 +63,12 @@ void run_msbfs(const Context& ctx, const gb::Graph& g,
 
   std::int32_t level = 0;
   while (!frontier_rows.empty()) {
+    // Level boundary: fault hook, then the cooperative-cancellation
+    // poll — an expired wave stops here with the levels (and the
+    // visited/reach matrix) it has scattered so far; res.iterations
+    // counts completed levels only.
+    ctx.check_kernel();
+    if (ctx.cancelled()) return;
     ++level;
     touched.clear();
     // One batched expansion per level: every live frontier advances one

@@ -23,11 +23,13 @@ double combine_iteration(const std::vector<value_t>& y, value_t alpha,
 }
 
 template <typename MxvFn>
-void pagerank_loop(const gb::Graph& g, const PageRankParams& opts,
-                   Workspace& ws, PageRankResult& res, MxvFn&& mxv) {
+void pagerank_loop(const Context& ctx, const gb::Graph& g,
+                   const PageRankParams& opts, Workspace& ws,
+                   PageRankResult& res, MxvFn&& mxv) {
   const vidx_t n = g.num_vertices();
   const auto& deg = g.degrees();
 
+  ctx.check_alloc();  // fault-injection hook at the sizing prologue
   const value_t init = 1.0f / static_cast<value_t>(n);
   res.rank.assign(static_cast<std::size_t>(n), init);
   res.iterations = 0;
@@ -37,6 +39,13 @@ void pagerank_loop(const gb::Graph& g, const PageRankParams& opts,
   auto& y = ws.slot<std::vector<value_t>>("pr.y");
   scaled.assign(static_cast<std::size_t>(n), 0.0f);
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // Iteration boundary: the fault hook may throw; a fired cancel
+    // token stops the power iteration with res.rank holding the last
+    // completed iterate and res.iterations counting it — the "expired
+    // query stops burning its budget" contract the serving batcher
+    // relies on.
+    ctx.check_kernel();
+    if (ctx.cancelled()) return;
     // Pre-scale by out-degree (the v_out_degree divide) and collect the
     // dangling mass.  The sum runs in double: accumulating n float
     // terms of magnitude ~1/n in a float loses the tail once the
@@ -70,7 +79,7 @@ void pagerank(const Context& ctx, const gb::Graph& g,
     // nonzero (the column-stochastic matrix's values); the faithful
     // baseline pays that traffic.
     const Csr& at = g.unit_adjacency_t();
-    pagerank_loop(g, params, ws, out,
+    pagerank_loop(ctx, g, params, ws, out,
                   [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
                     gb::ref_mxv_weighted<PlusTimesOp>(ctx, at, x, y);
                   });
@@ -78,7 +87,7 @@ void pagerank(const Context& ctx, const gb::Graph& g,
   }
   dispatch_tile_dim(g.tile_dim(), [&]<int Dim>() {
     const auto& at = g.packed_t().as<Dim>();
-    pagerank_loop(g, params, ws, out,
+    pagerank_loop(ctx, g, params, ws, out,
                   [&](const std::vector<value_t>& x, std::vector<value_t>& y) {
                     gb::bit_mxv<Dim, PlusTimesOp>(ctx, at, x, y);
                   });

@@ -226,13 +226,14 @@ void write_serving_bench_json(const std::string& path,
                               const std::string& graph_name, vidx_t vertices,
                               eidx_t edges, int workers, bool verified,
                               const std::vector<ServingSaturation>& saturation,
-                              double batched_speedup,
+                              double batched_speedup, double speedup_floor,
                               const std::vector<ServingRatePoint>& rates,
-                              const std::vector<ServingScenario>& scenarios) {
+                              const std::vector<ServingScenario>& scenarios,
+                              const ServingCancellation& cancellation) {
   std::ofstream f(path);
   if (!f) return;  // best-effort, like write_sweep_csv
   f << "{\n";
-  f << "  \"schema\": \"bitgb-serving-bench-v2\",\n";
+  f << "  \"schema\": \"bitgb-serving-bench-v3\",\n";
   f << "  \"graph\": {\"name\": \"" << graph_name
     << "\", \"vertices\": " << vertices << ", \"edges\": " << edges << "},\n";
   f << "  \"workers\": " << workers << ",\n";
@@ -247,6 +248,11 @@ void write_serving_bench_json(const std::string& path,
   }
   f << "  ],\n";
   f << "  \"saturation_batched_speedup\": " << batched_speedup << ",\n";
+  f << "  \"saturation_speedup_floor\": " << speedup_floor << ",\n";
+  f << "  \"cancellation_overhead\": {\"polling_off_qps\": "
+    << cancellation.polling_off_qps
+    << ", \"polling_on_qps\": " << cancellation.polling_on_qps
+    << ", \"overhead_pct\": " << cancellation.overhead_pct() << "},\n";
   f << "  \"open_loop\": [\n";
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const auto& r = rates[i];

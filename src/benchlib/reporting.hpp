@@ -122,10 +122,13 @@ void print_kernel_bench(std::ostream& os,
 // unbatched QPS over the same request stream — the 64-way amortization
 // headline), the open-loop latency profile (p50/p99/p999 against
 // Poisson arrivals at several rates, with admission-control shed
-// counts), and the multi-tenant scenarios (a storm across a 3-graph
+// counts), the multi-tenant scenarios (a storm across a 3-graph
 // registry, and a mixed stream of all four query kinds, each with
-// per-kind counts and the executed wave-width histogram).  Schema
-// "bitgb-serving-bench-v2", documented in BUILDING.md.
+// per-kind counts and the executed wave-width histogram), and the
+// cancellation-overhead cell (the batched saturation burst with the
+// per-wave deadline token armed vs unarmed — the guard that keeps the
+// cooperative-cancellation poll off the hot path's critical cost).
+// Schema "bitgb-serving-bench-v3", documented in BUILDING.md.
 
 /// Tail-aware percentile with linear interpolation between order
 /// statistics; `p` in [0, 100].  Returns 0 for empty input.
@@ -170,8 +173,24 @@ struct ServingScenario {
   std::vector<std::uint64_t> wave_width_hist;
 };
 
-/// Write the v2 JSON document.  `batched_speedup` is the saturation
-/// headline (batched QPS / unbatched QPS); `verified` records that the
+/// The cancellation-overhead cell (v3): the batched saturation burst
+/// run twice — once with no deadlines (no CancelToken armed, zero
+/// polling) and once with a far-future default deadline (every wave
+/// arms a token and polls it at every level boundary).  The polling
+/// cost must stay in the noise; overhead_pct is the trajectory metric.
+struct ServingCancellation {
+  double polling_off_qps = 0.0;
+  double polling_on_qps = 0.0;
+  [[nodiscard]] double overhead_pct() const {
+    return polling_off_qps > 0.0
+               ? 100.0 * (polling_off_qps - polling_on_qps) / polling_off_qps
+               : 0.0;
+  }
+};
+
+/// Write the v3 JSON document.  `batched_speedup` is the saturation
+/// headline (batched QPS / unbatched QPS) and `speedup_floor` the
+/// regression gate it is asserted against; `verified` records that the
 /// served answers were checked bit-identical against a serial pass;
 /// `scenarios` holds the multi-tenant cells (empty is valid — the
 /// array is still emitted, so consumers can rely on the key).
@@ -179,8 +198,9 @@ void write_serving_bench_json(const std::string& path,
                               const std::string& graph_name, vidx_t vertices,
                               eidx_t edges, int workers, bool verified,
                               const std::vector<ServingSaturation>& saturation,
-                              double batched_speedup,
+                              double batched_speedup, double speedup_floor,
                               const std::vector<ServingRatePoint>& rates,
-                              const std::vector<ServingScenario>& scenarios);
+                              const std::vector<ServingScenario>& scenarios,
+                              const ServingCancellation& cancellation);
 
 }  // namespace bitgb::bench

@@ -1,0 +1,62 @@
+// CancelToken — cooperative cancellation for long-running algorithms.
+//
+// A token is armed with a deadline, a flag, or both; algorithms poll
+// `cancelled()` at level/iteration boundaries (one poll per frontier
+// sweep or PageRank iteration — never inside a kernel, so a kernel
+// sweep remains the cancellation latency bound).  On observing a fired
+// token an algorithm RETURNS EARLY with a valid prefix of its result
+// (levels scattered so far, iterations completed so far) instead of
+// throwing: cancellation is an expected outcome, not a failure, and the
+// caller — who armed the token — decides what the partial result means
+// (the serving batcher turns it into Status::kShedDeadline).
+//
+// The token is owned by the caller and threaded through Context (and
+// from there into Exec); a null token pointer means "never cancelled"
+// and costs one branch per poll.  `cancelled()` is safe to call from
+// any thread: the flag is an atomic, and the deadline comparison reads
+// an immutable time_point, so one token can cancel a wave that fans out
+// across the worker pool.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace bitgb {
+
+class CancelToken {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// Flag-only token: fires when request_cancel() is called.
+  CancelToken() = default;
+
+  /// Deadline token: fires at `deadline` (or earlier via the flag).
+  explicit CancelToken(clock::time_point deadline) : deadline_(deadline) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Fire the token explicitly (idempotent, any thread).
+  void request_cancel() { flag_.store(true, std::memory_order_relaxed); }
+
+  /// Has the flag been raised?  (Ignores the deadline — telemetry.)
+  [[nodiscard]] bool cancel_requested() const {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+  /// The poll: flag raised, or deadline passed.  The deadline branch
+  /// costs one clock read; tokens without a deadline skip it.
+  [[nodiscard]] bool cancelled() const {
+    if (flag_.load(std::memory_order_relaxed)) return true;
+    return deadline_ != clock::time_point::max() &&
+           clock::now() >= deadline_;
+  }
+
+  [[nodiscard]] clock::time_point deadline() const { return deadline_; }
+
+ private:
+  std::atomic<bool> flag_{false};
+  const clock::time_point deadline_ = clock::time_point::max();
+};
+
+}  // namespace bitgb

@@ -16,7 +16,9 @@
 // validated.
 #pragma once
 
+#include "platform/cancel.hpp"
 #include "platform/exec.hpp"
+#include "platform/fault_injector.hpp"
 #include "platform/simd.hpp"
 #include "platform/timer.hpp"
 
@@ -49,9 +51,34 @@ struct Context {
   KernelTimeSink* timer = nullptr;
   /// Seed for the randomized algorithms (MIS / coloring priorities).
   std::uint64_t seed = 0x5eed;
+  /// Optional cooperative-cancellation token (platform/cancel.hpp):
+  /// algorithms poll it at level/iteration boundaries and return early
+  /// with a valid prefix when it fires.  Null = never cancelled.
+  const CancelToken* cancel = nullptr;
+  /// Optional deterministic fault injector (platform/fault_injector.hpp)
+  /// for failure-containment tests; null — the production default —
+  /// disables every hook.
+  FaultInjector* fault = nullptr;
 
   /// The core-kernel execution policy slice of this descriptor.
-  [[nodiscard]] constexpr Exec exec() const { return Exec{variant, threads}; }
+  [[nodiscard]] constexpr Exec exec() const {
+    return Exec{variant, threads, cancel};
+  }
+
+  /// The cancellation poll (one branch when no token is armed).
+  [[nodiscard]] bool cancelled() const {
+    return cancel != nullptr && cancel->cancelled();
+  }
+
+  /// Fault-injection hooks — no-ops (one branch) without an injector.
+  /// Algorithms place check_alloc() where their result/scratch buffers
+  /// are sized and check_kernel() at each level/iteration boundary.
+  void check_alloc() const {
+    if (fault != nullptr) fault->on_alloc();
+  }
+  void check_kernel() const {
+    if (fault != nullptr) fault->on_kernel();
+  }
 
   /// Fluent copies — `ctx.with_backend(Backend::kReference)` reads as
   /// the descriptor algebra of GraphBLAST descriptors.
@@ -78,6 +105,16 @@ struct Context {
   [[nodiscard]] constexpr Context with_seed(std::uint64_t s) const {
     Context c = *this;
     c.seed = s;
+    return c;
+  }
+  [[nodiscard]] constexpr Context with_cancel(const CancelToken* tok) const {
+    Context c = *this;
+    c.cancel = tok;
+    return c;
+  }
+  [[nodiscard]] constexpr Context with_fault(FaultInjector* inj) const {
+    Context c = *this;
+    c.fault = inj;
     return c;
   }
 

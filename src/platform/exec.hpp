@@ -14,6 +14,7 @@
 //   bmv_bin_bin_bin(a, x, y, KernelVariant::kScalar);
 #pragma once
 
+#include "platform/cancel.hpp"
 #include "platform/simd.hpp"
 
 namespace bitgb {
@@ -24,12 +25,20 @@ struct Exec {
   /// threads, 1 = serial (never touches the pool), n = n workers
   /// (honored up to parallel.hpp's kMaxWorkerWidth ceiling).
   int threads = 0;
+  /// Cooperative-cancellation token forwarded from Context (null =
+  /// never cancelled).  Kernels MAY poll it between coarse chunks of a
+  /// long sweep; none is required to — the algorithm-level poll at
+  /// level/iteration boundaries is the latency guarantee, and a kernel
+  /// that ignores the token simply bounds cancellation latency at one
+  /// sweep.
+  const CancelToken* cancel = nullptr;
 
   constexpr Exec() = default;
   // NOLINTNEXTLINE(google-explicit-constructor): a bare KernelVariant
   // is an Exec at default width by design (see header comment).
-  constexpr Exec(KernelVariant v, int nthreads = 0)
-      : variant(v), threads(nthreads) {}
+  constexpr Exec(KernelVariant v, int nthreads = 0,
+                 const CancelToken* cancel_tok = nullptr)
+      : variant(v), threads(nthreads), cancel(cancel_tok) {}
 
   /// The serial policy (1 thread, auto variant).
   [[nodiscard]] static constexpr Exec serial() {

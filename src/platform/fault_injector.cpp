@@ -1,0 +1,49 @@
+#include "platform/fault_injector.hpp"
+
+#include <thread>
+
+namespace bitgb {
+
+namespace {
+
+/// splitmix64 — the stateless mixer: full-avalanche, so consecutive
+/// counter values produce independent-looking draws from one seed.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultInjector::bernoulli(double rate, std::uint64_t counter) {
+  if (rate <= 0.0) return false;
+  // 53 mantissa bits of the mixed counter → a uniform draw in [0, 1).
+  const double u = static_cast<double>(splitmix64(plan_.seed ^ counter) >> 11) *
+                   0x1.0p-53;
+  return u < rate;
+}
+
+void FaultInjector::on_kernel() {
+  const std::uint64_t n =
+      kernels_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (plan_.kernel_delay.count() > 0) {
+    std::this_thread::sleep_for(plan_.kernel_delay);
+  }
+  if ((plan_.kernel_fault_after != 0 && n == plan_.kernel_fault_after) ||
+      bernoulli(plan_.kernel_fault_rate, n ^ 0xfee1deadULL)) {
+    thrown_.fetch_add(1, std::memory_order_relaxed);
+    throw FaultInjectedError(
+        "injected kernel fault (FaultPlan kernel_fault_after/rate)");
+  }
+}
+
+void FaultInjector::on_wave() {
+  waves_.fetch_add(1, std::memory_order_relaxed);
+  if (plan_.wave_delay.count() > 0) {
+    std::this_thread::sleep_for(plan_.wave_delay);
+  }
+}
+
+}  // namespace bitgb

@@ -4,21 +4,41 @@
 #include "algorithms/msbfs.hpp"
 #include "algorithms/pagerank.hpp"
 #include "core/frontier_batch.hpp"
+#include "platform/cancel.hpp"
 
 #include <cassert>
 #include <chrono>
+#include <exception>
 #include <utility>
 
 namespace bitgb::serving {
 
 namespace {
 
+using RequestIt = std::vector<Request*>::iterator;
+
 double ms_between(clock::time_point from, clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+/// Fulfill a promise that MAY already be satisfied (a wave that threw
+/// partway fulfilled a prefix of its requests first).  Returns whether
+/// this call did the fulfilling.  Never throws: promise_already_
+/// satisfied is expected here, and anything else would mean the promise
+/// has no shared state — either way the right move is to move on.
+bool try_fulfill(Request& r, Reply&& reply) noexcept {
+  try {
+    r.promise.set_value(std::move(reply));
+    return true;
+  } catch (const std::future_error&) {
+    return false;
+  }
+}
+
 /// Fulfill one request with a shed status (no result payload).
-void shed(Request& r, Status status, clock::time_point now) {
+/// `iterations` > 0 records a cooperatively-aborted wave's progress.
+void shed(Request& r, Status status, clock::time_point now,
+          int iterations = 0) {
   Reply reply;
   reply.status = status;
   reply.kind = r.kind;
@@ -27,9 +47,28 @@ void shed(Request& r, Status status, clock::time_point now) {
     reply.graph = r.slot->name();
     reply.graph_generation = r.slot->generation();
   }
+  reply.iterations = iterations;
   reply.queue_ms = ms_between(r.submitted, now);
   reply.completed = now;
-  r.promise.set_value(std::move(reply));
+  try_fulfill(r, std::move(reply));
+}
+
+/// Fulfill one request with kInternalError carrying the contained
+/// exception's text.  Returns whether the promise was still pending
+/// (false = the wave fulfilled it kOk before throwing).
+bool fulfill_error(Request& r, const char* what, clock::time_point now) {
+  Reply reply;
+  reply.status = Status::kInternalError;
+  reply.kind = r.kind;
+  reply.source = r.source;
+  if (r.slot) {
+    reply.graph = r.slot->name();
+    reply.graph_generation = r.slot->generation();
+  }
+  reply.error = what != nullptr ? what : "unknown exception";
+  reply.queue_ms = ms_between(r.submitted, now);
+  reply.completed = now;
+  return try_fulfill(r, std::move(reply));
 }
 
 /// The serving-telemetry header every kOk reply carries.
@@ -45,15 +84,40 @@ Reply ok_reply(const Request& r, int width, clock::time_point started) {
   return reply;
 }
 
+/// The latest deadline aboard [first, last): the wave keeps running
+/// while ANY rider still wants the answer, so the per-wave cancel
+/// token arms with the maximum.  time_point::max() = nobody expires.
+clock::time_point wave_deadline(RequestIt first, RequestIt last) {
+  clock::time_point latest = clock::time_point::min();
+  for (auto it = first; it != last; ++it) {
+    latest = std::max(latest, (*it)->deadline);
+  }
+  return latest;
+}
+
+/// How one wave resolved its requests (kOk vs mid-flight shed).
+struct WaveServed {
+  int ok = 0;
+  int shed = 0;
+};
+
 /// Single-request traversal fast path: the plain single-source
 /// algorithms — also the execution model of the unbatched (max_batch =
 /// 1) ablation.
-void serve_single_traversal(const Context& ctx, Request& r,
-                            algo::Workspace& ws,
-                            clock::time_point started) {
+WaveServed serve_single_traversal(const Context& ctx, Request& r,
+                                  algo::Workspace& ws,
+                                  clock::time_point started) {
+  CancelToken token(r.deadline);
+  const Context wctx = r.deadline < clock::time_point::max()
+                           ? ctx.with_cancel(&token)
+                           : ctx;
   const gb::Graph& g = r.slot->graph();
   auto& out = ws.slot<algo::BfsResult>("serving.bfs_out");
-  algo::bfs(ctx, g, {r.source}, ws, out);
+  algo::bfs(wctx, g, {r.source}, ws, out);
+  if (token.cancelled()) {
+    shed(r, Status::kShedDeadline, clock::now());
+    return {0, 1};
+  }
 
   Reply reply = ok_reply(r, 1, started);
   if (r.kind == QueryKind::kBfs) {
@@ -66,20 +130,27 @@ void serve_single_traversal(const Context& ctx, Request& r,
     }
   }
   reply.completed = clock::now();
-  r.promise.set_value(std::move(reply));
+  try_fulfill(r, std::move(reply));
+  return {1, 0};
 }
 
 /// One same-graph traversal wave: every live source rides one batched
-/// msbfs / batched_reach sweep.
-void serve_traversal_wave(const Context& ctx,
-                          std::vector<Request*>::iterator first,
-                          std::vector<Request*>::iterator last,
-                          algo::Workspace& ws, clock::time_point started) {
+/// msbfs / batched_reach sweep under a shared cancel token armed with
+/// the wave's LATEST deadline — the wave aborts mid-flight only once
+/// every rider has expired, so cancellation never discards work
+/// somebody is still waiting on.
+WaveServed serve_traversal_wave(const Context& ctx, RequestIt first,
+                                RequestIt last, algo::Workspace& ws,
+                                clock::time_point started) {
   const auto width = static_cast<int>(last - first);
   if (width == 1) {
-    serve_single_traversal(ctx, **first, ws, started);
-    return;
+    return serve_single_traversal(ctx, **first, ws, started);
   }
+  const clock::time_point latest = wave_deadline(first, last);
+  CancelToken token(latest);
+  const Context wctx =
+      latest < clock::time_point::max() ? ctx.with_cancel(&token) : ctx;
+
   const gb::Graph& g = (*first)->slot->graph();
   auto& sources = ws.slot<std::vector<vidx_t>>("serving.sources");
   sources.clear();
@@ -90,17 +161,31 @@ void serve_traversal_wave(const Context& ctx,
     auto& params = ws.slot<algo::MsBfsParams>("serving.msbfs_params");
     params.sources = sources;
     auto& out = ws.slot<algo::MsBfsResult>("serving.msbfs_out");
-    algo::msbfs(ctx, g, params, ws, out);
+    algo::msbfs(wctx, g, params, ws, out);
+    if (token.cancelled()) {
+      const clock::time_point now = clock::now();
+      for (auto it = first; it != last; ++it) {
+        shed(**it, Status::kShedDeadline, now);
+      }
+      return {0, width};
+    }
     const clock::time_point done = clock::now();
     for (auto it = first; it != last; ++it) {
       Request& r = **it;
       Reply reply = ok_reply(r, width, started);
       algo::scatter_levels(out, static_cast<int>(it - first), reply.levels);
       reply.completed = done;
-      r.promise.set_value(std::move(reply));
+      try_fulfill(r, std::move(reply));
     }
   } else {
-    const FrontierBatch& reach = algo::batched_reach(ctx, g, sources, ws);
+    const FrontierBatch& reach = algo::batched_reach(wctx, g, sources, ws);
+    if (token.cancelled()) {
+      const clock::time_point now = clock::now();
+      for (auto it = first; it != last; ++it) {
+        shed(**it, Status::kShedDeadline, now);
+      }
+      return {0, width};
+    }
     const clock::time_point done = clock::now();
     for (auto it = first; it != last; ++it) {
       Request& r = **it;
@@ -108,20 +193,26 @@ void serve_traversal_wave(const Context& ctx,
       algo::scatter_reached(reach, static_cast<int>(it - first),
                             reply.reached);
       reply.completed = done;
-      r.promise.set_value(std::move(reply));
+      try_fulfill(r, std::move(reply));
     }
   }
+  return {width, 0};
 }
 
 /// One same-graph components wave: every request in the partition reads
 /// the slot's memoized labelling (the first ever reader computes it).
-void serve_components_wave(const Context& ctx,
-                           std::vector<Request*>::iterator first,
-                           std::vector<Request*>::iterator last,
-                           algo::Workspace& ws, clock::time_point started) {
+/// The memo is computed with the cancel token STRIPPED: the memo caches
+/// whatever the compute produced, and a partially-labelled graph must
+/// never become the registration's answer.  Fault injection stays armed
+/// — a throwing memo attempt is retryable (the slot treats it as not
+/// having run), so a poisoned attempt is never cached either.
+WaveServed serve_components_wave(const Context& ctx, RequestIt first,
+                                 RequestIt last, algo::Workspace& ws,
+                                 clock::time_point started) {
   const auto width = static_cast<int>(last - first);
   const GraphSlot& slot = *(*first)->slot;
-  const algo::BatchedCcResult& cc = slot.components(ctx, ws);
+  const algo::BatchedCcResult& cc =
+      slot.components(ctx.with_cancel(nullptr), ws);
   const clock::time_point done = clock::now();
   for (auto it = first; it != last; ++it) {
     Request& r = **it;
@@ -129,32 +220,52 @@ void serve_components_wave(const Context& ctx,
     reply.component = cc.component;
     reply.iterations = cc.waves;
     reply.completed = done;
-    r.promise.set_value(std::move(reply));
+    try_fulfill(r, std::move(reply));
   }
+  return {width, 0};
 }
 
 /// PageRank runs per-request: the params travelled in the request, the
-/// scratch is the worker's own Workspace.
-void serve_pagerank(const Context& ctx, Request& r, algo::Workspace& ws,
-                    clock::time_point started) {
+/// scratch is the worker's own Workspace.  An expired request aborts at
+/// the next iteration boundary; the shed reply's `iterations` records
+/// how many iterations ran before the token fired (< the requested
+/// max — the proof the query stopped burning its budget).
+WaveServed serve_pagerank(const Context& ctx, Request& r, algo::Workspace& ws,
+                          clock::time_point started) {
+  CancelToken token(r.deadline);
+  const Context wctx = r.deadline < clock::time_point::max()
+                           ? ctx.with_cancel(&token)
+                           : ctx;
   const gb::Graph& g = r.slot->graph();
   auto& out = ws.slot<algo::PageRankResult>("serving.pagerank_out");
-  algo::pagerank(ctx, g, r.pagerank, ws, out);
+  algo::pagerank(wctx, g, r.pagerank, ws, out);
+  if (token.cancelled()) {
+    shed(r, Status::kShedDeadline, clock::now(), out.iterations);
+    return {0, 1};
+  }
 
   Reply reply = ok_reply(r, 1, started);
   reply.rank = out.rank;
   reply.iterations = out.iterations;
   reply.completed = clock::now();
-  r.promise.set_value(std::move(reply));
+  try_fulfill(r, std::move(reply));
+  return {1, 0};
 }
 
 }  // namespace
 
-BatchOutcome serve_batch(const Context& ctx, std::vector<Request>& batch,
-                         algo::Workspace& ws,
-                         std::vector<int>& wave_widths) {
-  BatchOutcome outcome;
-  if (batch.empty()) return outcome;
+int fail_unfulfilled(std::vector<Request>& batch, const char* what) noexcept {
+  int filled = 0;
+  for (auto& r : batch) {
+    if (fulfill_error(r, what, clock::now())) ++filled;
+  }
+  return filled;
+}
+
+void serve_batch(const Context& ctx, const CircuitBreakerPolicy& breaker,
+                 std::vector<Request>& batch, algo::Workspace& ws,
+                 std::vector<int>& wave_widths, BatchOutcome& outcome) {
+  if (batch.empty()) return;
   assert(batch.size() <=
          static_cast<std::size_t>(FrontierBatch::kMaxBatch));
 
@@ -172,8 +283,7 @@ BatchOutcome serve_batch(const Context& ctx, std::vector<Request>& batch,
       live.push_back(&r);
     }
   }
-  if (live.empty()) return outcome;
-  outcome.executed = static_cast<int>(live.size());
+  if (live.empty()) return;
 
   // Partition by graph slot: a popped run is same-kind but may span
   // registered graphs, and a wave can only sweep one adjacency.  FIFO
@@ -184,6 +294,35 @@ BatchOutcome serve_batch(const Context& ctx, std::vector<Request>& batch,
     outcome.widest = std::max(outcome.widest, width);
     wave_widths.push_back(width);
   };
+  // Resolve one wave's WaveServed into the outcome + breaker: a wave
+  // with at least one kOk answer is health evidence (close the
+  // breaker); a fully-shed wave judged nothing (release any probe).
+  auto settle_wave = [&](const WaveServed& served, CircuitBreaker& cb,
+                         int width) {
+    outcome.executed += served.ok;
+    outcome.shed_deadline += served.shed;
+    if (served.ok > 0) {
+      cb.record_success();
+      record_wave(width);
+    } else {
+      cb.abandon_probe();
+    }
+  };
+  // A wave threw: contain it.  Every request of the wave that was not
+  // already fulfilled kOk before the throw resolves kInternalError; the
+  // breaker records the failure.
+  auto settle_throw = [&](RequestIt first, RequestIt last,
+                          CircuitBreaker& cb, const char* what) {
+    const clock::time_point now = clock::now();
+    int errs = 0;
+    for (auto it = first; it != last; ++it) {
+      if (fulfill_error(**it, what, now)) ++errs;
+    }
+    outcome.failed += errs;
+    outcome.executed += static_cast<int>(last - first) - errs;
+    cb.record_failure(breaker, now);
+  };
+
   const QueryKind kind = live.front()->kind;
   auto begin = live.begin();
   while (begin != live.end()) {
@@ -192,28 +331,73 @@ BatchOutcome serve_batch(const Context& ctx, std::vector<Request>& batch,
         begin, live.end(),
         [slot](const Request* r) { return r->slot.get() == slot; });
     const auto width = static_cast<int>(end - begin);
+    CircuitBreaker& cb = slot->breaker();
+
+    // Circuit gate: an open breaker sheds the whole partition without
+    // touching the graph — the fast-fail that keeps a poisoned slot
+    // from eating worker time and caller deadlines.  allow() may claim
+    // the half-open probe; every path below resolves it.
+    if (!cb.allow(breaker, clock::now())) {
+      const clock::time_point now = clock::now();
+      for (auto it = begin; it != end; ++it) {
+        shed(**it, Status::kShedCircuitOpen, now);
+      }
+      outcome.shed_circuit += width;
+      begin = end;
+      continue;
+    }
+
+    // Fault-injection wave hook (deterministic induced delay): placed
+    // AFTER the deadline gate so an injected stall exercises the
+    // mid-flight cancellation path, not the pre-wave shed.
+    if (ctx.fault != nullptr) ctx.fault->on_wave();
+
     switch (kind) {
       case QueryKind::kBfs:
       case QueryKind::kReach:
-        serve_traversal_wave(ctx, begin, end, ws, started);
-        record_wave(width);
+        try {
+          settle_wave(serve_traversal_wave(ctx, begin, end, ws, started),
+                      cb, width);
+        } catch (const std::exception& e) {
+          settle_throw(begin, end, cb, e.what());
+        } catch (...) {
+          settle_throw(begin, end, cb, "unknown exception");
+        }
         break;
       case QueryKind::kComponents:
-        serve_components_wave(ctx, begin, end, ws, started);
-        record_wave(width);
+        try {
+          settle_wave(serve_components_wave(ctx, begin, end, ws, started),
+                      cb, width);
+        } catch (const std::exception& e) {
+          settle_throw(begin, end, cb, e.what());
+        } catch (...) {
+          settle_throw(begin, end, cb, "unknown exception");
+        }
         break;
       case QueryKind::kPagerank:
         // Nothing to coalesce: params differ per request, so each one
-        // is its own width-1 wave on the worker's workspace.
+        // is its own width-1 wave — and its own failure domain (one
+        // throwing pagerank does not fail its partition neighbours).
+        // The breaker re-gates each request: K failures here trip it
+        // mid-partition and the remainder sheds fast.
         for (auto it = begin; it != end; ++it) {
-          serve_pagerank(ctx, **it, ws, started);
-          record_wave(1);
+          if (it != begin && !cb.allow(breaker, clock::now())) {
+            shed(**it, Status::kShedCircuitOpen, clock::now());
+            ++outcome.shed_circuit;
+            continue;
+          }
+          try {
+            settle_wave(serve_pagerank(ctx, **it, ws, started), cb, 1);
+          } catch (const std::exception& e) {
+            settle_throw(it, it + 1, cb, e.what());
+          } catch (...) {
+            settle_throw(it, it + 1, cb, "unknown exception");
+          }
         }
         break;
     }
     begin = end;
   }
-  return outcome;
 }
 
 }  // namespace bitgb::serving

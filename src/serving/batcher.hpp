@@ -28,6 +28,22 @@
 // The batcher is stateless per call: all scratch lives in the caller's
 // Workspace slots, so a long-lived serving worker executes any number
 // of waves with zero steady-state allocations on the wave path.
+//
+// Failure domains (see BUILDING.md "Failure model"): each wave is its
+// own containment boundary.  A wave that throws — allocator
+// exhaustion, a kernel fault, anything escaping the algorithms —
+// fulfills exactly its own requests with Status::kInternalError (the
+// exception text rides in Reply::error), records the failure on the
+// slot's circuit breaker, and the worker carries on with the next
+// partition; serve_batch itself never lets an exception escape past
+// its own scratch setup.  A wave whose every rider's deadline passes
+// mid-flight is aborted cooperatively: the batcher arms a per-wave
+// CancelToken with the LATEST deadline aboard (the wave runs while
+// anyone still wants it), the algorithms poll it at level/iteration
+// boundaries, and an aborted wave's requests shed with
+// Status::kShedDeadline — Reply::iterations recording how far the wave
+// got before it stopped burning dead work.  A slot whose breaker is
+// open sheds its whole partition instantly with kShedCircuitOpen.
 #pragma once
 
 #include "platform/context.hpp"
@@ -47,7 +63,10 @@ namespace bitgb::serving {
 /// What one serve() call did, for the server's counters.
 struct BatchOutcome {
   int executed = 0;       ///< requests answered kOk
-  int shed_deadline = 0;  ///< requests expired before execution
+  int shed_deadline = 0;  ///< requests expired before or during execution
+  int shed_circuit = 0;   ///< requests shed by an open circuit breaker
+  int failed = 0;         ///< requests fulfilled kInternalError (their
+                          ///< wave threw; the worker survived)
   int waves = 0;          ///< execution waves run (>1 when the popped
                           ///< run spanned graphs, or for pagerank)
   int widest = 0;         ///< widest wave of this call (0 = none ran)
@@ -55,12 +74,32 @@ struct BatchOutcome {
 
 /// Serve `batch` (all the same QueryKind, 1..64 requests, possibly
 /// spanning graphs) on behalf of one worker: shed expired requests,
-/// partition by slot, run each partition as one wave, fulfill every
-/// promise.  Each executed wave's width is appended to `wave_widths`
-/// (not cleared — the caller owns the scratch) for the server's
-/// histogram.  `batch` is left in moved-from state.
-BatchOutcome serve_batch(const Context& ctx, std::vector<Request>& batch,
-                         algo::Workspace& ws, std::vector<int>& wave_widths);
+/// partition by slot, gate each partition through its slot's circuit
+/// breaker (tuned by `breaker`), run each admitted partition as one
+/// cancellable wave, fulfill every promise.  Counts accumulate into
+/// `outcome` AS requests resolve — an out-parameter so a throw (see
+/// below) cannot discard the accounting of already-fulfilled requests.
+/// Each executed wave's width is appended to `wave_widths` (not
+/// cleared — the caller owns the scratch) for the server's histogram.
+/// `batch` is left in moved-from state.
+///
+/// Exception safety: a throwing wave is contained inside this call —
+/// its requests resolve kInternalError, later partitions still run.
+/// serve_batch only lets an exception escape if its OWN scratch setup
+/// fails (e.g. OOM sizing the partition vector); even then every
+/// already-resolved request has been counted in `outcome`, and the
+/// caller fails whatever is still unfulfilled via fail_unfulfilled.
+void serve_batch(const Context& ctx, const CircuitBreakerPolicy& breaker,
+                 std::vector<Request>& batch, algo::Workspace& ws,
+                 std::vector<int>& wave_widths, BatchOutcome& outcome);
+
+/// Last-ditch containment: fulfill every request in `batch` whose
+/// promise is still unsatisfied with kInternalError (carrying `what`),
+/// returning how many were filled.  Idempotent over partially-served
+/// batches — already-fulfilled promises are skipped, so the worker can
+/// sweep the whole batch after a serve_batch throw without knowing how
+/// far it got.  Never throws.
+int fail_unfulfilled(std::vector<Request>& batch, const char* what) noexcept;
 
 /// AdaptiveBatch — the depth-feedback coalescing-window policy.
 ///

@@ -7,16 +7,17 @@ namespace bitgb::serving {
 RequestQueue::RequestQueue(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
 
-bool RequestQueue::try_push(Request&& r) {
+PushOutcome RequestQueue::try_push(Request&& r) {
   {
     const std::lock_guard<std::mutex> lk(m_);
-    if (closed_ || total_unlocked() >= capacity_) return false;
+    if (closed_) return PushOutcome::kClosed;
+    if (total_unlocked() >= capacity_) return PushOutcome::kFull;
     kinds_[static_cast<std::size_t>(r.kind)].push_back(std::move(r));
   }
   // One waiter per push: a batch pop drains several pushes, so waking
   // all workers for every arrival would only stampede the mutex.
   cv_.notify_one();
-  return true;
+  return PushOutcome::kAccepted;
 }
 
 std::size_t RequestQueue::pop_batch(std::vector<Request>& out, int max_batch) {

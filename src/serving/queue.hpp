@@ -30,13 +30,23 @@
 
 namespace bitgb::serving {
 
+/// What happened to a try_push — the two refusals are distinct because
+/// the server sheds them with different statuses (kShedQueueFull vs
+/// kShedShutdown).
+enum class PushOutcome : std::uint8_t {
+  kAccepted,  ///< enqueued; a worker now owns fulfilling the promise
+  kFull,      ///< refused: queue at capacity (request left with caller)
+  kClosed,    ///< refused: close() already ran (request left with caller)
+};
+
 class RequestQueue {
  public:
   explicit RequestQueue(std::size_t capacity);
 
-  /// Admission: enqueue if total depth < capacity.  Returns false (and
-  /// leaves `r` untouched) when full or closed — the caller sheds.
-  [[nodiscard]] bool try_push(Request&& r);
+  /// Admission: enqueue if open and total depth < capacity.  On
+  /// refusal (kFull/kClosed) `r` is left untouched — the promise stays
+  /// with the caller to shed.
+  [[nodiscard]] PushOutcome try_push(Request&& r);
 
   /// Pop up to max_batch requests of one kind, appended to `out`
   /// (which is cleared first).  Blocks while the queue is empty and

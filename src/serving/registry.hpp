@@ -21,6 +21,8 @@
 #include "graphblas/graph.hpp"
 #include "platform/context.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -30,6 +32,92 @@
 #include <vector>
 
 namespace bitgb::serving {
+
+/// Circuit-breaker tuning (policy lives with the Server so one registry
+/// can back servers with different tolerances; the STATE lives in the
+/// slot, because health is a property of a registration).
+/// trip_after <= 0 disables the breaker entirely.
+struct CircuitBreakerPolicy {
+  /// Consecutive internal errors on one slot before it trips open.
+  int trip_after = 3;
+  /// How long a tripped slot sheds fast before admitting one re-probe.
+  std::chrono::milliseconds cooldown{100};
+};
+
+/// Per-slot failure-domain gate.  Closed (the normal state) admits
+/// everything; `trip_after` consecutive wave failures open it, and an
+/// open breaker sheds instantly — a slot whose graph reliably kills
+/// waves (poisoned data, an allocation pattern that exhausts memory)
+/// stops consuming worker time and stops timing out its callers.
+/// After `cooldown`, exactly one request is admitted as a half-open
+/// probe: success closes the breaker, failure re-opens it for another
+/// cooldown.  All state is atomic — every worker of every server
+/// sharing the slot consults the same breaker.
+class CircuitBreaker {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// May this wave execute?  Claims the half-open probe when it says
+  /// yes to a cooled-down breaker — the caller MUST then resolve the
+  /// probe via record_success / record_failure / abandon_probe.
+  [[nodiscard]] bool allow(const CircuitBreakerPolicy& p,
+                           clock::time_point now) {
+    if (p.trip_after <= 0) return true;
+    const auto open_until = open_until_.load(std::memory_order_acquire);
+    if (open_until == 0) return true;  // closed
+    if (now.time_since_epoch().count() < open_until) return false;  // open
+    // Half-open: admit one probe at a time; everyone else sheds until
+    // the probe resolves.
+    bool expected = false;
+    return probe_in_flight_.compare_exchange_strong(
+        expected, true, std::memory_order_acq_rel);
+  }
+
+  /// A wave on this slot completed OK: close the breaker.
+  void record_success() {
+    consecutive_.store(0, std::memory_order_relaxed);
+    open_until_.store(0, std::memory_order_release);
+    probe_in_flight_.store(false, std::memory_order_release);
+  }
+
+  /// A wave on this slot died with an internal error.
+  void record_failure(const CircuitBreakerPolicy& p, clock::time_point now) {
+    const int n = consecutive_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (p.trip_after > 0 && n >= p.trip_after) {
+      if (open_until_.exchange(
+              (now + p.cooldown).time_since_epoch().count(),
+              std::memory_order_acq_rel) == 0) {
+        trips_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    probe_in_flight_.store(false, std::memory_order_release);
+  }
+
+  /// The admitted probe never executed (e.g. its whole wave was
+  /// deadline-shed): release the probe claim, judging nothing.
+  void abandon_probe() {
+    probe_in_flight_.store(false, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool is_open(clock::time_point now) const {
+    const auto open_until = open_until_.load(std::memory_order_acquire);
+    return open_until != 0 && now.time_since_epoch().count() < open_until;
+  }
+  [[nodiscard]] int consecutive_failures() const {
+    return consecutive_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t trips() const {
+    return trips_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> consecutive_{0};
+  /// steady_clock ticks-since-epoch until which the breaker is open;
+  /// 0 = closed.
+  std::atomic<clock::rep> open_until_{0};
+  std::atomic<bool> probe_in_flight_{false};
+  std::atomic<std::uint64_t> trips_{0};
+};
 
 /// One registered graph: the handle, its registration identity, and the
 /// memoized whole-graph results every same-generation query shares.
@@ -60,21 +148,45 @@ class GraphSlot {
   /// any worker — reads the shared result.  Thread-safe; the memo dies
   /// with the slot, so a registry re-add (new slot, new generation) can
   /// never serve a stale labelling.
+  /// If the labelling computation throws (allocator exhaustion, an
+  /// injected kernel fault), the attempt is treated as not having
+  /// happened: the exception propagates to the failing wave (which
+  /// contains it as kInternalError) and the NEXT components query
+  /// retries the memo — a poisoned attempt is never cached.
+  ///
+  /// Double-checked mutex rather than std::call_once: the exceptional
+  /// retry is load-bearing here, and ThreadSanitizer's pthread_once
+  /// interceptor does not understand an exception unwinding out of the
+  /// callable — the once-flag stays locked and every later caller
+  /// deadlocks.  A plain mutex + release-published flag has identical
+  /// semantics (throw under the lock leaves the memo unset, RAII
+  /// releases the lock, the next caller retries) and is clean under
+  /// every sanitizer; the ready-path cost is one acquire load.
   [[nodiscard]] const algo::BatchedCcResult& components(
       const Context& ctx, algo::Workspace& ws) const {
-    std::call_once(cc_once_, [&] {
-      algo::batched_cc(ctx, *graph_, {}, ws, cc_);
-    });
+    if (!cc_ready_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(cc_mutex_);
+      if (!cc_ready_.load(std::memory_order_relaxed)) {
+        algo::batched_cc(ctx, *graph_, {}, ws, cc_);
+        cc_ready_.store(true, std::memory_order_release);
+      }
+    }
     return cc_;
   }
+
+  /// The slot's failure-domain gate (state only — the trip/cooldown
+  /// policy rides with each Server's options).
+  [[nodiscard]] CircuitBreaker& breaker() const { return breaker_; }
 
  private:
   std::string name_;
   std::uint64_t generation_ = 0;
   std::optional<gb::Graph> owned_;
   const gb::Graph* graph_ = nullptr;
-  mutable std::once_flag cc_once_;
+  mutable std::mutex cc_mutex_;
+  mutable std::atomic<bool> cc_ready_{false};
   mutable algo::BatchedCcResult cc_;
+  mutable CircuitBreaker breaker_;
 };
 
 using GraphRef = std::shared_ptr<const GraphSlot>;

@@ -59,22 +59,35 @@ static_assert(static_cast<std::size_t>(QueryKind::kComponents) + 1 ==
   return kNames[static_cast<std::size_t>(k)];
 }
 
-/// Why a reply carries no result.
+/// Why a reply carries no result (the full Status lifecycle — who
+/// fulfills which status on which path — is tabulated in BUILDING.md's
+/// "Failure model" section).
 enum class Status : std::uint8_t {
   kOk,            ///< result fields are valid
   kShedQueueFull, ///< admission refused: queue at capacity
-  kShedDeadline,  ///< expired in the queue before a worker reached it
+  kShedDeadline,  ///< expired before or during execution (a wave that
+                  ///< expires mid-flight aborts cooperatively and
+                  ///< sheds; `iterations` records how far it got)
   kBadGraph,      ///< no graph registered under the requested name
+  kShedShutdown,  ///< submitted after shutdown() closed admission
+  kShedCircuitOpen, ///< the slot's circuit breaker is open (recent
+                    ///< consecutive internal errors): shed fast without
+                    ///< touching the graph until the cool-down re-probe
+  kInternalError, ///< the executing wave threw (allocator exhaustion, a
+                  ///< kernel fault); `error` carries the what() text.
+                  ///< The worker survives — only this wave's requests
+                  ///< are affected
 };
 
-inline constexpr std::size_t kNumStatuses = 4;
-static_assert(static_cast<std::size_t>(Status::kBadGraph) + 1 ==
+inline constexpr std::size_t kNumStatuses = 7;
+static_assert(static_cast<std::size_t>(Status::kInternalError) + 1 ==
                   kNumStatuses,
               "Status grew: bump kNumStatuses and extend status_name");
 
 [[nodiscard]] constexpr const char* status_name(Status s) {
-  constexpr const char* kNames[] = {"ok", "shed-queue-full",
-                                    "shed-deadline", "bad-graph"};
+  constexpr const char* kNames[] = {
+      "ok",            "shed-queue-full",   "shed-deadline", "bad-graph",
+      "shed-shutdown", "shed-circuit-open", "internal-error"};
   static_assert(std::size(kNames) == kNumStatuses,
                 "status_name table out of sync with Status");
   return kNames[static_cast<std::size_t>(s)];
@@ -105,8 +118,14 @@ struct Reply {
   /// algo::connected_components / algo::batched_cc.
   std::vector<vidx_t> component;
   /// kPagerank: iterations run; kComponents: reach waves of the
-  /// (possibly memoized) labelling.
+  /// (possibly memoized) labelling.  On a kShedDeadline reply whose
+  /// wave was aborted mid-flight, this records how many iterations ran
+  /// before the cancel token fired (< the requested max — the proof the
+  /// wave stopped burning its budget).
   int iterations = 0;
+
+  /// kInternalError only: the contained exception's what() text.
+  std::string error;
 
   /// How many queries shared the wave that produced this reply
   /// (1 = executed unbatched).

@@ -21,6 +21,28 @@ bool is_traversal(QueryKind kind) {
   return kind == QueryKind::kBfs || kind == QueryKind::kReach;
 }
 
+/// Admission-time parameter gate for pagerank: a malformed request is
+/// the CALLER's bug, so it throws at submit instead of poisoning a
+/// worker.  Every comparison is written NaN-hostile: `!(x >= 0)` is
+/// true for NaN where `x < 0` is not.
+void validate_pagerank_params(const algo::PageRankParams& p) {
+  if (!(p.alpha >= 0.0f) || p.alpha >= 1.0f) {
+    throw std::invalid_argument(
+        "serving: pagerank damping alpha must be in [0, 1), got " +
+        std::to_string(p.alpha));
+  }
+  if (p.max_iterations <= 0) {
+    throw std::invalid_argument(
+        "serving: pagerank max_iterations must be positive, got " +
+        std::to_string(p.max_iterations));
+  }
+  if (!(p.epsilon > 0.0)) {
+    throw std::invalid_argument(
+        "serving: pagerank epsilon must be positive, got " +
+        std::to_string(p.epsilon));
+  }
+}
+
 }  // namespace
 
 Server::Server(ServerOptions opts)
@@ -101,6 +123,7 @@ std::future<Reply> Server::submit(QueryKind kind, vidx_t source,
 std::future<Reply> Server::submit_pagerank(std::string_view graph,
                                            const algo::PageRankParams& params,
                                            clock::time_point deadline) {
+  validate_pagerank_params(params);
   GraphRef slot = registry_ != nullptr ? registry_->lookup(graph)
                   : (default_slot_ && graph == default_slot_->name())
                       ? default_slot_
@@ -111,6 +134,7 @@ std::future<Reply> Server::submit_pagerank(std::string_view graph,
 
 std::future<Reply> Server::submit_pagerank(const algo::PageRankParams& params,
                                            clock::time_point deadline) {
+  validate_pagerank_params(params);
   return submit_resolved(default_slot_, QueryKind::kPagerank, 0, params,
                          deadline);
 }
@@ -149,13 +173,21 @@ std::future<Reply> Server::submit_resolved(GraphRef slot, QueryKind kind,
   r.deadline = deadline;
   r.submitted = clock::now();
   std::future<Reply> fut = r.promise.get_future();
-  if (!queue_.try_push(std::move(r))) {
-    // Shed at the door: the queue is at capacity (or the server is
-    // shutting down).  try_push left the request intact, so the
-    // promise is still ours to fulfill.
-    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  const PushOutcome push = queue_.try_push(std::move(r));
+  if (push != PushOutcome::kAccepted) {
+    // Shed at the door — with the honest reason: kFull is overload
+    // (queue at capacity), kClosed is a submit after shutdown() closed
+    // admission.  Either way try_push left the request intact, so the
+    // promise is still ours to fulfill: the future always resolves,
+    // never hangs.
+    const Status status = push == PushOutcome::kClosed
+                              ? Status::kShedShutdown
+                              : Status::kShedQueueFull;
+    auto& counter = push == PushOutcome::kClosed ? shed_shutdown_
+                                                 : shed_queue_full_;
+    counter.fetch_add(1, std::memory_order_relaxed);
     Reply reply;
-    reply.status = Status::kShedQueueFull;
+    reply.status = status;
     reply.kind = kind;
     reply.source = source;
     reply.graph = r.slot->name();
@@ -181,7 +213,20 @@ void Server::worker_main() {
   while (queue_.pop_batch(batch, window) > 0) {
     const QueryKind kind = batch.front().kind;
     wave_widths.clear();
-    const BatchOutcome outcome = serve_batch(ctx, batch, ws, wave_widths);
+    BatchOutcome outcome;
+    try {
+      serve_batch(ctx, opts_.breaker, batch, ws, wave_widths, outcome);
+    } catch (const std::exception& e) {
+      // Last-ditch containment.  serve_batch contains wave failures
+      // itself; reaching here means its own scratch setup threw (e.g.
+      // OOM sizing the partition vector).  Everything already resolved
+      // is already counted in `outcome`; whatever is still pending gets
+      // kInternalError now — the worker survives, no promise is ever
+      // abandoned.
+      outcome.failed += fail_unfulfilled(batch, e.what());
+    } catch (...) {
+      outcome.failed += fail_unfulfilled(batch, "unknown exception");
+    }
     completed_.fetch_add(static_cast<std::uint64_t>(outcome.executed),
                          std::memory_order_relaxed);
     completed_by_kind_[static_cast<std::size_t>(kind)].fetch_add(
@@ -189,6 +234,11 @@ void Server::worker_main() {
         std::memory_order_relaxed);
     shed_deadline_.fetch_add(static_cast<std::uint64_t>(outcome.shed_deadline),
                              std::memory_order_relaxed);
+    failed_.fetch_add(static_cast<std::uint64_t>(outcome.failed),
+                      std::memory_order_relaxed);
+    shed_circuit_open_.fetch_add(
+        static_cast<std::uint64_t>(outcome.shed_circuit),
+        std::memory_order_relaxed);
     if (outcome.waves > 0) {
       waves_.fetch_add(static_cast<std::uint64_t>(outcome.waves),
                        std::memory_order_relaxed);
@@ -232,9 +282,12 @@ ServerStats Server::stats() const {
   ServerStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   s.shed_bad_graph = shed_bad_graph_.load(std::memory_order_relaxed);
+  s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
+  s.shed_circuit_open = shed_circuit_open_.load(std::memory_order_relaxed);
   s.waves = waves_.load(std::memory_order_relaxed);
   s.batched_queries = batched_queries_.load(std::memory_order_relaxed);
   s.widest_wave = widest_wave_.load(std::memory_order_relaxed);

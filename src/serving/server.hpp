@@ -71,6 +71,13 @@ struct ServerOptions {
   /// Deadline applied by submit() when the caller passes none
   /// (zero = requests without an explicit deadline never expire).
   std::chrono::milliseconds default_deadline{0};
+  /// Per-slot circuit-breaker tuning: trip_after consecutive internal
+  /// errors on one graph slot open its breaker for `cooldown`, during
+  /// which its queries shed kShedCircuitOpen instead of executing.
+  /// trip_after <= 0 disables the breaker.  The breaker STATE lives in
+  /// the slot (shared by every server on the registry); this policy is
+  /// this server's tolerance.
+  CircuitBreakerPolicy breaker{};
 };
 
 /// Wave-width histogram buckets: [1] [2] [3-4] [5-8] [9-16] [17-32]
@@ -84,15 +91,26 @@ inline constexpr std::size_t kWaveHistBuckets = 7;
   return b < kWaveHistBuckets ? b : kWaveHistBuckets - 1;
 }
 
-/// Monotonic counters, snapshot via Server::stats().  submitted ==
-/// completed + shed_queue_full + shed_deadline + shed_bad_graph once
-/// the server is drained (every future is always fulfilled).
+/// Monotonic counters, snapshot via Server::stats().  Conservation
+/// invariant — every admitted query resolves exactly one way, so once
+/// the server is drained:
+///
+///   submitted == completed + failed + shed_queue_full + shed_deadline
+///              + shed_bad_graph + shed_shutdown + shed_circuit_open
+///
+/// (accounted() computes the right-hand side).  The invariant holds
+/// under fault injection too: a contained wave failure moves its
+/// requests from completed to failed, never loses them.
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;        ///< answered kOk
+  std::uint64_t failed = 0;           ///< answered kInternalError (their
+                                      ///< wave threw; contained)
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_deadline = 0;
   std::uint64_t shed_bad_graph = 0;   ///< unknown graph name at submit
+  std::uint64_t shed_shutdown = 0;    ///< submitted after shutdown()
+  std::uint64_t shed_circuit_open = 0;  ///< slot's breaker was open
   std::uint64_t waves = 0;            ///< execution waves run
   std::uint64_t batched_queries = 0;  ///< kOk queries summed over waves
   std::uint64_t widest_wave = 0;
@@ -109,6 +127,14 @@ struct ServerStats {
   /// relative to the worker's previous one (0/0 when adaptive = false).
   std::uint64_t window_grew = 0;
   std::uint64_t window_shrank = 0;
+
+  /// Everything submitted queries can resolve to — equals `submitted`
+  /// once the server is drained (the conservation invariant the chaos
+  /// suite asserts under faults, churn, and shutdown).
+  [[nodiscard]] std::uint64_t accounted() const {
+    return completed + failed + shed_queue_full + shed_deadline +
+           shed_bad_graph + shed_shutdown + shed_circuit_open;
+  }
 
   /// Mean queries per executed wave — the auto-batching payoff metric.
   [[nodiscard]] double mean_wave_width() const {
@@ -139,18 +165,25 @@ class Server {
 
   /// Admit one query against a named graph.  The future is always
   /// eventually fulfilled: kOk from a worker, kShedQueueFull
-  /// immediately when the queue is at capacity, kShedDeadline if it
-  /// expires before execution, or kBadGraph immediately when no graph
-  /// is registered under `graph`.  Throws std::invalid_argument on an
-  /// out-of-range source for the traversal kinds (whole-graph kinds
-  /// ignore `source`).
+  /// immediately when the queue is at capacity, kShedShutdown
+  /// immediately when shutdown() already closed admission,
+  /// kShedDeadline if it expires before or during execution,
+  /// kShedCircuitOpen if its slot's breaker is open, kInternalError if
+  /// its wave threw (contained), or kBadGraph immediately when no
+  /// graph is registered under `graph`.  Throws std::invalid_argument
+  /// on an out-of-range source for the traversal kinds (whole-graph
+  /// kinds ignore `source`).
   std::future<Reply> submit(std::string_view graph, QueryKind kind,
                             vidx_t source = 0);
   std::future<Reply> submit(std::string_view graph, QueryKind kind,
                             vidx_t source, clock::time_point deadline);
 
   /// PageRank with explicit params (carried in the request; the
-  /// nameless form routes to the single-graph slot).
+  /// nameless form routes to the single-graph slot).  Params are
+  /// validated at the door — NaN or out-of-[0,1) damping, a
+  /// non-positive iteration budget, or a non-positive tolerance throw
+  /// std::invalid_argument BEFORE admission, so a malformed request
+  /// can never poison a worker or spin an unbounded iteration.
   std::future<Reply> submit_pagerank(
       std::string_view graph, const algo::PageRankParams& params = {},
       clock::time_point deadline = clock::time_point::max());
@@ -165,7 +198,10 @@ class Server {
                             clock::time_point deadline);
 
   /// Stop admission, serve everything already queued, join the
-  /// workers.  Idempotent; submit() after shutdown sheds.
+  /// workers.  Idempotent.  submit() after shutdown is defined
+  /// behaviour, not a race: the future resolves immediately with
+  /// Status::kShedShutdown — it never hangs, and the conservation
+  /// invariant still counts it.
   void shutdown();
 
   [[nodiscard]] ServerStats stats() const;
@@ -199,9 +235,12 @@ class Server {
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> shed_queue_full_{0};
   std::atomic<std::uint64_t> shed_deadline_{0};
   std::atomic<std::uint64_t> shed_bad_graph_{0};
+  std::atomic<std::uint64_t> shed_shutdown_{0};
+  std::atomic<std::uint64_t> shed_circuit_open_{0};
   std::atomic<std::uint64_t> waves_{0};
   std::atomic<std::uint64_t> batched_queries_{0};
   std::atomic<std::uint64_t> widest_wave_{0};

@@ -34,6 +34,7 @@ namespace {
 
 using namespace std::chrono_literals;
 using serving::GraphRegistry;
+using serving::PushOutcome;
 using serving::QueryKind;
 using serving::Reply;
 using serving::Request;
@@ -68,14 +69,14 @@ TEST(RequestQueue, ShedsOnFullDeterministically) {
   for (int i = 0; i < 4; ++i) {
     Request r = make_request(QueryKind::kBfs, i);
     futs.push_back(r.promise.get_future());
-    EXPECT_TRUE(q.try_push(std::move(r)));
+    EXPECT_EQ(PushOutcome::kAccepted, q.try_push(std::move(r)));
   }
   EXPECT_EQ(4u, q.depth());
   // The fifth push must be refused, and must leave the request (and
   // its promise) with the caller.
   Request fifth = make_request(QueryKind::kBfs, 4);
   auto fifth_fut = fifth.promise.get_future();
-  EXPECT_FALSE(q.try_push(std::move(fifth)));
+  EXPECT_EQ(PushOutcome::kFull, q.try_push(std::move(fifth)));
   EXPECT_EQ(4u, q.depth());
   fifth.promise.set_value(Reply{});  // still ours: fulfillable
   EXPECT_EQ(Status::kOk, fifth_fut.get().status);
@@ -84,7 +85,7 @@ TEST(RequestQueue, ShedsOnFullDeterministically) {
 TEST(RequestQueue, PopBatchCoalescesSameKindInFifoOrder) {
   RequestQueue q(64);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, i)));
+    ASSERT_EQ(PushOutcome::kAccepted, q.try_push(make_request(QueryKind::kBfs, i)));
   }
   std::vector<Request> batch;
   EXPECT_EQ(10u, q.pop_batch(batch, 64));
@@ -95,9 +96,9 @@ TEST(RequestQueue, PopBatchCoalescesSameKindInFifoOrder) {
 
 TEST(RequestQueue, PopBatchNeverMixesKinds) {
   RequestQueue q(64);
-  ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, 0)));
-  ASSERT_TRUE(q.try_push(make_request(QueryKind::kReach, 1)));
-  ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, 2)));
+  ASSERT_EQ(PushOutcome::kAccepted, q.try_push(make_request(QueryKind::kBfs, 0)));
+  ASSERT_EQ(PushOutcome::kAccepted, q.try_push(make_request(QueryKind::kReach, 1)));
+  ASSERT_EQ(PushOutcome::kAccepted, q.try_push(make_request(QueryKind::kBfs, 2)));
   std::vector<Request> batch;
   // First pop: the BFS FIFO head is oldest -> both BFS requests, and
   // only those.
@@ -112,7 +113,7 @@ TEST(RequestQueue, PopBatchNeverMixesKinds) {
 TEST(RequestQueue, PopBatchHonorsMaxBatch) {
   RequestQueue q(64);
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, i)));
+    ASSERT_EQ(PushOutcome::kAccepted, q.try_push(make_request(QueryKind::kBfs, i)));
   }
   std::vector<Request> batch;
   EXPECT_EQ(1u, q.pop_batch(batch, 1));  // unbatched ablation shape
@@ -128,9 +129,9 @@ TEST(RequestQueue, PopBatchHonorsMaxBatch) {
 
 TEST(RequestQueue, CloseDrainsThenReturnsZero) {
   RequestQueue q(8);
-  ASSERT_TRUE(q.try_push(make_request(QueryKind::kBfs, 3)));
+  ASSERT_EQ(PushOutcome::kAccepted, q.try_push(make_request(QueryKind::kBfs, 3)));
   q.close();
-  EXPECT_FALSE(q.try_push(make_request(QueryKind::kBfs, 4)));
+  EXPECT_EQ(PushOutcome::kClosed, q.try_push(make_request(QueryKind::kBfs, 4)));
   std::vector<Request> batch;
   EXPECT_EQ(1u, q.pop_batch(batch, 64));  // queued work still drains
   for (auto& r : batch) r.promise.set_value(Reply{});
@@ -416,6 +417,11 @@ TEST(ServingNames, StatusNamesAreTableDrivenAndComplete) {
                serving::status_name(Status::kShedQueueFull));
   EXPECT_STREQ("shed-deadline", serving::status_name(Status::kShedDeadline));
   EXPECT_STREQ("bad-graph", serving::status_name(Status::kBadGraph));
+  EXPECT_STREQ("shed-shutdown", serving::status_name(Status::kShedShutdown));
+  EXPECT_STREQ("shed-circuit-open",
+               serving::status_name(Status::kShedCircuitOpen));
+  EXPECT_STREQ("internal-error",
+               serving::status_name(Status::kInternalError));
 }
 
 // ---------------------------------------------------------------------

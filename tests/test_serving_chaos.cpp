@@ -6,13 +6,20 @@
 // random deadlines (some already expired at submit) at three registered
 // graphs — plus a name that was never registered — while a chaos thread
 // removes and re-registers graphs mid-storm and, on half the seeds,
-// calls shutdown() while submitters are still firing.  The invariants
-// that must hold under EVERY seed are the serving core's contract:
+// calls shutdown() while submitters are still firing.  The FaultStorm
+// seeds additionally arm a shared FaultInjector (seeded Bernoulli
+// bad_alloc and kernel faults, induced wave/kernel delays) and a
+// hair-trigger circuit breaker, so injected failures, breaker trips,
+// registry churn, and mid-storm shutdown all interleave.  The
+// invariants that must hold under EVERY seed are the serving core's
+// contract:
 //
 //   * every future is fulfilled — no reply is ever dropped, no matter
-//     how the storm interleaves with remove()/shutdown();
-//   * conservation: submitted == completed + shed_queue_full +
-//     shed_deadline + shed_bad_graph, exactly, per the server's own
+//     how the storm interleaves with remove()/shutdown(), and no matter
+//     which waves the injector kills (containment: a fault fails its
+//     wave with kInternalError, never the worker);
+//   * conservation: submitted == completed + failed + every shed
+//     bucket, exactly (ServerStats::accounted()), per the server's own
 //     counters and per the replies the callers actually observed;
 //   * no reply leaks a dangling graph: a kOk payload always has the
 //     full vertex count of the graph its request targeted, readable
@@ -73,7 +80,7 @@ struct Pending {
   int tenant = -1;  ///< index into kTenants, or -1 for the ghost name
 };
 
-void run_storm(std::uint64_t seed) {
+void run_storm(std::uint64_t seed, bool inject_faults) {
   constexpr int kSubmitters = 4;
   constexpr int kPerSubmitter = 120;
 
@@ -82,9 +89,31 @@ void run_storm(std::uint64_t seed) {
     reg.add(t.name, tenant_graph(t.n, seed ^ static_cast<std::uint64_t>(t.n)));
   }
 
+  // The fault plan for the FaultStorm seeds: sustained seeded Bernoulli
+  // faults at both hooks (enough to trip breakers), plus induced delays
+  // that push waves past the tight 500us deadlines some submits carry —
+  // exercising the mid-flight cancellation path, not just the pre-wave
+  // shed.  One injector shared by every worker: the storm is
+  // reproducible in distribution.
+  FaultPlan plan;
+  plan.seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+  plan.alloc_fault_rate = inject_faults ? 0.04 : 0.0;
+  plan.kernel_fault_rate = inject_faults ? 0.02 : 0.0;
+  plan.wave_delay = inject_faults ? 200us : 0us;
+  plan.kernel_delay = inject_faults ? 20us : 0us;
+  FaultInjector injector(plan);
+
   ServerOptions opts;
   opts.workers = 3;
   opts.queue_capacity = 48;  // small on purpose: force queue-full sheds
+  if (inject_faults) {
+    opts.context = opts.context.with_fault(&injector);
+    // Hair-trigger breaker with a cooldown short enough to re-close
+    // mid-storm: both the trip path and the half-open recovery path
+    // run many times per seed.
+    opts.breaker.trip_after = 2;
+    opts.breaker.cooldown = 2ms;
+  }
   Server server(reg, opts);
 
   std::vector<std::vector<Pending>> submitted(kSubmitters);
@@ -156,6 +185,7 @@ void run_storm(std::uint64_t seed) {
   // Every future must resolve (a hang here trips the ctest timeout),
   // and the callers' view must reconcile exactly with the server's.
   std::uint64_t ok = 0, shed_full = 0, shed_deadline = 0, bad_graph = 0;
+  std::uint64_t shed_shutdown = 0, shed_circuit = 0, failed = 0;
   for (auto& lane : submitted) {
     for (auto& p : lane) {
       const Reply r = p.fut.get();
@@ -201,6 +231,18 @@ void run_storm(std::uint64_t seed) {
         case Status::kBadGraph:
           ++bad_graph;
           break;
+        case Status::kShedShutdown:
+          ++shed_shutdown;
+          break;
+        case Status::kShedCircuitOpen:
+          ++shed_circuit;
+          break;
+        case Status::kInternalError:
+          ++failed;
+          // Containment must say WHAT died: the contained exception's
+          // text rides in the reply.
+          EXPECT_FALSE(r.error.empty());
+          break;
       }
     }
   }
@@ -213,8 +255,16 @@ void run_storm(std::uint64_t seed) {
   EXPECT_EQ(shed_full, st.shed_queue_full);
   EXPECT_EQ(shed_deadline, st.shed_deadline);
   EXPECT_EQ(bad_graph, st.shed_bad_graph);
-  EXPECT_EQ(st.submitted, st.completed + st.shed_queue_full +
-                              st.shed_deadline + st.shed_bad_graph);
+  EXPECT_EQ(shed_shutdown, st.shed_shutdown);
+  EXPECT_EQ(shed_circuit, st.shed_circuit_open);
+  EXPECT_EQ(failed, st.failed);
+  EXPECT_EQ(st.submitted, st.accounted());
+  if (!inject_faults) {
+    // Without an injector nothing may fail or trip a breaker — the
+    // fault paths must be strictly opt-in.
+    EXPECT_EQ(0u, st.failed);
+    EXPECT_EQ(0u, st.shed_circuit_open);
+  }
 
   std::uint64_t by_kind_submitted = 0, by_kind_completed = 0;
   for (std::size_t k = 0; k < serving::kNumQueryKinds; ++k) {
@@ -232,13 +282,25 @@ void run_storm(std::uint64_t seed) {
 class ServingChaos : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ServingChaos, InvariantsHoldUnderRandomizedStorm) {
-  run_storm(GetParam());
+  run_storm(GetParam(), /*inject_faults=*/false);
 }
 
-// Six distinct seeds: three with mid-storm shutdown (even), three that
-// drain normally (odd).  Add a failing seed here to pin a regression.
+class ServingFaultStorm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServingFaultStorm, InvariantsHoldUnderInjectedFaults) {
+  run_storm(GetParam(), /*inject_faults=*/true);
+}
+
+// Six distinct seeds each: three with mid-storm shutdown (even), three
+// that drain normally (odd).  Add a failing seed here to pin a
+// regression.  The FaultStorm set layers seeded Bernoulli faults and a
+// hair-trigger breaker on the same storm (its ctest registration is
+// separate — see tests/CMakeLists.txt — so each half gets its own
+// explicit timeout).
 INSTANTIATE_TEST_SUITE_P(Seeds, ServingChaos,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingFaultStorm,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
 
 }  // namespace
 }  // namespace bitgb
