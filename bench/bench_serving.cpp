@@ -41,7 +41,9 @@
 // regress); BITGB_BENCH_NO_PERF_GATE=1 downgrades the gate to a
 // warning for runs on contended machines (the ctest smoke lane sets
 // it — timing under `ctest -j` is not meaningful).  Results go to
-// BENCH_serving.json (schema bitgb-serving-bench-v3, see BUILDING.md).
+// BENCH_serving.json (schema bitgb-serving-bench-v4, see BUILDING.md),
+// including the persistence roundtrip cell (snapshot load vs
+// MatrixMarket re-ingest + prewarm).
 #include "algorithms/bfs.hpp"
 #include "benchlib/reporting.hpp"
 #include "graphblas/graph.hpp"
@@ -49,13 +51,17 @@
 #include "platform/parallel.hpp"
 #include "platform/timer.hpp"
 #include "serving/server.hpp"
+#include "sparse/convert.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
+#include <limits>
 #include <random>
 #include <string>
 #include <thread>
@@ -273,6 +279,70 @@ bench::ServingScenario run_mixed_kinds(const gb::Graph& g,
                              server.stats());
 }
 
+/// Persistence roundtrip: the same graph brought to serving readiness
+/// by MatrixMarket re-ingest (parse + from_coo + prewarm) and by
+/// Graph::load of a prewarmed snapshot, each timed as the min of
+/// kPersistRuns.  The loaded graph's BFS answers are verified
+/// bit-identical against the original before anything is reported.
+bench::ServingPersistence run_persistence(const gb::Graph& g,
+                                          const std::string& graph_name) {
+  namespace fs = std::filesystem;
+  constexpr int kPersistRuns = 3;
+  const fs::path dir =
+      fs::temp_directory_path() / ("bitgb-bench-" + graph_name);
+  fs::create_directories(dir);
+  const std::string mm_path = (dir / "graph.mtx").string();
+  const std::string snap_path = (dir / "graph.bgbs").string();
+
+  // The text the cold path re-ingests: the graph's own adjacency, so
+  // both paths reconstruct the identical object.  from_coo re-runs the
+  // default preprocessing, but the adjacency is already symmetrized and
+  // loop-free — a fixed point of both passes.
+  write_matrix_market_file(mm_path, csr_to_coo(g.adjacency()));
+
+  bench::ServingPersistence cell;
+  cell.save_ms = std::numeric_limits<double>::infinity();
+  cell.reingest_ms = std::numeric_limits<double>::infinity();
+  cell.load_ms = std::numeric_limits<double>::infinity();
+  gb::GraphOptions opts;
+  opts.tile_dim = g.tile_dim();  // pin: sampling is not part of the cell
+  for (int run = 0; run < kPersistRuns; ++run) {
+    Stopwatch save_watch;
+    g.save(snap_path, gb::kBitFormats);
+    cell.save_ms = std::min(cell.save_ms, save_watch.elapsed_ms());
+
+    Stopwatch ingest_watch;
+    const gb::Graph reingested =
+        gb::Graph::from_coo(read_matrix_market_file(mm_path), opts);
+    reingested.prewarm(gb::kBitFormats);
+    cell.reingest_ms = std::min(cell.reingest_ms, ingest_watch.elapsed_ms());
+
+    Stopwatch load_watch;
+    const gb::Graph loaded = gb::Graph::load(snap_path);
+    cell.load_ms = std::min(cell.load_ms, load_watch.elapsed_ms());
+
+    if ((loaded.formats() & gb::kBitFormats) != gb::kBitFormats ||
+        loaded.fingerprint() != g.fingerprint() ||
+        reingested.fingerprint() != g.fingerprint()) {
+      std::fprintf(stderr, "persistence roundtrip changed the graph\n");
+      std::exit(1);
+    }
+    const Context serial_ctx = Context{}.with_threads(1);
+    for (const vidx_t s : {vidx_t{0}, g.num_vertices() / 2}) {
+      if (algo::bfs(serial_ctx, loaded, {s}).levels !=
+          algo::bfs(serial_ctx, g, {s}).levels) {
+        std::fprintf(stderr, "loaded snapshot served different answers\n");
+        std::exit(1);
+      }
+    }
+  }
+  std::error_code ec;
+  cell.snapshot_bytes = fs::file_size(snap_path, ec);
+  cell.mm_bytes = fs::file_size(mm_path, ec);
+  fs::remove_all(dir, ec);
+  return cell;
+}
+
 void print_scenario(const bench::ServingScenario& s) {
   std::printf("  %-12s %2d graph(s) %10.0f q/s   mean wave %5.1f   widest %llu\n",
               s.name.c_str(), s.graphs, s.qps, s.mean_wave,
@@ -422,11 +492,29 @@ int main() {
   const auto mixed_kinds = run_mixed_kinds(g, 37);
   print_scenario(mixed_kinds);
 
+  // --- Persistence roundtrip -----------------------------------------
+  // The warm-restart cell: MatrixMarket re-ingest (parse + from_coo +
+  // prewarm — the old restart path) vs Graph::load of a snapshot that
+  // carries the prewarmed caches.  Bit-identity of served answers is
+  // asserted before any timing counts.
+  const auto persistence = run_persistence(g, graph_name);
+  std::printf("\npersistence roundtrip (%s):\n", graph_name.c_str());
+  std::printf("  snapshot %8.1f KiB   save     %8.2f ms\n",
+              static_cast<double>(persistence.snapshot_bytes) / 1024.0,
+              persistence.save_ms);
+  std::printf("  mm text  %8.1f KiB   reingest %8.2f ms\n",
+              static_cast<double>(persistence.mm_bytes) / 1024.0,
+              persistence.reingest_ms);
+  std::printf("  %-8s %8s       load     %8.2f ms   %.1fx faster than "
+              "reingest\n", "", "", persistence.load_ms,
+              persistence.load_speedup());
+
   bench::write_serving_bench_json("BENCH_serving.json", graph_name,
                                   g.num_vertices(), g.num_edges(), workers,
                                   verified, {unbatched, batched}, speedup,
                                   kSpeedupFloor, points,
-                                  {multi_graph, mixed_kinds}, cancellation);
+                                  {multi_graph, mixed_kinds}, cancellation,
+                                  persistence);
   std::printf("\nwrote BENCH_serving.json (batched/unbatched saturation "
               "speedup: %.2fx)\n", speedup);
   return 0;

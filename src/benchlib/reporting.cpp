@@ -229,11 +229,12 @@ void write_serving_bench_json(const std::string& path,
                               double batched_speedup, double speedup_floor,
                               const std::vector<ServingRatePoint>& rates,
                               const std::vector<ServingScenario>& scenarios,
-                              const ServingCancellation& cancellation) {
+                              const ServingCancellation& cancellation,
+                              const ServingPersistence& persistence) {
   std::ofstream f(path);
   if (!f) return;  // best-effort, like write_sweep_csv
   f << "{\n";
-  f << "  \"schema\": \"bitgb-serving-bench-v3\",\n";
+  f << "  \"schema\": \"bitgb-serving-bench-v4\",\n";
   f << "  \"graph\": {\"name\": \"" << graph_name
     << "\", \"vertices\": " << vertices << ", \"edges\": " << edges << "},\n";
   f << "  \"workers\": " << workers << ",\n";
@@ -253,6 +254,12 @@ void write_serving_bench_json(const std::string& path,
     << cancellation.polling_off_qps
     << ", \"polling_on_qps\": " << cancellation.polling_on_qps
     << ", \"overhead_pct\": " << cancellation.overhead_pct() << "},\n";
+  f << "  \"persistence\": {\"snapshot_bytes\": " << persistence.snapshot_bytes
+    << ", \"mm_bytes\": " << persistence.mm_bytes
+    << ", \"save_ms\": " << persistence.save_ms
+    << ", \"reingest_ms\": " << persistence.reingest_ms
+    << ", \"load_ms\": " << persistence.load_ms
+    << ", \"load_speedup\": " << persistence.load_speedup() << "},\n";
   f << "  \"open_loop\": [\n";
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const auto& r = rates[i];

@@ -127,8 +127,10 @@ void print_kernel_bench(std::ostream& os,
 // per-kind counts and the executed wave-width histogram), and the
 // cancellation-overhead cell (the batched saturation burst with the
 // per-wave deadline token armed vs unarmed — the guard that keeps the
-// cooperative-cancellation poll off the hot path's critical cost).
-// Schema "bitgb-serving-bench-v3", documented in BUILDING.md.
+// cooperative-cancellation poll off the hot path's critical cost), and
+// the persistence roundtrip cell (snapshot load vs MatrixMarket
+// re-ingest + prewarm — the warm-restart payoff).
+// Schema "bitgb-serving-bench-v4", documented in BUILDING.md.
 
 /// Tail-aware percentile with linear interpolation between order
 /// statistics; `p` in [0, 100].  Returns 0 for empty input.
@@ -188,12 +190,30 @@ struct ServingCancellation {
   }
 };
 
-/// Write the v3 JSON document.  `batched_speedup` is the saturation
+/// The persistence roundtrip cell (v4): the warm-restart payoff.  The
+/// same graph is brought to serving readiness two ways — re-ingesting
+/// the MatrixMarket text (parse + from_coo + prewarm, the cold path
+/// every restart used to pay) and loading the snapshot (one sequential
+/// checksummed read, caches landing pre-built) — after verifying the
+/// loaded graph answers queries bit-identically.
+struct ServingPersistence {
+  std::uint64_t snapshot_bytes = 0;  ///< on-disk snapshot size
+  std::uint64_t mm_bytes = 0;        ///< on-disk MatrixMarket size
+  double save_ms = 0.0;              ///< Graph::save (durable write)
+  double reingest_ms = 0.0;          ///< parse + build + prewarm
+  double load_ms = 0.0;              ///< Graph::load
+  [[nodiscard]] double load_speedup() const {
+    return load_ms > 0.0 ? reingest_ms / load_ms : 0.0;
+  }
+};
+
+/// Write the v4 JSON document.  `batched_speedup` is the saturation
 /// headline (batched QPS / unbatched QPS) and `speedup_floor` the
 /// regression gate it is asserted against; `verified` records that the
 /// served answers were checked bit-identical against a serial pass;
 /// `scenarios` holds the multi-tenant cells (empty is valid — the
-/// array is still emitted, so consumers can rely on the key).
+/// array is still emitted, so consumers can rely on the key);
+/// `persistence` is the snapshot-vs-reingest roundtrip cell.
 void write_serving_bench_json(const std::string& path,
                               const std::string& graph_name, vidx_t vertices,
                               eidx_t edges, int workers, bool verified,
@@ -201,6 +221,7 @@ void write_serving_bench_json(const std::string& path,
                               double batched_speedup, double speedup_floor,
                               const std::vector<ServingRatePoint>& rates,
                               const std::vector<ServingScenario>& scenarios,
-                              const ServingCancellation& cancellation);
+                              const ServingCancellation& cancellation,
+                              const ServingPersistence& persistence);
 
 }  // namespace bitgb::bench

@@ -3,6 +3,7 @@
 #include "core/pack.hpp"
 #include "core/sampling.hpp"
 #include "sparse/convert.hpp"
+#include "sparse/snapshot.hpp"
 
 namespace bitgb::gb {
 
@@ -40,7 +41,7 @@ int Graph::tile_dim() const {
 const Csr& Graph::adjacency_t() const {
   Lazy& l = *lazy_;
   std::call_once(l.csr_t_once, [&] {
-    l.csr_t = transpose(csr_);
+    if (!l.csr_t) l.csr_t = transpose(csr_);
     l.built.fetch_or(kFmtCsrT, std::memory_order_release);
   });
   return *l.csr_t;
@@ -49,7 +50,7 @@ const Csr& Graph::adjacency_t() const {
 const B2srAny& Graph::packed() const {
   Lazy& l = *lazy_;
   std::call_once(l.b2sr_once, [&] {
-    l.b2sr = pack_any(csr_, tile_dim(), opts_.ingest);
+    if (!l.b2sr) l.b2sr = pack_any(csr_, tile_dim(), opts_.ingest);
     l.built.fetch_or(kFmtB2sr, std::memory_order_release);
   });
   return *l.b2sr;
@@ -58,7 +59,7 @@ const B2srAny& Graph::packed() const {
 const B2srAny& Graph::packed_t() const {
   Lazy& l = *lazy_;
   std::call_once(l.b2sr_t_once, [&] {
-    l.b2sr_t = pack_any(adjacency_t(), tile_dim(), opts_.ingest);
+    if (!l.b2sr_t) l.b2sr_t = pack_any(adjacency_t(), tile_dim(), opts_.ingest);
     l.built.fetch_or(kFmtB2srT, std::memory_order_release);
   });
   return *l.b2sr_t;
@@ -89,7 +90,7 @@ const Csr& Graph::unit_adjacency_t() const {
 const Csr& Graph::lower() const {
   Lazy& l = *lazy_;
   std::call_once(l.lower_once, [&] {
-    l.lower = lower_triangle(csr_);
+    if (!l.lower) l.lower = lower_triangle(csr_);
     l.built.fetch_or(kFmtLower, std::memory_order_release);
   });
   return *l.lower;
@@ -98,7 +99,7 @@ const Csr& Graph::lower() const {
 const B2srAny& Graph::packed_lower() const {
   Lazy& l = *lazy_;
   std::call_once(l.b2sr_lower_once, [&] {
-    l.b2sr_lower = pack_any(lower(), tile_dim(), opts_.ingest);
+    if (!l.b2sr_lower) l.b2sr_lower = pack_any(lower(), tile_dim(), opts_.ingest);
     l.built.fetch_or(kFmtB2srLower, std::memory_order_release);
   });
   return *l.b2sr_lower;
@@ -107,7 +108,7 @@ const B2srAny& Graph::packed_lower() const {
 const std::vector<vidx_t>& Graph::degrees() const {
   Lazy& l = *lazy_;
   std::call_once(l.degrees_once, [&] {
-    l.degrees = out_degrees(csr_);
+    if (!l.degrees) l.degrees = out_degrees(csr_);
     l.built.fetch_or(kFmtDegrees, std::memory_order_release);
   });
   return *l.degrees;
@@ -126,6 +127,14 @@ void Graph::prewarm(FormatSet want) const {
   if (want & kFmtB2srT) (void)packed_t();
   if (want & kFmtB2srLower) (void)packed_lower();
   if (want & kFmtDegrees) (void)degrees();
+}
+
+std::uint64_t Graph::fingerprint() const {
+  Lazy& l = *lazy_;
+  std::call_once(l.fp_once, [&] {
+    if (!l.fp) l.fp = snap::csr_fingerprint(csr_);
+  });
+  return *l.fp;
 }
 
 Graph Graph::clone() const {

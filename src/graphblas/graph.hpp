@@ -135,6 +135,33 @@ class Graph {
   /// a mistake, so it is spelled out).  Caches restart cold.
   [[nodiscard]] Graph clone() const;
 
+  /// 64-bit content fingerprint of the canonical adjacency pattern
+  /// (cached after the first call).  Equal fingerprints serve
+  /// bit-identical queries: snapshots persist it as an integrity
+  /// double-check and GraphRegistry::add keys its re-add dedup on it.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Persist this graph as one checksummed snapshot file
+  /// (sparse/snapshot.hpp): the canonical CSR plus every format in
+  /// `want`, prewarmed first if absent — so a snapshot taken from a
+  /// serving registry carries the expensive caches with it.  The
+  /// unit-valued CSR copies are never persisted (trivially derived:
+  /// 1.0f per nonzero; they re-materialize lazily).  Written
+  /// crash-consistently (temp file + fsync + atomic rename); `fault`
+  /// threads the FaultInjector io_* knobs through every physical
+  /// write.  Throws snap::SnapshotError(kIo) on failure.
+  void save(const std::string& path, FormatSet want = kBitFormats,
+            FaultInjector* fault = nullptr) const;
+
+  /// Rebuild a Graph from a snapshot: no text re-parse, no re-pack, no
+  /// re-prewarm — every persisted format lands directly in the lazy
+  /// cache (formats() reports it immediately) and is validate()d, with
+  /// cross-format consistency (dims, nnz, fingerprint) checked on top.
+  /// Throws snap::SnapshotError (bad magic / truncation / CRC mismatch
+  /// / version skew / structural failure); NEVER returns a partially
+  /// loaded graph.
+  [[nodiscard]] static Graph load(const std::string& path);
+
  private:
   Graph() = default;
 
@@ -142,12 +169,17 @@ class Graph {
   /// movable (once_flags pin their address).
   struct Lazy {
     std::once_flag dim_once, csr_t_once, unit_once, unit_t_once, lower_once,
-        b2sr_once, b2sr_t_once, b2sr_lower_once, degrees_once;
+        b2sr_once, b2sr_t_once, b2sr_lower_once, degrees_once, fp_once;
     std::atomic<FormatSet> built{kFmtCsr};
     int tile_dim = 0;
+    // The optionals double as the load() seam: Graph::load fills them
+    // directly (snapshot sections, already validated), and each
+    // accessor's once-lambda skips recomputation when its slot is
+    // already populated.
     std::optional<Csr> csr_t, unit_csr, unit_csr_t, lower;
     std::optional<B2srAny> b2sr, b2sr_t, b2sr_lower;
     std::optional<std::vector<vidx_t>> degrees;
+    std::optional<std::uint64_t> fp;
   };
 
   Csr csr_;

@@ -65,6 +65,26 @@ struct FaultPlan {
   /// sleeps this long.  The lever that makes deadlines fire mid-wave.
   std::chrono::microseconds wave_delay{0};
   std::chrono::microseconds kernel_delay{0};
+
+  /// I/O faults, consulted by the snapshot writer's on_io_write() hook
+  /// before every physical write (sparse/snapshot.hpp):
+  ///   io_error_after — one-shot: the Nth write fails cleanly (the
+  ///     ENOSPC analog; the writer unlinks its temp file and throws a
+  ///     typed error — the atomic-rename contract holds, the previous
+  ///     snapshot survives).
+  ///   io_short_write_after — one-shot: the Nth write is torn halfway
+  ///     and the writer "crashes" (throws WITHOUT cleanup), leaving a
+  ///     truncated temp file on disk — the mid-write-crash debris
+  ///     recovery must ignore.
+  ///   io_bit_flip_after — one-shot: one seeded bit of the Nth write's
+  ///     payload flips silently and the write SUCCEEDS — durable
+  ///     on-disk corruption the load-side CRCs must catch.
+  ///   io_error_rate — sustained seeded Bernoulli write failures (the
+  ///     flaky-disk storm knob).
+  std::uint64_t io_error_after = 0;
+  std::uint64_t io_short_write_after = 0;
+  std::uint64_t io_bit_flip_after = 0;
+  double io_error_rate = 0.0;
 };
 
 class FaultInjector {
@@ -92,6 +112,21 @@ class FaultInjector {
   /// Hook at a serving wave start.  Sleeps `wave_delay`.
   void on_wave();
 
+  /// What the snapshot writer should do with one physical write of
+  /// `len` bytes.  The injector only DECIDES; the writer enacts —
+  /// kError / kShortWrite make the writer throw (with / without temp
+  /// cleanup), kBitFlip makes it flip bit `bit` of its buffer and write
+  /// the corrupted bytes successfully.
+  struct IoWriteFault {
+    enum class Kind : std::uint8_t { kNone, kError, kShortWrite, kBitFlip };
+    Kind kind = Kind::kNone;
+    std::size_t bit = 0;  ///< kBitFlip only: bit index within the buffer
+  };
+
+  /// Hook before one physical snapshot write.  Pure decision function
+  /// of (plan, seed, write counter) — never throws, never sleeps.
+  [[nodiscard]] IoWriteFault on_io_write(std::size_t len);
+
   /// Observability for tests: how many times each hook ran.
   [[nodiscard]] std::uint64_t alloc_checks() const {
     return allocs_.load(std::memory_order_relaxed);
@@ -101,6 +136,9 @@ class FaultInjector {
   }
   [[nodiscard]] std::uint64_t waves() const {
     return waves_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t io_writes() const {
+    return io_writes_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t faults_thrown() const {
     return thrown_.load(std::memory_order_relaxed);
@@ -115,6 +153,7 @@ class FaultInjector {
   std::atomic<std::uint64_t> allocs_{0};
   std::atomic<std::uint64_t> kernels_{0};
   std::atomic<std::uint64_t> waves_{0};
+  std::atomic<std::uint64_t> io_writes_{0};
   std::atomic<std::uint64_t> thrown_{0};
 };
 

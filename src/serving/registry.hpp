@@ -20,13 +20,13 @@
 #include "algorithms/batched_cc.hpp"
 #include "graphblas/graph.hpp"
 #include "platform/context.hpp"
+#include "platform/fault_injector.hpp"
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -127,8 +127,18 @@ class GraphSlot {
   GraphSlot(std::string name, std::uint64_t generation, gb::Graph g)
       : name_(std::move(name)),
         generation_(generation),
+        owned_(std::make_shared<const gb::Graph>(std::move(g))),
+        graph_(owned_.get()) {}
+
+  /// Sharing slot (the fingerprint-dedup re-add path: a NEW generation
+  /// over the SAME prewarmed graph, so memoized whole-graph results
+  /// reset without re-paying the format conversions).
+  GraphSlot(std::string name, std::uint64_t generation,
+            std::shared_ptr<const gb::Graph> g)
+      : name_(std::move(name)),
+        generation_(generation),
         owned_(std::move(g)),
-        graph_(&*owned_) {}
+        graph_(owned_.get()) {}
 
   /// Borrowing slot (the single-graph Server constructor; the caller
   /// guarantees the Graph outlives the slot).
@@ -141,6 +151,12 @@ class GraphSlot {
   [[nodiscard]] const gb::Graph& graph() const { return *graph_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// The shared ownership handle (null for a borrowing slot) — what the
+  /// registry's dedup re-add grafts into the replacement slot.
+  [[nodiscard]] const std::shared_ptr<const gb::Graph>& shared_graph() const {
+    return owned_;
+  }
 
   /// The memoized connected-components labelling: the first kComponents
   /// query on this slot pays one batched_cc over the whole graph (under
@@ -181,7 +197,7 @@ class GraphSlot {
  private:
   std::string name_;
   std::uint64_t generation_ = 0;
-  std::optional<gb::Graph> owned_;
+  std::shared_ptr<const gb::Graph> owned_;
   const gb::Graph* graph_ = nullptr;
   mutable std::mutex cc_mutex_;
   mutable std::atomic<bool> cc_ready_{false};
@@ -191,9 +207,57 @@ class GraphSlot {
 
 using GraphRef = std::shared_ptr<const GraphSlot>;
 
+/// What GraphRegistry::recover decided about one manifest entry.
+enum class RecoveryStatus {
+  kRecovered,    ///< snapshot loaded, validated, and registered
+  kMissing,      ///< the manifest names a file that does not exist
+  kQuarantined,  ///< the snapshot exists but failed validation — left on
+                 ///< disk for forensics, NOT registered, NOT deleted
+};
+
+[[nodiscard]] const char* recovery_status_name(RecoveryStatus s);
+
+struct RecoveryEntry {
+  std::string name;      ///< registration name from the manifest
+  std::string file;      ///< snapshot filename (relative to the dir)
+  RecoveryStatus status = RecoveryStatus::kQuarantined;
+  std::string error;     ///< what fired, for kMissing/kQuarantined
+};
+
+/// The outcome of one recover() pass: per-entry verdicts in manifest
+/// order.  Quarantine is a first-class result, not an exception — one
+/// corrupt snapshot must never take down the registrations that were
+/// durably intact.
+struct RecoveryReport {
+  std::vector<RecoveryEntry> entries;
+
+  [[nodiscard]] std::size_t recovered() const {
+    return count(RecoveryStatus::kRecovered);
+  }
+  [[nodiscard]] std::size_t quarantined() const {
+    return count(RecoveryStatus::kQuarantined);
+  }
+  [[nodiscard]] std::size_t missing() const {
+    return count(RecoveryStatus::kMissing);
+  }
+
+ private:
+  [[nodiscard]] std::size_t count(RecoveryStatus s) const {
+    std::size_t n = 0;
+    for (const auto& e : entries) n += (e.status == s) ? 1 : 0;
+    return n;
+  }
+};
+
 /// Concurrent name → GraphSlot map.  add/remove/lookup may race freely;
 /// a lookup returns the slot registered at that instant (or null), and
 /// holding the returned GraphRef is what keeps the slot alive.
+///
+/// Durability: save_all() persists every registration as a checksummed
+/// snapshot plus a manifest; recover() replays a manifest on a fresh
+/// process, quarantining anything torn or corrupted.  The manifest is
+/// written LAST and atomically, so a crash mid-save_all leaves the
+/// previous manifest pointing at the previous (complete) snapshot set.
 class GraphRegistry {
  public:
   GraphRegistry() = default;
@@ -205,6 +269,13 @@ class GraphRegistry {
   /// (`warm` formats, off the query path) before the slot becomes
   /// visible, so no query pays a one-time conversion.  Returns the new
   /// slot.
+  ///
+  /// Re-add dedup: when the name is already registered with a graph of
+  /// the SAME content fingerprint (and the existing graph already has
+  /// every `warm` format materialized), the new slot shares the
+  /// existing prewarmed graph instead of prewarming `g` — a new
+  /// generation (memoized whole-graph results reset) at zero conversion
+  /// cost.  dedup_hits() counts these.
   GraphRef add(std::string name, gb::Graph g,
                gb::FormatSet warm = gb::kBitFormats);
 
@@ -220,10 +291,52 @@ class GraphRegistry {
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t size() const;
 
+  /// Name of the manifest file save_all writes / recover reads.
+  static constexpr const char* kManifestFile = "MANIFEST";
+
+  /// Persist every current registration into `dir` (created if absent):
+  /// one snapshot file per distinct graph fingerprint
+  /// (snap-<fingerprint>.bgbs, carrying the `formats` caches), then the
+  /// manifest, atomically and last.  Registration names may not contain
+  /// newlines (the manifest is line-oriented) — such names throw
+  /// snap::SnapshotError(kMalformed) before anything is written.
+  /// `fault` threads the io_* FaultInjector knobs through every write.
+  void save_all(const std::string& dir,
+                gb::FormatSet formats = gb::kBitFormats,
+                FaultInjector* fault = nullptr) const;
+
+  /// Warm restart: replay `dir`'s manifest, registering every snapshot
+  /// that loads and validates cleanly (prewarmed to `warm` — free when
+  /// the snapshot carried those formats) and quarantining the rest.  A
+  /// missing manifest is an empty report (nothing was ever saved — not
+  /// an error).  Never throws on a bad snapshot; the report says what
+  /// happened to each entry, and recovered_count()/quarantined_count()
+  /// accumulate across calls for ServerStats.
+  RecoveryReport recover(const std::string& dir,
+                         gb::FormatSet warm = gb::kBitFormats);
+
+  /// Re-adds that reused an existing prewarmed graph (same name, same
+  /// fingerprint) instead of re-prewarming.
+  [[nodiscard]] std::uint64_t dedup_hits() const {
+    return dedup_hits_.load(std::memory_order_relaxed);
+  }
+  /// Manifest entries recovered / not-recovered over this registry's
+  /// lifetime (all recover() calls); kMissing counts as quarantined
+  /// here — both mean "manifested but not serving".
+  [[nodiscard]] std::uint64_t recovered_count() const {
+    return recovered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t quarantined_count() const {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex m_;
   std::vector<std::pair<std::string, GraphRef>> slots_;
   std::uint64_t next_generation_ = 1;
+  std::atomic<std::uint64_t> dedup_hits_{0};
+  std::atomic<std::uint64_t> recovered_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
 };
 
 }  // namespace bitgb::serving

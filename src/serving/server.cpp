@@ -302,6 +302,11 @@ ServerStats Server::stats() const {
   }
   s.window_grew = window_grew_.load(std::memory_order_relaxed);
   s.window_shrank = window_shrank_.load(std::memory_order_relaxed);
+  if (registry_ != nullptr) {
+    s.registry_dedup_hits = registry_->dedup_hits();
+    s.graphs_recovered = registry_->recovered_count();
+    s.graphs_quarantined = registry_->quarantined_count();
+  }
   return s;
 }
 

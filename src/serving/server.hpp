@@ -128,6 +128,14 @@ struct ServerStats {
   std::uint64_t window_grew = 0;
   std::uint64_t window_shrank = 0;
 
+  /// Registry durability counters, mirrored from the backing
+  /// GraphRegistry at stats() time (all 0 in single-graph mode).  They
+  /// count REGISTRY events, not queries, so they are deliberately
+  /// outside the accounted() conservation invariant.
+  std::uint64_t registry_dedup_hits = 0;  ///< re-adds that reused a graph
+  std::uint64_t graphs_recovered = 0;     ///< manifest entries recovered
+  std::uint64_t graphs_quarantined = 0;   ///< entries missing/quarantined
+
   /// Everything submitted queries can resolve to — equals `submitted`
   /// once the server is drained (the conservation invariant the chaos
   /// suite asserts under faults, churn, and shutdown).

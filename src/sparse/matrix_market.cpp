@@ -130,6 +130,16 @@ Coo read_matrix_market(std::istream& in) {
     ++seen;
   }
   if (seen != nz) throw MatrixMarketError("fewer entries than declared");
+  // The declared count is a contract in both directions: extra
+  // non-comment data after the last declared entry means the size line
+  // and the body disagree, and silently dropping the tail would hand
+  // back a graph missing edges the file plainly contains.
+  while (std::getline(in, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '%') continue;
+    throw MatrixMarketError("trailing data after the " + std::to_string(nz) +
+                            " declared entries: " + line);
+  }
   out.sort_and_dedup();
   return out;
 }

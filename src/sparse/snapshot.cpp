@@ -1,0 +1,373 @@
+#include "sparse/snapshot.hpp"
+
+#include "platform/crc32c.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace bitgb::snap {
+
+static_assert(std::endian::native == std::endian::little,
+              "the snapshot format stores native little-endian integers");
+
+namespace {
+
+using Kind = SnapshotError::Kind;
+
+void put_bytes(std::vector<std::byte>& buf, std::size_t off, const void* src,
+               std::size_t n) {
+  std::memcpy(buf.data() + off, src, n);
+}
+
+template <typename T>
+void put(std::vector<std::byte>& buf, std::size_t off, T v) {
+  put_bytes(buf, off, &v, sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::byte> buf, std::size_t off) {
+  T v;
+  std::memcpy(&v, buf.data() + off, sizeof(T));
+  return v;
+}
+
+[[nodiscard]] std::string errno_text() {
+  return std::string(std::strerror(errno));
+}
+
+/// Thrown for the injected short-write "crash": the writer must NOT
+/// clean up its temp file (a real crash would not), unlike every other
+/// failure.  Still a SnapshotError(kIo) to callers.
+class InjectedCrash : public SnapshotError {
+ public:
+  explicit InjectedCrash(const std::string& msg)
+      : SnapshotError(Kind::kIo, msg) {}
+};
+
+/// One physical write with the fault hooks threaded through.
+void full_write(int fd, const void* data, std::size_t len,
+                FaultInjector* fault, const std::string& path) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::vector<unsigned char> corrupted;  // only allocated on a bit flip
+  if (fault != nullptr) {
+    const auto f = fault->on_io_write(len);
+    using K = FaultInjector::IoWriteFault::Kind;
+    switch (f.kind) {
+      case K::kNone:
+        break;
+      case K::kError:
+        throw SnapshotError(Kind::kIo, "injected I/O error (ENOSPC analog) "
+                                       "writing " + path);
+      case K::kShortWrite: {
+        // Half the buffer lands, then the "process dies": write, throw
+        // through the no-cleanup path, leave the torn file behind.
+        std::size_t half = len / 2;
+        while (half > 0) {
+          const ssize_t n = ::write(fd, p, half);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+          }
+          p += n;
+          half -= static_cast<std::size_t>(n);
+        }
+        throw InjectedCrash("injected short write (simulated crash) on " +
+                            path);
+      }
+      case K::kBitFlip:
+        corrupted.assign(p, p + len);
+        corrupted[f.bit / 8] ^= static_cast<unsigned char>(1u << (f.bit % 8));
+        p = corrupted.data();
+        break;
+    }
+  }
+  std::size_t left = len;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SnapshotError(Kind::kIo,
+                          "write failed on " + path + ": " + errno_text());
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_parent_dir(const std::string& path) {
+  // Best-effort: the rename is durable once the directory entry is
+  // flushed; failure here (exotic filesystems) degrades durability, not
+  // consistency, so it is not fatal.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);
+    (void)::close(dfd);
+  }
+}
+
+std::vector<std::byte> encode_header(const SnapshotHeader& h) {
+  std::vector<std::byte> buf(kHeaderBytes, std::byte{0});
+  put_bytes(buf, 0, kMagic, sizeof(kMagic));
+  put(buf, 8, h.version);
+  put(buf, 12, h.tile_dim);
+  put(buf, 16, h.nrows);
+  put(buf, 20, h.ncols);
+  put(buf, 24, h.nnz);
+  put(buf, 32, h.fingerprint);
+  put(buf, 40, h.flags);
+  put(buf, 44, h.section_count);
+  put(buf, 60, crc32c(buf.data(), 60));
+  return buf;
+}
+
+std::vector<std::byte> encode_section_header(SectionId id,
+                                             std::uint64_t payload_bytes,
+                                             std::uint32_t payload_crc) {
+  std::vector<std::byte> buf(kSectionHeaderBytes, std::byte{0});
+  put(buf, 0, static_cast<std::uint32_t>(id));
+  put(buf, 8, payload_bytes);
+  put(buf, 16, payload_crc);
+  put(buf, 20, crc32c(buf.data(), 20));
+  return buf;
+}
+
+[[nodiscard]] bool known_section_id(std::uint32_t id) {
+  return (id >= 1 && id <= 7) || (id >= 16 && id <= 24);
+}
+
+}  // namespace
+
+std::uint64_t csr_fingerprint(const Csr& a) {
+  std::uint32_t hi = crc32c(&a.nrows, sizeof(a.nrows));
+  hi = crc32c(&a.ncols, sizeof(a.ncols), hi);
+  hi = crc32c(a.rowptr.data(), a.rowptr.size() * sizeof(vidx_t), hi);
+  const std::uint32_t lo =
+      crc32c(a.colind.data(), a.colind.size() * sizeof(vidx_t));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::byte> bytes, FaultInjector* fault) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw SnapshotError(Kind::kIo,
+                        "cannot create " + tmp + ": " + errno_text());
+  }
+  try {
+    full_write(fd, bytes.data(), bytes.size(), fault, tmp);
+    if (::fsync(fd) != 0) {
+      throw SnapshotError(Kind::kIo,
+                          "fsync failed on " + tmp + ": " + errno_text());
+    }
+  } catch (const InjectedCrash&) {
+    (void)::close(fd);  // a crash leaves its debris behind
+    throw;
+  } catch (...) {
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    (void)::unlink(tmp.c_str());
+    throw SnapshotError(Kind::kIo,
+                        "close failed on " + tmp + ": " + errno_text());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    (void)::unlink(tmp.c_str());
+    throw SnapshotError(Kind::kIo,
+                        "rename " + tmp + " -> " + path + " failed: " + why);
+  }
+  fsync_parent_dir(path);
+}
+
+void SnapshotWriter::add_section(SectionId id, const void* data,
+                                 std::size_t bytes) {
+  sections_.push_back(
+      Sec{id, data, bytes, crc32c(bytes == 0 ? "" : data, bytes)});
+}
+
+void SnapshotWriter::write_file(const std::string& path,
+                                FaultInjector* fault) const {
+  // The whole snapshot is assembled as the exact byte stream, then
+  // handed to the crash-consistent writer in the same physical-write
+  // granularity the fault knobs index: header, then per section its
+  // header and payload.  Rather than one flat buffer (payloads may be
+  // large and already live in the Graph's caches), the file goes out
+  // through a small open/write sequence mirroring atomic_write_file.
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw SnapshotError(Kind::kIo,
+                        "cannot create " + tmp + ": " + errno_text());
+  }
+  try {
+    SnapshotHeader h = header_;
+    h.version = kFormatVersion;
+    h.section_count = static_cast<std::uint32_t>(sections_.size());
+    const auto header_bytes = encode_header(h);
+    full_write(fd, header_bytes.data(), header_bytes.size(), fault, tmp);
+    for (const Sec& s : sections_) {
+      const auto sh = encode_section_header(
+          s.id, static_cast<std::uint64_t>(s.bytes), s.crc);
+      full_write(fd, sh.data(), sh.size(), fault, tmp);
+      if (s.bytes > 0) full_write(fd, s.data, s.bytes, fault, tmp);
+    }
+    if (::fsync(fd) != 0) {
+      throw SnapshotError(Kind::kIo,
+                          "fsync failed on " + tmp + ": " + errno_text());
+    }
+  } catch (const InjectedCrash&) {
+    (void)::close(fd);
+    throw;
+  } catch (...) {
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    (void)::unlink(tmp.c_str());
+    throw SnapshotError(Kind::kIo,
+                        "close failed on " + tmp + ": " + errno_text());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    (void)::unlink(tmp.c_str());
+    throw SnapshotError(Kind::kIo,
+                        "rename " + tmp + " -> " + path + " failed: " + why);
+  }
+  fsync_parent_dir(path);
+}
+
+Snapshot Snapshot::read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw SnapshotError(Kind::kIo, "cannot open " + path);
+  f.seekg(0, std::ios::end);
+  const auto end = f.tellg();
+  if (end < 0) throw SnapshotError(Kind::kIo, "cannot size " + path);
+  f.seekg(0, std::ios::beg);
+  Snapshot s;
+  s.file_.resize(static_cast<std::size_t>(end));
+  if (!s.file_.empty() &&
+      !f.read(reinterpret_cast<char*>(s.file_.data()),
+              static_cast<std::streamsize>(s.file_.size()))) {
+    throw SnapshotError(Kind::kIo, "cannot read " + path);
+  }
+  const std::span<const std::byte> buf(s.file_);
+
+  // Container validation, outermost defense first: a truncated or
+  // foreign file fails before any field is trusted.
+  if (buf.size() < kHeaderBytes) {
+    throw SnapshotError(Kind::kTruncated,
+                        path + ": file shorter than the snapshot header");
+  }
+  if (std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw SnapshotError(Kind::kBadMagic, path + ": not a snapshot (bad magic)");
+  }
+  if (get<std::uint32_t>(buf, 60) != crc32c(buf.data(), 60)) {
+    throw SnapshotError(Kind::kCrcMismatch, path + ": header CRC mismatch");
+  }
+  SnapshotHeader& h = s.header_;
+  h.version = get<std::uint32_t>(buf, 8);
+  if (h.version != kFormatVersion) {
+    throw SnapshotError(Kind::kVersionSkew,
+                        path + ": snapshot format version " +
+                            std::to_string(h.version) + " (this build reads " +
+                            std::to_string(kFormatVersion) + ")");
+  }
+  h.tile_dim = get<std::uint32_t>(buf, 12);
+  h.nrows = get<vidx_t>(buf, 16);
+  h.ncols = get<vidx_t>(buf, 20);
+  h.nnz = get<eidx_t>(buf, 24);
+  h.fingerprint = get<std::uint64_t>(buf, 32);
+  h.flags = get<std::uint32_t>(buf, 40);
+  h.section_count = get<std::uint32_t>(buf, 44);
+  if (h.tile_dim != 0 && h.tile_dim != 4 && h.tile_dim != 8 &&
+      h.tile_dim != 16 && h.tile_dim != 32) {
+    throw SnapshotError(Kind::kMalformed,
+                        path + ": unsupported tile dim " +
+                            std::to_string(h.tile_dim));
+  }
+  if (h.nrows < 0 || h.ncols < 0 || h.nnz < 0) {
+    throw SnapshotError(Kind::kMalformed, path + ": negative dimensions");
+  }
+
+  std::size_t off = kHeaderBytes;
+  for (std::uint32_t i = 0; i < h.section_count; ++i) {
+    if (buf.size() - off < kSectionHeaderBytes) {
+      throw SnapshotError(Kind::kTruncated,
+                          path + ": file ends inside a section header");
+    }
+    const std::span<const std::byte> sh = buf.subspan(off, kSectionHeaderBytes);
+    if (get<std::uint32_t>(sh, 20) != crc32c(sh.data(), 20)) {
+      throw SnapshotError(Kind::kCrcMismatch,
+                          path + ": section header CRC mismatch");
+    }
+    const std::uint32_t raw_id = get<std::uint32_t>(sh, 0);
+    if (!known_section_id(raw_id)) {
+      throw SnapshotError(Kind::kMalformed,
+                          path + ": unknown section id " +
+                              std::to_string(raw_id));
+    }
+    const auto id = static_cast<SectionId>(raw_id);
+    for (const SectionInfo& prev : s.index_) {
+      if (prev.id == id) {
+        throw SnapshotError(Kind::kMalformed,
+                            path + ": duplicate section id " +
+                                std::to_string(raw_id));
+      }
+    }
+    const std::uint64_t payload_bytes = get<std::uint64_t>(sh, 8);
+    const std::size_t payload_off = off + kSectionHeaderBytes;
+    if (payload_bytes > buf.size() - payload_off) {
+      throw SnapshotError(Kind::kTruncated,
+                          path + ": file ends inside a section payload");
+    }
+    const std::uint32_t want_crc = get<std::uint32_t>(sh, 16);
+    if (crc32c(buf.data() + payload_off,
+               static_cast<std::size_t>(payload_bytes)) != want_crc) {
+      throw SnapshotError(Kind::kCrcMismatch,
+                          path + ": payload CRC mismatch in section " +
+                              std::to_string(raw_id));
+    }
+    s.index_.push_back(SectionInfo{id, off, payload_off,
+                                   static_cast<std::size_t>(payload_bytes)});
+    off = payload_off + static_cast<std::size_t>(payload_bytes);
+  }
+  if (off != buf.size()) {
+    throw SnapshotError(Kind::kMalformed,
+                        path + ": trailing bytes after the last section");
+  }
+  return s;
+}
+
+bool Snapshot::has(SectionId id) const {
+  return std::any_of(index_.begin(), index_.end(),
+                     [&](const SectionInfo& s) { return s.id == id; });
+}
+
+std::span<const std::byte> Snapshot::section(SectionId id) const {
+  for (const SectionInfo& s : index_) {
+    if (s.id == id) {
+      return std::span<const std::byte>(file_).subspan(s.payload_offset,
+                                                       s.payload_bytes);
+    }
+  }
+  throw SnapshotError(Kind::kMalformed,
+                      "required section " +
+                          std::to_string(static_cast<std::uint32_t>(id)) +
+                          " is absent");
+}
+
+}  // namespace bitgb::snap

@@ -84,6 +84,34 @@ TEST(MatrixMarket, RejectsTruncatedEntryList) {
   EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
 }
 
+TEST(MatrixMarket, RejectsTrailingDataAfterDeclaredEntries) {
+  // More entries than the size line declares: the old reader silently
+  // dropped the tail, handing back a graph missing edges the file
+  // plainly contains.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 1\n"
+      "1 1\n"
+      "2 2\n");
+  EXPECT_THROW(read_matrix_market(in), MatrixMarketError);
+  // Non-entry garbage after the last entry is rejected too.
+  std::istringstream garbage(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 1\n"
+      "1 1\n"
+      "unexpected trailer\n");
+  EXPECT_THROW(read_matrix_market(garbage), MatrixMarketError);
+  // Trailing comments and blank/whitespace lines remain legal.
+  std::istringstream benign(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 1\n"
+      "1 1\n"
+      "% a trailing comment\n"
+      "\n"
+      "   \n");
+  EXPECT_EQ(read_matrix_market(benign).nnz(), 1);
+}
+
 TEST(MatrixMarket, RejectsUnsupportedFormat) {
   std::istringstream in(
       "%%MatrixMarket matrix array real general\n"

@@ -1,0 +1,297 @@
+// Snapshot corruption fuzz: every load of a mutated snapshot must
+// either throw a typed SnapshotError or produce a graph bit-identical
+// to the original — never UB, never a partial graph, never a wrong
+// answer.  The mutation corpus is exhaustive over the container's
+// framing (the Snapshot index exposes every section boundary):
+//
+//   * truncation at and around every header/payload boundary,
+//   * a single bit flip inside every section header and every payload,
+//   * wrong magic, future version (with a RECOMPUTED header CRC, so the
+//     version check itself is what must fire), unsupported tile dim,
+//   * a CRC-clean semantic lie: colind tampered WITH its payload and
+//     section-header CRCs recomputed, which only the structural layer
+//     (validate / fingerprint) can catch.
+//
+// Runs green under ASan/UBSan — that is the point: corrupted input
+// exercises the exact paths where unchecked trust becomes UB.
+#include "graphblas/graph.hpp"
+#include "platform/crc32c.hpp"
+#include "sparse/snapshot.hpp"
+
+#include "test_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bitgb {
+namespace {
+
+namespace fs = std::filesystem;
+using snap::SnapshotError;
+
+class SnapshotFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "bitgb-snap-fuzz";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+
+    graph_ = std::make_unique<gb::Graph>(
+        gb::Graph::from_csr(test::small_matrix(3).second));
+    good_path_ = (dir_ / "good.bgbs").string();
+    graph_->save(good_path_, gb::kBitFormats);
+
+    std::ifstream f(good_path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(f),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), snap::kHeaderBytes);
+    snapshot_ = std::make_unique<snap::Snapshot>(
+        snap::Snapshot::read_file(good_path_));
+    ASSERT_FALSE(snapshot_->sections().empty());
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// Write `bytes` as a candidate snapshot and classify the load: OK
+  /// (and then REQUIRED bit-identical) or a typed SnapshotError.  Any
+  /// other exception — or a structurally different graph — fails.
+  void expect_rejected_or_identical(const std::vector<char>& bytes,
+                                    const std::string& what) {
+    const std::string p = (dir_ / "mutant.bgbs").string();
+    std::ofstream(p, std::ios::binary)
+        .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    try {
+      const gb::Graph loaded = gb::Graph::load(p);
+      // Survived every defense: then it must BE the original.
+      EXPECT_EQ(loaded.adjacency().rowptr, graph_->adjacency().rowptr) << what;
+      EXPECT_EQ(loaded.adjacency().colind, graph_->adjacency().colind) << what;
+      EXPECT_EQ(loaded.fingerprint(), graph_->fingerprint()) << what;
+      EXPECT_EQ(loaded.packed().nnz(), graph_->packed().nnz()) << what;
+    } catch (const SnapshotError&) {
+      // The expected outcome for nearly every mutation.
+    } catch (const std::exception& e) {
+      FAIL() << what << ": untyped exception escaped: " << e.what();
+    }
+  }
+
+  /// Expect load to throw specifically `kind`.
+  void expect_kind(const std::vector<char>& bytes, SnapshotError::Kind kind,
+                   const std::string& what) {
+    const std::string p = (dir_ / "mutant.bgbs").string();
+    std::ofstream(p, std::ios::binary)
+        .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    try {
+      (void)gb::Graph::load(p);
+      FAIL() << what << ": load did not throw";
+    } catch (const SnapshotError& e) {
+      EXPECT_EQ(static_cast<int>(e.kind()), static_cast<int>(kind)) << what;
+    }
+  }
+
+  /// Recompute the fixed header's trailing CRC after a field edit, so
+  /// the next-deeper defense is the one under test.
+  static void fix_header_crc(std::vector<char>& b) {
+    const std::uint32_t c = crc32c(b.data(), 60);
+    std::memcpy(b.data() + 60, &c, 4);
+  }
+
+  fs::path dir_;
+  std::unique_ptr<gb::Graph> graph_;
+  std::unique_ptr<snap::Snapshot> snapshot_;
+  std::string good_path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(SnapshotFuzz, BaselineLoadsBitIdentical) {
+  expect_rejected_or_identical(bytes_, "untouched bytes");
+}
+
+TEST_F(SnapshotFuzz, TruncationAtEveryBoundary) {
+  std::vector<std::size_t> cuts = {0, 1, 7, 8, 32, 63, snap::kHeaderBytes};
+  for (const auto& s : snapshot_->sections()) {
+    for (const std::size_t at :
+         {s.header_offset, s.header_offset + 1,
+          s.header_offset + snap::kSectionHeaderBytes - 1, s.payload_offset,
+          s.payload_offset + s.payload_bytes / 2,
+          s.payload_offset + s.payload_bytes - 1}) {
+      cuts.push_back(at);
+    }
+  }
+  cuts.push_back(bytes_.size() - 1);
+  for (const std::size_t cut : cuts) {
+    if (cut >= bytes_.size()) continue;
+    expect_rejected_or_identical(
+        std::vector<char>(bytes_.begin(),
+                          bytes_.begin() + static_cast<std::ptrdiff_t>(cut)),
+        "truncate to " + std::to_string(cut));
+  }
+  // Growing the file is framing corruption too (trailing bytes).
+  auto grown = bytes_;
+  grown.push_back('\0');
+  expect_kind(grown, SnapshotError::Kind::kMalformed, "one trailing byte");
+}
+
+TEST_F(SnapshotFuzz, OneBitFlipInEverySection) {
+  // Deterministic spread: several bit positions per region — the fixed
+  // header, every section header, every payload.
+  auto flip_at = [&](std::size_t byte, int bit, const std::string& what) {
+    auto mutant = bytes_;
+    mutant[byte] = static_cast<char>(mutant[byte] ^ (1u << bit));
+    expect_rejected_or_identical(mutant, what);
+  };
+  for (std::size_t byte = 0; byte < snap::kHeaderBytes; byte += 5) {
+    flip_at(byte, static_cast<int>(byte % 8),
+            "header bit flip @" + std::to_string(byte));
+  }
+  for (const auto& s : snapshot_->sections()) {
+    for (std::size_t i = 0; i < snap::kSectionHeaderBytes; i += 3) {
+      flip_at(s.header_offset + i, static_cast<int>(i % 8),
+              "section " + std::to_string(static_cast<int>(s.id)) +
+                  " header bit flip +" + std::to_string(i));
+    }
+    const std::size_t step = std::max<std::size_t>(1, s.payload_bytes / 7);
+    for (std::size_t i = 0; i < s.payload_bytes; i += step) {
+      flip_at(s.payload_offset + i, static_cast<int>((i + 3) % 8),
+              "section " + std::to_string(static_cast<int>(s.id)) +
+                  " payload bit flip +" + std::to_string(i));
+    }
+  }
+}
+
+TEST_F(SnapshotFuzz, WrongMagicIsBadMagic) {
+  auto mutant = bytes_;
+  mutant[0] = 'X';
+  expect_kind(mutant, SnapshotError::Kind::kBadMagic, "wrong magic");
+  // An unrelated file format entirely.
+  std::vector<char> text = {'h', 'e', 'l', 'l', 'o', '\n'};
+  expect_rejected_or_identical(text, "text file");  // kTruncated (< 64 B)
+  std::vector<char> big_text(200, 'a');
+  expect_kind(big_text, SnapshotError::Kind::kBadMagic, "200-byte text file");
+}
+
+TEST_F(SnapshotFuzz, FutureVersionIsVersionSkewNotParseAttempt) {
+  auto mutant = bytes_;
+  const std::uint32_t v2 = snap::kFormatVersion + 1;
+  std::memcpy(mutant.data() + 8, &v2, 4);
+  fix_header_crc(mutant);  // CRC is valid: the version gate must fire
+  expect_kind(mutant, SnapshotError::Kind::kVersionSkew, "version+1");
+}
+
+TEST_F(SnapshotFuzz, UnsupportedTileDimIsMalformed) {
+  auto mutant = bytes_;
+  const std::uint32_t dim = 7;
+  std::memcpy(mutant.data() + 12, &dim, 4);
+  fix_header_crc(mutant);
+  expect_kind(mutant, SnapshotError::Kind::kMalformed, "tile_dim 7");
+}
+
+TEST_F(SnapshotFuzz, CrcCleanSemanticTamperIsCaughtStructurally) {
+  // Rewrite one colind entry to an out-of-range vertex, then recompute
+  // BOTH the payload CRC and the section header CRC: the container
+  // layer now believes the file, and only Csr::validate / the content
+  // fingerprint stand between the lie and a serving graph.
+  const auto& sections = snapshot_->sections();
+  const snap::Snapshot::SectionInfo* colind = nullptr;
+  for (const auto& s : sections) {
+    if (s.id == snap::SectionId::kCsrColind) colind = &s;
+  }
+  ASSERT_NE(colind, nullptr);
+  ASSERT_GE(colind->payload_bytes, sizeof(vidx_t));
+
+  auto mutant = bytes_;
+  const vidx_t evil = graph_->num_vertices() + 100;
+  std::memcpy(mutant.data() + colind->payload_offset, &evil, sizeof(vidx_t));
+  const std::uint32_t payload_crc =
+      crc32c(mutant.data() + colind->payload_offset, colind->payload_bytes);
+  std::memcpy(mutant.data() + colind->header_offset + 16, &payload_crc, 4);
+  const std::uint32_t header_crc =
+      crc32c(mutant.data() + colind->header_offset, 20);
+  std::memcpy(mutant.data() + colind->header_offset + 20, &header_crc, 4);
+  expect_kind(mutant, SnapshotError::Kind::kInvalidStructure,
+              "CRC-clean out-of-range colind");
+
+  // Same tamper but in-range (vertex 0): the CSR may stay valid, so the
+  // fingerprint is the defense that must fire.
+  auto mutant2 = bytes_;
+  const vidx_t zero = 0;
+  std::memcpy(mutant2.data() + colind->payload_offset, &zero, sizeof(vidx_t));
+  const std::uint32_t p2 =
+      crc32c(mutant2.data() + colind->payload_offset, colind->payload_bytes);
+  std::memcpy(mutant2.data() + colind->header_offset + 16, &p2, 4);
+  const std::uint32_t h2 =
+      crc32c(mutant2.data() + colind->header_offset, 20);
+  std::memcpy(mutant2.data() + colind->header_offset + 20, &h2, 4);
+  expect_rejected_or_identical(mutant2, "CRC-clean in-range colind tamper");
+}
+
+TEST_F(SnapshotFuzz, SectionCountLiesAreFramingErrors) {
+  // section_count = 0 with sections still on disk: trailing bytes.
+  auto fewer = bytes_;
+  const std::uint32_t zero = 0;
+  std::memcpy(fewer.data() + 44, &zero, 4);
+  fix_header_crc(fewer);
+  expect_kind(fewer, SnapshotError::Kind::kMalformed, "section_count 0");
+
+  // section_count + 1: the reader walks off the end.
+  auto more = bytes_;
+  std::uint32_t count;
+  std::memcpy(&count, more.data() + 44, 4);
+  ++count;
+  std::memcpy(more.data() + 44, &count, 4);
+  fix_header_crc(more);
+  expect_kind(more, SnapshotError::Kind::kTruncated, "section_count + 1");
+}
+
+TEST_F(SnapshotFuzz, EveryOracleMatrixSurvivesItsOwnFuzzPass) {
+  // A lighter sweep (truncations + a few flips) over the whole corpus,
+  // so empty/single/dense/non-multiple-of-dim shapes all get the
+  // treatment.
+  for (const auto& [name, a] : test::small_matrices()) {
+    const gb::Graph g = gb::Graph::from_csr(a);
+    const std::string p = (dir_ / (name + ".bgbs")).string();
+    g.save(p, gb::kBitFormats);
+    std::ifstream f(p, std::ios::binary);
+    const std::vector<char> orig((std::istreambuf_iterator<char>(f)),
+                                 std::istreambuf_iterator<char>());
+
+    for (const std::size_t cut :
+         {orig.size() / 3, orig.size() / 2, orig.size() - 1}) {
+      const std::vector<char> t(orig.begin(),
+                                orig.begin() +
+                                    static_cast<std::ptrdiff_t>(cut));
+      const std::string mp = (dir_ / "m.bgbs").string();
+      std::ofstream(mp, std::ios::binary)
+          .write(t.data(), static_cast<std::streamsize>(t.size()));
+      EXPECT_THROW((void)gb::Graph::load(mp), SnapshotError)
+          << name << " cut " << cut;
+    }
+    for (std::size_t byte = 16; byte < orig.size();
+         byte += std::max<std::size_t>(1, orig.size() / 11)) {
+      auto m = orig;
+      m[byte] = static_cast<char>(m[byte] ^ 0x10);
+      const std::string mp = (dir_ / "m.bgbs").string();
+      std::ofstream(mp, std::ios::binary)
+          .write(m.data(), static_cast<std::streamsize>(m.size()));
+      try {
+        const gb::Graph loaded = gb::Graph::load(mp);
+        EXPECT_EQ(loaded.adjacency().rowptr, g.adjacency().rowptr)
+            << name << " flip @" << byte;
+        EXPECT_EQ(loaded.adjacency().colind, g.adjacency().colind)
+            << name << " flip @" << byte;
+      } catch (const SnapshotError&) {
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bitgb
