@@ -7,6 +7,44 @@
 
 namespace bitgb::gb {
 
+namespace {
+
+/// Private `built` bits for the two lazily-decided scalars that are not
+/// public formats.  They live above bit 8 (kFmtDegrees) and are masked
+/// out of formats().
+constexpr FormatSet kBuiltTileDim = 1u << 30;
+constexpr FormatSet kBuiltFingerprint = 1u << 31;
+constexpr FormatSet kPublicFormatMask = kAllFormats;
+
+/// The one audited escape for the whole lazy cache: double-checked
+/// publication.  The fast path reads `built` with acquire order and, on
+/// a set bit, reads the slot with NO lock — safe because the slot was
+/// fully constructed before the release fetch_or that set the bit, and
+/// is immutable afterwards.  Thread Safety Analysis cannot express
+/// "guarded until published, lock-free after", so the helper opts out;
+/// every slot access in this translation unit funnels through here.
+///
+/// A build() that throws leaves the slot empty and the bit clear — the
+/// next caller retries, matching the std::call_once semantics this
+/// replaces (without TSan's pthread_once exceptional-retry deadlock).
+template <typename T, typename Build>
+const T& materialize(std::atomic<FormatSet>& built, FormatSet bit,
+                     Mutex& mu, std::optional<T>& slot,
+                     Build&& build) NO_THREAD_SAFETY_ANALYSIS {
+  if ((built.load(std::memory_order_acquire) & bit) == 0) {
+    const MutexLock lk(mu);
+    // Relaxed is enough under the mutex: the lock orders us after any
+    // prior critical section that set the bit.
+    if ((built.load(std::memory_order_relaxed) & bit) == 0) {
+      if (!slot) slot.emplace(build());
+      built.fetch_or(bit, std::memory_order_release);
+    }
+  }
+  return *slot;
+}
+
+}  // namespace
+
 Graph Graph::from_coo(const Coo& edges, const GraphOptions& opts) {
   return from_csr(coo_to_csr(pattern_of(edges)), opts);
 }
@@ -23,99 +61,79 @@ Graph Graph::from_csr(Csr adjacency, const GraphOptions& opts) {
 
 int Graph::tile_dim() const {
   Lazy& l = *lazy_;
-  std::call_once(l.dim_once, [&] {
-    if (opts_.tile_dim != 0) {
-      l.tile_dim = opts_.tile_dim;
-      return;
-    }
+  return materialize(l.built, kBuiltTileDim, l.dim_mu, l.tile_dim, [&] {
+    if (opts_.tile_dim != 0) return opts_.tile_dim;
     // The §III-C workflow, run at the first B2SR-side request rather
     // than at construction: sample, estimate compression per dim, pick
     // the best.  Seeded from GraphOptions for reproducibility.
     const SamplingProfile prof =
         sample_profile(csr_, opts_.sample_rows, opts_.sample_seed);
-    l.tile_dim = prof.recommended_dim();
+    return prof.recommended_dim();
   });
-  return l.tile_dim;
 }
 
 const Csr& Graph::adjacency_t() const {
   Lazy& l = *lazy_;
-  std::call_once(l.csr_t_once, [&] {
-    if (!l.csr_t) l.csr_t = transpose(csr_);
-    l.built.fetch_or(kFmtCsrT, std::memory_order_release);
-  });
-  return *l.csr_t;
+  return materialize(l.built, kFmtCsrT, l.csr_t_mu, l.csr_t,
+                     [&] { return transpose(csr_); });
 }
 
 const B2srAny& Graph::packed() const {
   Lazy& l = *lazy_;
-  std::call_once(l.b2sr_once, [&] {
-    if (!l.b2sr) l.b2sr = pack_any(csr_, tile_dim(), opts_.ingest);
-    l.built.fetch_or(kFmtB2sr, std::memory_order_release);
+  return materialize(l.built, kFmtB2sr, l.b2sr_mu, l.b2sr, [&] {
+    return pack_any(csr_, tile_dim(), opts_.ingest);
   });
-  return *l.b2sr;
 }
 
 const B2srAny& Graph::packed_t() const {
   Lazy& l = *lazy_;
-  std::call_once(l.b2sr_t_once, [&] {
-    if (!l.b2sr_t) l.b2sr_t = pack_any(adjacency_t(), tile_dim(), opts_.ingest);
-    l.built.fetch_or(kFmtB2srT, std::memory_order_release);
+  return materialize(l.built, kFmtB2srT, l.b2sr_t_mu, l.b2sr_t, [&] {
+    return pack_any(adjacency_t(), tile_dim(), opts_.ingest);
   });
-  return *l.b2sr_t;
 }
 
 const Csr& Graph::unit_adjacency() const {
   Lazy& l = *lazy_;
-  std::call_once(l.unit_once, [&] {
+  return materialize(l.built, kFmtUnitCsr, l.unit_mu, l.unit_csr, [&] {
     Csr u = csr_;
     u.val.assign(static_cast<std::size_t>(u.nnz()), 1.0f);
-    l.unit_csr = std::move(u);
-    l.built.fetch_or(kFmtUnitCsr, std::memory_order_release);
+    return u;
   });
-  return *l.unit_csr;
 }
 
 const Csr& Graph::unit_adjacency_t() const {
   Lazy& l = *lazy_;
-  std::call_once(l.unit_t_once, [&] {
+  return materialize(l.built, kFmtUnitCsrT, l.unit_t_mu, l.unit_csr_t, [&] {
     Csr u = adjacency_t();
     u.val.assign(static_cast<std::size_t>(u.nnz()), 1.0f);
-    l.unit_csr_t = std::move(u);
-    l.built.fetch_or(kFmtUnitCsrT, std::memory_order_release);
+    return u;
   });
-  return *l.unit_csr_t;
 }
 
 const Csr& Graph::lower() const {
   Lazy& l = *lazy_;
-  std::call_once(l.lower_once, [&] {
-    if (!l.lower) l.lower = lower_triangle(csr_);
-    l.built.fetch_or(kFmtLower, std::memory_order_release);
-  });
-  return *l.lower;
+  return materialize(l.built, kFmtLower, l.lower_mu, l.lower,
+                     [&] { return lower_triangle(csr_); });
 }
 
 const B2srAny& Graph::packed_lower() const {
   Lazy& l = *lazy_;
-  std::call_once(l.b2sr_lower_once, [&] {
-    if (!l.b2sr_lower) l.b2sr_lower = pack_any(lower(), tile_dim(), opts_.ingest);
-    l.built.fetch_or(kFmtB2srLower, std::memory_order_release);
-  });
-  return *l.b2sr_lower;
+  return materialize(l.built, kFmtB2srLower, l.b2sr_lower_mu, l.b2sr_lower,
+                     [&] {
+                       return pack_any(lower(), tile_dim(), opts_.ingest);
+                     });
 }
 
 const std::vector<vidx_t>& Graph::degrees() const {
   Lazy& l = *lazy_;
-  std::call_once(l.degrees_once, [&] {
-    if (!l.degrees) l.degrees = out_degrees(csr_);
-    l.built.fetch_or(kFmtDegrees, std::memory_order_release);
-  });
-  return *l.degrees;
+  return materialize(l.built, kFmtDegrees, l.degrees_mu, l.degrees,
+                     [&] { return out_degrees(csr_); });
 }
 
 FormatSet Graph::formats() const {
-  return lazy_->built.load(std::memory_order_acquire);
+  // Mask the private tile-dim / fingerprint bits: they are publication
+  // state, not formats.
+  return lazy_->built.load(std::memory_order_acquire) & kPublicFormatMask;
 }
 
 void Graph::prewarm(FormatSet want) const {
@@ -131,10 +149,8 @@ void Graph::prewarm(FormatSet want) const {
 
 std::uint64_t Graph::fingerprint() const {
   Lazy& l = *lazy_;
-  std::call_once(l.fp_once, [&] {
-    if (!l.fp) l.fp = snap::csr_fingerprint(csr_);
-  });
-  return *l.fp;
+  return materialize(l.built, kBuiltFingerprint, l.fp_mu, l.fp,
+                     [&] { return snap::csr_fingerprint(csr_); });
 }
 
 Graph Graph::clone() const {

@@ -4,9 +4,10 @@
 // Construction stores only the binary CSR (symmetrized and self-loop-
 // stripped by default — the homogeneous-graph preconditions of the
 // paper's algorithms; both switchable, PR uses the directed adjacency).
-// Every other representation materializes on first use under a
-// std::once_flag-guarded cache and is immutable afterwards, so any
-// number of concurrent queries can share one const Graph:
+// Every other representation materializes on first use under a per-slot
+// mutex with double-checked atomic publication (see materialize() in
+// graph.cpp) and is immutable afterwards, so any number of concurrent
+// queries can share one const Graph:
 //
 //   * CSR transpose and unit-valued (1.0f per nonzero) copies for the
 //     reference backend (the GraphBLAST-substitute baseline reads one
@@ -26,13 +27,13 @@
 #include "core/b2sr.hpp"
 #include "platform/context.hpp"
 #include "platform/exec.hpp"
+#include "platform/thread_annotations.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 namespace bitgb::gb {
@@ -165,21 +166,39 @@ class Graph {
  private:
   Graph() = default;
 
-  /// The once_flag-guarded lazy state, heap-held so the handle stays
-  /// movable (once_flags pin their address).
+  /// The lazily-materialized cache state, heap-held so the handle stays
+  /// movable (mutexes pin their address).  Each slot pairs a Mutex with
+  /// an optional: materialization takes the slot's mutex, then
+  /// publishes by setting the slot's bit in `built` with release order
+  /// so the lock-free fast path (acquire load of `built`) may read the
+  /// slot without the lock.  The mutexes are per-slot — mirroring the
+  /// per-slot once_flags they replaced — because dependent
+  /// materializations (packed needs tile_dim, packed_t/unit_t need
+  /// adjacency_t, packed_lower needs lower) lock the dependency's slot
+  /// while holding their own; one cache-wide mutex would self-deadlock.
+  /// (The once_flags also had to go for a second reason: TSan's
+  /// pthread_once interceptor deadlocks on exceptional retry, the same
+  /// hazard that shaped GraphSlot's component memo.)
   struct Lazy {
-    std::once_flag dim_once, csr_t_once, unit_once, unit_t_once, lower_once,
-        b2sr_once, b2sr_t_once, b2sr_lower_once, degrees_once, fp_once;
+    Mutex dim_mu, csr_t_mu, unit_mu, unit_t_mu, lower_mu, b2sr_mu, b2sr_t_mu,
+        b2sr_lower_mu, degrees_mu, fp_mu;
+    /// Publication word: public Format bits plus the private tile-dim /
+    /// fingerprint bits defined in graph.cpp (masked out of formats()).
     std::atomic<FormatSet> built{kFmtCsr};
-    int tile_dim = 0;
     // The optionals double as the load() seam: Graph::load fills them
-    // directly (snapshot sections, already validated), and each
-    // accessor's once-lambda skips recomputation when its slot is
-    // already populated.
-    std::optional<Csr> csr_t, unit_csr, unit_csr_t, lower;
-    std::optional<B2srAny> b2sr, b2sr_t, b2sr_lower;
-    std::optional<std::vector<vidx_t>> degrees;
-    std::optional<std::uint64_t> fp;
+    // directly (snapshot sections, already validated) before the handle
+    // is visible to any second thread, and materialize() skips
+    // recomputation for populated slots.
+    std::optional<int> tile_dim GUARDED_BY(dim_mu);
+    std::optional<Csr> csr_t GUARDED_BY(csr_t_mu);
+    std::optional<Csr> unit_csr GUARDED_BY(unit_mu);
+    std::optional<Csr> unit_csr_t GUARDED_BY(unit_t_mu);
+    std::optional<Csr> lower GUARDED_BY(lower_mu);
+    std::optional<B2srAny> b2sr GUARDED_BY(b2sr_mu);
+    std::optional<B2srAny> b2sr_t GUARDED_BY(b2sr_t_mu);
+    std::optional<B2srAny> b2sr_lower GUARDED_BY(b2sr_lower_mu);
+    std::optional<std::vector<vidx_t>> degrees GUARDED_BY(degrees_mu);
+    std::optional<std::uint64_t> fp GUARDED_BY(fp_mu);
   };
 
   Csr csr_;

@@ -1,0 +1,201 @@
+// Clang Thread Safety Analysis wrappers — compile-time locking proofs.
+//
+// Every lock-holding component in the tree uses these capability-
+// annotated primitives instead of the raw std ones, so the locking
+// discipline that TSan checks *dynamically* (one interleaving per run)
+// is also proven *statically* on every clang build: a member annotated
+// GUARDED_BY(mu) that is touched without holding `mu` is a compile
+// error under -Werror=thread-safety, on every path, in every build.
+//
+// The wrappers are zero-cost shims over the std primitives (same
+// layout, same calls, header-only); on compilers without the analysis
+// (gcc) the attribute macros expand to nothing and the wrappers are
+// bit-for-bit the std behavior.  test_thread_annotations proves the
+// semantic parity; tools/check_thread_safety_negative.sh proves the
+// analysis actually fires (an unguarded access must FAIL to compile
+// under clang -Werror=thread-safety).
+//
+// Annotation cheat sheet (see BUILDING.md "Static analysis"):
+//   GUARDED_BY(mu)   — data member: reads need mu held (shared ok),
+//                      writes need it held exclusively
+//   REQUIRES(mu)     — function: caller must already hold mu
+//   ACQUIRE/RELEASE  — function: takes/drops mu itself
+//   EXCLUDES(mu)     — function: caller must NOT hold mu (deadlock
+//                      proof for self-locking public entry points)
+//   NO_THREAD_SAFETY_ANALYSIS — audited escape hatch; every use in the
+//                      tree carries a justification comment (the
+//                      double-checked publication pattern, mostly)
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// The attribute macros follow the canonical clang mutex.h spelling.
+// They are deliberately unprefixed (GUARDED_BY, not BITGB_GUARDED_BY):
+// the annotations read as part of the language, and the names are the
+// ones every reader of the clang docs already knows.
+#if defined(__clang__) && !defined(SWIG)
+#define BITGB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BITGB_THREAD_ANNOTATION(x)  // no-op: gcc/MSVC have no analysis
+#endif
+
+#define CAPABILITY(x) BITGB_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY BITGB_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) BITGB_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) BITGB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  BITGB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  BITGB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  BITGB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  BITGB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  BITGB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  BITGB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  BITGB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  BITGB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  BITGB_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  BITGB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  BITGB_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) BITGB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  BITGB_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  BITGB_THREAD_ANNOTATION(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) BITGB_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  BITGB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bitgb {
+
+/// std::mutex with the `capability` attribute: the handle GUARDED_BY
+/// and REQUIRES refer to.  The method bodies call the raw std::mutex
+/// (not each other), so the analysis of the wrapper itself stays
+/// trivially consistent.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// std::shared_mutex with the capability attribute: writers ACQUIRE,
+/// readers ACQUIRE_SHARED — the analysis checks that guarded members
+/// are only *written* under the exclusive mode.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  void lock_shared() ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { m_.unlock_shared(); }
+  [[nodiscard]] bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
+    return m_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock (std::lock_guard analog) over Mutex or
+/// SharedMutex.  SCOPED_CAPABILITY makes the analysis track the held
+/// region through early returns and exceptions exactly like the
+/// destructor does.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(&mu), shared_(nullptr) {
+    mu.lock();
+  }
+  explicit MutexLock(SharedMutex& mu) ACQUIRE(mu)
+      : mu_(nullptr), shared_(&mu) {
+    mu.lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+    } else {
+      shared_->unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  SharedMutex* shared_;
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu.lock_shared();
+  }
+  ~SharedLock() RELEASE() { mu_.unlock_shared(); }
+
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex.  wait() REQUIRES
+/// the mutex, so "waiting without the lock" — the classic lost-wakeup
+/// bug — is a compile error.  Waits are spelled as explicit
+/// while-loops at the call sites rather than predicate lambdas: the
+/// analysis treats a lambda body as a separate function that holds
+/// nothing, so a guarded read inside a wait-predicate would
+/// false-positive.
+///
+/// Internally a std::condition_variable over the Mutex's std::mutex
+/// (adopt/release around the wait), so the fast native wakeup path is
+/// unchanged from the pre-annotation code.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, block, reacquire before returning.
+  /// Caller must hold `mu` (checked), and as always may wake
+  /// spuriously — loop on the condition.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.m_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bitgb

@@ -9,9 +9,9 @@ RequestQueue::RequestQueue(std::size_t capacity)
 
 PushOutcome RequestQueue::try_push(Request&& r) {
   {
-    const std::lock_guard<std::mutex> lk(m_);
+    const MutexLock lk(m_);
     if (closed_) return PushOutcome::kClosed;
-    if (total_unlocked() >= capacity_) return PushOutcome::kFull;
+    if (total_locked() >= capacity_) return PushOutcome::kFull;
     kinds_[static_cast<std::size_t>(r.kind)].push_back(std::move(r));
   }
   // One waiter per push: a batch pop drains several pushes, so waking
@@ -23,9 +23,12 @@ PushOutcome RequestQueue::try_push(Request&& r) {
 std::size_t RequestQueue::pop_batch(std::vector<Request>& out, int max_batch) {
   out.clear();
   const auto take = static_cast<std::size_t>(std::max(1, max_batch));
-  std::unique_lock<std::mutex> lk(m_);
-  cv_.wait(lk, [&] { return closed_ || total_unlocked() > 0; });
-  if (total_unlocked() == 0) return 0;  // closed and drained
+  const MutexLock lk(m_);
+  // Explicit wait loop (not a predicate lambda): the thread-safety
+  // analysis sees the guarded reads happen with m_ held, which a
+  // lambda body would not convey.
+  while (!closed_ && total_locked() == 0) cv_.wait(m_);
+  if (total_locked() == 0) return 0;  // closed and drained
 
   // Serve the kind whose head has waited longest (FIFO across kinds);
   // at least one FIFO is non-empty here.
@@ -46,15 +49,15 @@ std::size_t RequestQueue::pop_batch(std::vector<Request>& out, int max_batch) {
 
 void RequestQueue::close() {
   {
-    const std::lock_guard<std::mutex> lk(m_);
+    const MutexLock lk(m_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t RequestQueue::depth() const {
-  const std::lock_guard<std::mutex> lk(m_);
-  return total_unlocked();
+  const MutexLock lk(m_);
+  return total_locked();
 }
 
 }  // namespace bitgb::serving

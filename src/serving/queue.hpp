@@ -19,13 +19,12 @@
 // executing.
 #pragma once
 
+#include "platform/thread_annotations.hpp"
 #include "serving/request.hpp"
 
 #include <array>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 namespace bitgb::serving {
@@ -46,32 +45,34 @@ class RequestQueue {
   /// Admission: enqueue if open and total depth < capacity.  On
   /// refusal (kFull/kClosed) `r` is left untouched — the promise stays
   /// with the caller to shed.
-  [[nodiscard]] PushOutcome try_push(Request&& r);
+  [[nodiscard]] PushOutcome try_push(Request&& r) EXCLUDES(m_);
 
   /// Pop up to max_batch requests of one kind, appended to `out`
   /// (which is cleared first).  Blocks while the queue is empty and
   /// open; returns the number popped, 0 only when closed and drained.
-  std::size_t pop_batch(std::vector<Request>& out, int max_batch);
+  std::size_t pop_batch(std::vector<Request>& out, int max_batch)
+      EXCLUDES(m_);
 
   /// Close admission.  Pending requests still drain through pop_batch;
   /// once empty, pop_batch returns 0 to every worker.
-  void close();
+  void close() EXCLUDES(m_);
 
-  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth() const EXCLUDES(m_);
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
-  [[nodiscard]] std::size_t total_unlocked() const {
+  [[nodiscard]] std::size_t total_locked() const REQUIRES(m_) {
     std::size_t total = 0;
     for (const auto& q : kinds_) total += q.size();
     return total;
   }
 
   const std::size_t capacity_;
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::array<std::deque<Request>, kNumQueryKinds> kinds_;  ///< by QueryKind
-  bool closed_ = false;
+  mutable Mutex m_;
+  CondVar cv_;
+  /// Pending requests, one FIFO per QueryKind.
+  std::array<std::deque<Request>, kNumQueryKinds> kinds_ GUARDED_BY(m_);
+  bool closed_ GUARDED_BY(m_) = false;
 };
 
 }  // namespace bitgb::serving

@@ -48,7 +48,7 @@ GraphRef GraphRegistry::add(std::string name, gb::Graph g,
   {
     GraphRef existing;
     {
-      const std::lock_guard<std::mutex> lk(m_);
+      const SharedLock lk(m_);
       const auto it =
           std::find_if(slots_.begin(), slots_.end(),
                        [&](const auto& p) { return p.first == name; });
@@ -61,13 +61,13 @@ GraphRef GraphRegistry::add(std::string name, gb::Graph g,
         existing->graph().fingerprint() == g.fingerprint()) {
       std::uint64_t generation;
       {
-        const std::lock_guard<std::mutex> lk(m_);
+        const MutexLock lk(m_);
         generation = next_generation_++;
       }
       auto slot = std::make_shared<const GraphSlot>(
           name, generation, existing->shared_graph());
       dedup_hits_.fetch_add(1, std::memory_order_relaxed);
-      const std::lock_guard<std::mutex> lk(m_);
+      const MutexLock lk(m_);
       for (auto& [n, s] : slots_) {
         if (n == name) {
           s = slot;
@@ -84,12 +84,12 @@ GraphRef GraphRegistry::add(std::string name, gb::Graph g,
   g.prewarm(warm);
   std::uint64_t generation;
   {
-    const std::lock_guard<std::mutex> lk(m_);
+    const MutexLock lk(m_);
     generation = next_generation_++;
   }
   auto slot = std::make_shared<const GraphSlot>(name, generation,
                                                std::move(g));
-  const std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   for (auto& [n, s] : slots_) {
     if (n == name) {
       s = slot;  // replace: the old slot drains via its in-flight refs
@@ -101,7 +101,7 @@ GraphRef GraphRegistry::add(std::string name, gb::Graph g,
 }
 
 bool GraphRegistry::remove(std::string_view name) {
-  const std::lock_guard<std::mutex> lk(m_);
+  const MutexLock lk(m_);
   const auto it = std::find_if(slots_.begin(), slots_.end(),
                                [&](const auto& p) { return p.first == name; });
   if (it == slots_.end()) return false;
@@ -110,14 +110,14 @@ bool GraphRegistry::remove(std::string_view name) {
 }
 
 GraphRef GraphRegistry::lookup(std::string_view name) const {
-  const std::lock_guard<std::mutex> lk(m_);
+  const SharedLock lk(m_);
   const auto it = std::find_if(slots_.begin(), slots_.end(),
                                [&](const auto& p) { return p.first == name; });
   return it == slots_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> GraphRegistry::names() const {
-  const std::lock_guard<std::mutex> lk(m_);
+  const SharedLock lk(m_);
   std::vector<std::string> out;
   out.reserve(slots_.size());
   for (const auto& [n, s] : slots_) out.push_back(n);
@@ -125,7 +125,7 @@ std::vector<std::string> GraphRegistry::names() const {
 }
 
 std::size_t GraphRegistry::size() const {
-  const std::lock_guard<std::mutex> lk(m_);
+  const SharedLock lk(m_);
   return slots_.size();
 }
 
@@ -137,7 +137,7 @@ void GraphRegistry::save_all(const std::string& dir, gb::FormatSet formats,
   // point-in-time backup.
   std::vector<std::pair<std::string, GraphRef>> view;
   {
-    const std::lock_guard<std::mutex> lk(m_);
+    const SharedLock lk(m_);
     view = slots_;
   }
   for (const auto& [name, slot] : view) {

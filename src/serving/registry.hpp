@@ -21,12 +21,12 @@
 #include "graphblas/graph.hpp"
 #include "platform/context.hpp"
 #include "platform/fault_injector.hpp"
+#include "platform/thread_annotations.hpp"
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -179,15 +179,15 @@ class GraphSlot {
   /// releases the lock, the next caller retries) and is clean under
   /// every sanitizer; the ready-path cost is one acquire load.
   [[nodiscard]] const algo::BatchedCcResult& components(
-      const Context& ctx, algo::Workspace& ws) const {
+      const Context& ctx, algo::Workspace& ws) const EXCLUDES(cc_mutex_) {
     if (!cc_ready_.load(std::memory_order_acquire)) {
-      std::lock_guard<std::mutex> lock(cc_mutex_);
+      const MutexLock lock(cc_mutex_);
       if (!cc_ready_.load(std::memory_order_relaxed)) {
         algo::batched_cc(ctx, *graph_, {}, ws, cc_);
         cc_ready_.store(true, std::memory_order_release);
       }
     }
-    return cc_;
+    return published_components();
   }
 
   /// The slot's failure-domain gate (state only — the trip/cooldown
@@ -195,13 +195,26 @@ class GraphSlot {
   [[nodiscard]] CircuitBreaker& breaker() const { return breaker_; }
 
  private:
+  /// The double-checked publication escape, in one audited spot: once
+  /// cc_ready_ is observed true with acquire ordering, cc_ was fully
+  /// written before the matching release store and is immutable for
+  /// the slot's remaining lifetime — the lock-free read cannot race.
+  /// The analysis cannot express release/acquire publication, hence
+  /// the targeted opt-out on exactly this accessor.
+  [[nodiscard]] const algo::BatchedCcResult& published_components() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return cc_;
+  }
+
   std::string name_;
   std::uint64_t generation_ = 0;
   std::shared_ptr<const gb::Graph> owned_;
   const gb::Graph* graph_ = nullptr;
-  mutable std::mutex cc_mutex_;
+  mutable Mutex cc_mutex_;
+  /// Publication flag for cc_: set (release) only after the labelling
+  /// is complete, read (acquire) on the lock-free fast path.
   mutable std::atomic<bool> cc_ready_{false};
-  mutable algo::BatchedCcResult cc_;
+  mutable algo::BatchedCcResult cc_ GUARDED_BY(cc_mutex_);
   mutable CircuitBreaker breaker_;
 };
 
@@ -277,19 +290,21 @@ class GraphRegistry {
   /// generation (memoized whole-graph results reset) at zero conversion
   /// cost.  dedup_hits() counts these.
   GraphRef add(std::string name, gb::Graph g,
-               gb::FormatSet warm = gb::kBitFormats);
+               gb::FormatSet warm = gb::kBitFormats) EXCLUDES(m_);
 
   /// Drop `name` from the map.  In-flight queries holding the slot
   /// drain safely; returns false if the name was not registered.
-  bool remove(std::string_view name);
+  bool remove(std::string_view name) EXCLUDES(m_);
 
   /// Snapshot lookup: the slot registered under `name` right now, or
   /// null.  The returned reference stays valid across any later
-  /// remove()/add().
-  [[nodiscard]] GraphRef lookup(std::string_view name) const;
+  /// remove()/add().  Readers take the shared side of the map lock, so
+  /// a serving fleet's lookups never serialize against each other —
+  /// only against registrations, which are rare and slow anyway.
+  [[nodiscard]] GraphRef lookup(std::string_view name) const EXCLUDES(m_);
 
-  [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> names() const EXCLUDES(m_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(m_);
 
   /// Name of the manifest file save_all writes / recover reads.
   static constexpr const char* kManifestFile = "MANIFEST";
@@ -303,7 +318,7 @@ class GraphRegistry {
   /// `fault` threads the io_* FaultInjector knobs through every write.
   void save_all(const std::string& dir,
                 gb::FormatSet formats = gb::kBitFormats,
-                FaultInjector* fault = nullptr) const;
+                FaultInjector* fault = nullptr) const EXCLUDES(m_);
 
   /// Warm restart: replay `dir`'s manifest, registering every snapshot
   /// that loads and validates cleanly (prewarmed to `warm` — free when
@@ -312,8 +327,13 @@ class GraphRegistry {
   /// an error).  Never throws on a bad snapshot; the report says what
   /// happened to each entry, and recovered_count()/quarantined_count()
   /// accumulate across calls for ServerStats.
-  RecoveryReport recover(const std::string& dir,
-                         gb::FormatSet warm = gb::kBitFormats);
+  /// The report is the ONLY place quarantine verdicts surface —
+  /// dropping it silently discards corruption diagnoses, hence
+  /// [[nodiscard]] (discard deliberately with (void) if you only want
+  /// the registrations).
+  [[nodiscard]] RecoveryReport recover(
+      const std::string& dir,
+      gb::FormatSet warm = gb::kBitFormats) EXCLUDES(m_);
 
   /// Re-adds that reused an existing prewarmed graph (same name, same
   /// fingerprint) instead of re-prewarming.
@@ -331,9 +351,9 @@ class GraphRegistry {
   }
 
  private:
-  mutable std::mutex m_;
-  std::vector<std::pair<std::string, GraphRef>> slots_;
-  std::uint64_t next_generation_ = 1;
+  mutable SharedMutex m_;
+  std::vector<std::pair<std::string, GraphRef>> slots_ GUARDED_BY(m_);
+  std::uint64_t next_generation_ GUARDED_BY(m_) = 1;
   std::atomic<std::uint64_t> dedup_hits_{0};
   std::atomic<std::uint64_t> recovered_{0};
   std::atomic<std::uint64_t> quarantined_{0};

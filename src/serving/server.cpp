@@ -66,6 +66,11 @@ Server::Server(const gb::Graph& g, ServerOptions opts) : Server(opts) {
 void Server::start_workers() {
   const int n = opts_.workers <= 0 ? hardware_width()
                                    : std::min(opts_.workers, kMaxWorkerWidth);
+  // Construction is single-threaded, but workers_ is guarded by the
+  // shutdown mutex (its other writer is the joining shutdown()), so the
+  // spawn loop holds it too — uncontended here, and the static analysis
+  // gets one consistent story for the container.
+  const MutexLock lk(shutdown_mutex_);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_main(); });
@@ -271,7 +276,7 @@ void Server::worker_main() {
 void Server::shutdown() {
   // Serialized so an explicit shutdown() and the destructor's cannot
   // race on the joins.
-  const std::lock_guard<std::mutex> lk(shutdown_mutex_);
+  const MutexLock lk(shutdown_mutex_);
   if (stopped_) return;
   queue_.close();
   for (auto& w : workers_) w.join();

@@ -34,6 +34,7 @@
 #include "core/frontier_batch.hpp"
 #include "graphblas/graph.hpp"
 #include "platform/context.hpp"
+#include "platform/thread_annotations.hpp"
 #include "serving/queue.hpp"
 #include "serving/registry.hpp"
 #include "serving/request.hpp"
@@ -43,7 +44,6 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -210,18 +210,19 @@ class Server {
   /// behaviour, not a race: the future resolves immediately with
   /// Status::kShedShutdown — it never hangs, and the conservation
   /// invariant still counts it.
-  void shutdown();
+  void shutdown() EXCLUDES(shutdown_mutex_);
 
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
-  [[nodiscard]] int worker_count() const {
+  [[nodiscard]] int worker_count() const EXCLUDES(shutdown_mutex_) {
+    const MutexLock lk(shutdown_mutex_);
     return static_cast<int>(workers_.size());
   }
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
 
  private:
   explicit Server(ServerOptions opts);  // common init; workers started after
-  void start_workers();
+  void start_workers() EXCLUDES(shutdown_mutex_);
   void worker_main();
   std::future<Reply> submit_resolved(GraphRef slot, QueryKind kind,
                                      vidx_t source,
@@ -237,9 +238,11 @@ class Server {
   GraphRef default_slot_;                    ///< null in registry mode
   ServerOptions opts_;
   RequestQueue queue_;
-  std::vector<std::thread> workers_;
-  std::mutex shutdown_mutex_;
-  bool stopped_ = false;
+  mutable Mutex shutdown_mutex_;
+  /// The worker threads: spawned once under the lock at construction,
+  /// joined exactly once under it at shutdown.
+  std::vector<std::thread> workers_ GUARDED_BY(shutdown_mutex_);
+  bool stopped_ GUARDED_BY(shutdown_mutex_) = false;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};

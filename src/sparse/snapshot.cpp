@@ -38,6 +38,10 @@ T get(std::span<const std::byte> buf, std::size_t off) {
 }
 
 [[nodiscard]] std::string errno_text() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): cold error path; the racy
+  // worst case is a garbled message in an exception already being
+  // thrown, and strerror_r's two signatures make a portable wrapper
+  // noisier than the exposure justifies.
   return std::string(std::strerror(errno));
 }
 
@@ -260,11 +264,12 @@ Snapshot Snapshot::read_file(const std::string& path) {
   Snapshot s;
   s.file_.resize(static_cast<std::size_t>(end));
   if (!s.file_.empty() &&
-      !f.read(reinterpret_cast<char*>(s.file_.data()),
+      !f.read(s.file_.data(),
               static_cast<std::streamsize>(s.file_.size()))) {
     throw SnapshotError(Kind::kIo, "cannot read " + path);
   }
-  const std::span<const std::byte> buf(s.file_);
+  const std::span<const std::byte> buf =
+      std::as_bytes(std::span<const char>(s.file_));
 
   // Container validation, outermost defense first: a truncated or
   // foreign file fails before any field is trusted.
@@ -360,8 +365,8 @@ bool Snapshot::has(SectionId id) const {
 std::span<const std::byte> Snapshot::section(SectionId id) const {
   for (const SectionInfo& s : index_) {
     if (s.id == id) {
-      return std::span<const std::byte>(file_).subspan(s.payload_offset,
-                                                       s.payload_bytes);
+      return std::as_bytes(std::span<const char>(file_))
+          .subspan(s.payload_offset, s.payload_bytes);
     }
   }
   throw SnapshotError(Kind::kMalformed,

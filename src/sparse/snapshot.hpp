@@ -223,7 +223,10 @@ class Snapshot {
   Snapshot() = default;
 
   SnapshotHeader header_;
-  std::vector<std::byte> file_;
+  /// Raw file image.  Stored as char — the element type istream::read
+  /// writes natively — and viewed as bytes via std::as_bytes, so no
+  /// pointer reinterpretation happens anywhere on the read path.
+  std::vector<char> file_;
   std::vector<SectionInfo> index_;
 };
 

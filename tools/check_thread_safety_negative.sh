@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Negative-compile probe for the Thread Safety Analysis gate.
+#
+# -Werror=thread-safety only proves something if a VIOLATION actually
+# fails to compile — otherwise a typo'd macro (GUARDED_BY expanding to
+# nothing under clang, say) would leave the whole layer silently inert.
+# This script asserts both directions under clang:
+#
+#   1. a well-locked access to a GUARDED_BY member compiles, and
+#   2. the same access WITHOUT the lock is rejected.
+#
+# Exit 0 = both hold; exit 1 = the gate is broken; exit 77 = no clang
+# on this machine (ctest SKIP_RETURN_CODE — GCC cannot run the
+# analysis, the clang CI lanes will).
+set -u
+
+root="${1:?usage: check_thread_safety_negative.sh <repo-root>}"
+
+clangxx=""
+for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 \
+         clang++-15 clang++-14; do
+  if command -v "$c" >/dev/null 2>&1; then clangxx="$c"; break; fi
+done
+if [ -z "$clangxx" ]; then
+  echo "SKIP: no clang++ found; thread-safety analysis needs clang" >&2
+  exit 77
+fi
+
+flags="-std=c++20 -fsyntax-only -I$root/src -Wthread-safety -Werror=thread-safety"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+good="$tmpdir/good.cpp"
+bad="$tmpdir/bad.cpp"
+
+cat >"$good" <<'EOF'
+#include "platform/thread_annotations.hpp"
+struct Counter {
+  int bump() {
+    const bitgb::MutexLock lk(mu_);
+    return ++n_;
+  }
+  bitgb::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+EOF
+
+# Identical but for the missing MutexLock: must NOT compile.
+cat >"$bad" <<'EOF'
+#include "platform/thread_annotations.hpp"
+struct Counter {
+  int bump() { return ++n_; }
+  bitgb::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+EOF
+
+if ! $clangxx $flags "$good" 2>"$tmpdir/good.err"; then
+  echo "FAIL: the well-locked probe does not compile — the gate is" \
+       "rejecting correct code:" >&2
+  cat "$tmpdir/good.err" >&2
+  exit 1
+fi
+
+if $clangxx $flags "$bad" 2>"$tmpdir/bad.err"; then
+  echo "FAIL: an unguarded GUARDED_BY access compiled cleanly — the" \
+       "thread-safety gate has no teeth (macro expansion broken?)" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$tmpdir/bad.err"; then
+  echo "FAIL: the unguarded probe failed for a reason other than the" \
+       "analysis:" >&2
+  cat "$tmpdir/bad.err" >&2
+  exit 1
+fi
+
+echo "OK: guarded access compiles; unguarded access is rejected ($clangxx)"
